@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Extension: collective algorithms under the knobs. The LogP model was
+ * built to design communication schedules; this bench closes that loop
+ * inside the laboratory by racing broadcast algorithms (linear,
+ * binomial, LogP-greedy-optimal) across the latency and overhead
+ * sweeps, and all-gather algorithms across block sizes.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "coll/collectives.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+namespace {
+
+Tick
+timeBroadcast(const LogGPParams &params, int p, BcastAlg alg, int reps)
+{
+    // Span of one broadcast: the root's start to the last arrival
+    // anywhere, averaged over reps (the entry barrier is excluded so
+    // the algorithms, not the barrier, are compared).
+    SplitCRuntime rt(p, params);
+    Collectives coll(p, 1);
+    coll.setModel(std::max(params.oSend, params.gap),
+                  params.sendOverhead() + params.totalLatency() +
+                      params.recvOverhead());
+    Tick total = 0;
+    rt.run([&](SplitC &sc) {
+        coll.broadcast(sc, 1, 0, alg); // Warm the schedule.
+        for (int i = 0; i < reps; ++i) {
+            sc.barrier();
+            Tick t0 = sc.now();
+            coll.broadcast(sc, 42, 0, alg);
+            Tick latest = sc.allReduceMax(sc.now());
+            if (sc.myProc() == 0)
+                total += latest - t0;
+        }
+    });
+    return total / reps;
+}
+
+Tick
+timeAllGather(const LogGPParams &params, int p, GatherAlg alg,
+              std::size_t n)
+{
+    SplitCRuntime rt(p, params);
+    Collectives coll(p, n);
+    Tick elapsed = 0;
+    rt.run([&](SplitC &sc) {
+        std::vector<Word> mine(n, 7), out(n * p);
+        sc.barrier();
+        Tick t0 = sc.now();
+        coll.allGather(sc, mine.data(), n, out.data(), alg);
+        sc.barrier();
+        if (sc.myProc() == 0)
+            elapsed = sc.now() - t0;
+    });
+    return elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int p = 32;
+    std::printf("Collective algorithms under the LogGP knobs, %d "
+                "nodes\n(broadcast columns: span from root start to "
+                "last arrival, us)\n",
+                p);
+
+    std::printf("\n--- broadcast vs latency ---\n");
+    Table bl;
+    bl.row().cell("L(us)").cell("linear").cell("binomial").cell(
+        "logp-optimal").cell("model-pred");
+    for (double l : {5.0, 15.0, 55.0, 105.0}) {
+        auto params = MachineConfig::berkeleyNow().params;
+        params.setDesiredLatencyUsec(l);
+        Tick arrive = params.sendOverhead() + params.totalLatency() +
+                      params.recvOverhead();
+        auto steps = buildOptimalBroadcast(
+            p, std::max(params.oSend, params.gap), arrive);
+        bl.row()
+            .cell(l, 1)
+            .cell(toUsec(timeBroadcast(params, p, BcastAlg::Linear, 8)),
+                  1)
+            .cell(toUsec(timeBroadcast(params, p, BcastAlg::Binomial,
+                                       8)),
+                  1)
+            .cell(toUsec(timeBroadcast(params, p,
+                                       BcastAlg::LogPOptimal, 8)),
+                  1)
+            .cell(toUsec(predictedBroadcastCompletion(steps, arrive)),
+                  1);
+    }
+    bl.print();
+
+    std::printf("\n--- broadcast vs overhead ---\n");
+    Table bo;
+    bo.row().cell("o(us)").cell("linear").cell("binomial").cell(
+        "logp-optimal");
+    for (double o : {2.9, 12.9, 52.9}) {
+        auto params = MachineConfig::berkeleyNow().params;
+        params.setDesiredOverheadUsec(o);
+        bo.row()
+            .cell(o, 1)
+            .cell(toUsec(timeBroadcast(params, p, BcastAlg::Linear, 8)),
+                  1)
+            .cell(toUsec(timeBroadcast(params, p, BcastAlg::Binomial,
+                                       8)),
+                  1)
+            .cell(toUsec(timeBroadcast(params, p,
+                                       BcastAlg::LogPOptimal, 8)),
+                  1);
+    }
+    bo.print();
+
+    std::printf("\n--- all-gather: ring vs recursive doubling ---\n");
+    Table ag;
+    ag.row().cell("words/proc").cell("ring (us)").cell(
+        "doubling (us)");
+    for (std::size_t n : {8u, 128u, 2048u}) {
+        auto params = MachineConfig::berkeleyNow().params;
+        ag.row()
+            .cell(static_cast<std::int64_t>(n))
+            .cell(toUsec(timeAllGather(params, p, GatherAlg::Ring, n)),
+                  1)
+            .cell(toUsec(timeAllGather(
+                      params, p, GatherAlg::RecursiveDoubling, n)),
+                  1);
+    }
+    ag.print();
+    return 0;
+}

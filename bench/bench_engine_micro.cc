@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator engine itself:
+ * event-queue throughput, fiber context switches, and the end-to-end
+ * wall-clock cost of simulating one Active Message. These bound how
+ * large an experiment the laboratory can run per wall-second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "am/cluster.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/simulator.hh"
+
+using namespace nowcluster;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            sim.schedule(i, [&] { ++sink; });
+        sim.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    Fiber f([] {
+        for (;;)
+            Fiber::yield();
+    });
+    for (auto _ : state)
+        f.resume();
+    state.SetItemsProcessed(state.iterations() * 2); // In + out.
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_ProcComputeEvent(benchmark::State &state)
+{
+    Simulator sim;
+    Proc p(sim, 0, [](Proc &self) {
+        for (;;)
+            self.compute(100);
+    });
+    p.start(0);
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProcComputeEvent);
+
+void
+BM_AmRoundTrip(benchmark::State &state)
+{
+    // Wall-clock cost of simulating request/reply round trips,
+    // measured over whole two-node cluster runs.
+    const int kMsgs = 2000;
+    for (auto _ : state) {
+        Cluster c(2, MachineConfig::berkeleyNow().params);
+        int done = c.registerHandler([](AmNode &, Packet &) {});
+        int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+            self.reply(pkt, done);
+        });
+        bool stop = false;
+        c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                for (int i = 0; i < kMsgs; ++i)
+                    n.request(1, echo);
+                n.pollUntil([&] {
+                    return n.counters().received >= kMsgs;
+                });
+                stop = true;
+                n.oneWay(1, done);
+            } else {
+                n.pollUntil([&] { return stop; });
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_AmRoundTrip);
+
+void
+BM_BulkStoreMB(benchmark::State &state)
+{
+    const std::size_t kBytes = 1 << 20;
+    std::vector<std::uint8_t> src(kBytes, 1), dst(kBytes);
+    for (auto _ : state) {
+        Cluster c(2, MachineConfig::berkeleyNow().params);
+        bool got = false;
+        int h = c.registerHandler([&](AmNode &, Packet &) {
+            got = true;
+        });
+        c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                n.store(1, dst.data(), src.data(), kBytes, h);
+                n.storeSync();
+            } else {
+                n.pollUntil([&] { return got; });
+            }
+        });
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * kBytes));
+}
+BENCHMARK(BM_BulkStoreMB);
+
+} // namespace
+
+BENCHMARK_MAIN();

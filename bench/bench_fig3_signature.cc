@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 3: the LogP signature -- mean message initiation interval as
+ * a function of burst size for several fixed computational delays,
+ * measured with the gap knob programmed to the paper's 14 us example.
+ * The send overhead is visible at burst size 1, the steady-state
+ * interval approaches g, and large-Delta curves sit at
+ * oSend + oRecv + Delta.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "calib/microbench.hh"
+
+using namespace nowcluster;
+
+int
+main()
+{
+    auto params = MachineConfig::berkeleyNow().params;
+    params.setDesiredGapUsec(14.0);
+    Microbench mb(params);
+
+    std::printf("Figure 3: LogP signature (desired g = 14 us)\n");
+    std::printf("Paper reads off: oSend=1.8, oRecv=4, g=12.8, "
+                "RTT=21 us\n\n");
+
+    const std::vector<double> deltas = {0, 2, 4, 6, 8, 10};
+    const std::vector<int> bursts = {1, 2, 4, 8, 16, 24, 32, 48, 64};
+    LogPSignature sig = mb.signature(deltas, bursts);
+
+    Table t;
+    {
+        auto row = t.row();
+        row.cell("burst");
+        for (double d : deltas)
+            row.cell("D=" + fmtDouble(d, 0) + "us");
+    }
+    for (std::size_t b = 0; b < bursts.size(); ++b) {
+        auto row = t.row();
+        row.cell(bursts[b]);
+        for (std::size_t d = 0; d < deltas.size(); ++d)
+            row.cell(sig.usPerMsg[d][b], 2);
+    }
+    t.print();
+
+    CalibratedParams c = mb.calibrate();
+    std::printf("\nExtracted: oSend=%.1f oRecv=%.1f g=%.1f RTT=%.1f "
+                "L=%.1f (us)\n",
+                c.oSendUs, c.oRecvUs, c.gUs, c.rttUs, c.latencyUs);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 4: communication balance. For every application on 32 nodes,
+ * renders the (sender, receiver) message-count density matrix as ASCII
+ * art and writes a grayscale PGM image per app (white = no messages,
+ * black = the per-app maximum), matching the paper's plots.
+ */
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    ::mkdir("fig4", 0755);
+    std::printf("Figure 4: Communication balance matrices, 32 nodes "
+                "(scale=%.2f)\n", scale);
+    std::printf("PGM images are written to ./fig4/<app>.pgm\n");
+
+    for (const auto &key : appKeys()) {
+        RunResult r = runApp(key, baseConfig(32, scale));
+        std::string path = "fig4/" + key + ".pgm";
+        r.matrix.writePgm(path);
+        std::printf("\n--- %s (max %llu msgs/cell) -> %s ---\n",
+                    r.summary.app.c_str(),
+                    static_cast<unsigned long long>(r.matrix.maxCount()),
+                    path.c_str());
+        std::fputs(r.matrix.ascii().c_str(), stdout);
+    }
+    return 0;
+}

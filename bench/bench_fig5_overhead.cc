@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 5: sensitivity to overhead, on 16 and 32 nodes. Slowdown is
+ * relative to each application's baseline run at the same size. N/A
+ * marks runs that blew the model-derived time budget -- the paper's
+ * livelocked Barnes beyond ~7-13 us of added overhead.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    auto set = [](Knobs &k, double x) { k.overheadUs = x; };
+
+    for (int nprocs : {16, 32}) {
+        std::vector<Series> series;
+        for (const auto &key : appKeys())
+            series.push_back(
+                sweepApp(key, nprocs, scale, overheadSweep(), set));
+        printSlowdownTable(
+            "Figure 5" + std::string(nprocs == 16 ? "a" : "b") +
+                ": slowdown vs overhead, " + std::to_string(nprocs) +
+                " nodes (scale=" + fmtDouble(scale, 2) + ")",
+            "o(us)", overheadSweep(), series);
+    }
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 6: sensitivity to gap on 32 nodes. Frequently communicating
+ * applications (Radix, EM3D, Sample) are hit hardest; infrequently
+ * communicating ones largely ignore even 100 us of gap.
+ */
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    auto set = [](Knobs &k, double x) { k.gapUs = x; };
+    std::vector<Series> series;
+    for (const auto &key : appKeys())
+        series.push_back(sweepApp(key, 32, scale, gapSweep(), set));
+    printSlowdownTable("Figure 6: slowdown vs gap, 32 nodes (scale=" +
+                           fmtDouble(scale, 2) + ")",
+                       "g(us)", gapSweep(), series);
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 7: sensitivity to latency on 32 nodes. Read-based programs
+ * (EM3D(read), Barnes, P-Ray, Connect) pay round trips; write-based
+ * ones largely ignore added latency except for the flow-control tail
+ * (the fixed outstanding-message window raises effective g at huge L).
+ */
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    auto set = [](Knobs &k, double x) { k.latencyUs = x; };
+    std::vector<Series> series;
+    for (const auto &key : appKeys())
+        series.push_back(sweepApp(key, 32, scale, latencySweep(), set));
+    printSlowdownTable(
+        "Figure 7: slowdown vs latency, 32 nodes (scale=" +
+            fmtDouble(scale, 2) + ")",
+        "L(us)", latencySweep(), series);
+    return 0;
+}

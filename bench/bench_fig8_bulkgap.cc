@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 8: sensitivity to bulk Gap (available bulk-transfer
+ * bandwidth) on 32 nodes. Only bulk-heavy applications react, and
+ * NOW-sort stays flat until the network drops below the bandwidth of
+ * a single 5.5 MB/s disk.
+ */
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    auto set = [](Knobs &k, double x) { k.bulkMBps = x; };
+    std::vector<Series> series;
+    for (const auto &key : appKeys())
+        series.push_back(sweepApp(key, 32, scale, bandwidthSweep(), set));
+    printSlowdownTable(
+        "Figure 8: slowdown vs bulk bandwidth, 32 nodes (scale=" +
+            fmtDouble(scale, 2) + ")",
+        "MB/s", bandwidthSweep(), series);
+    return 0;
+}

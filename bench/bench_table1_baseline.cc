@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 1: baseline LogGP parameters of the Berkeley NOW, the Intel
+ * Paragon, and the Meiko CS-2, as measured by the calibration
+ * microbenchmark running inside the simulated machines.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "calib/microbench.hh"
+
+using namespace nowcluster;
+
+int
+main()
+{
+    std::printf("Table 1: Baseline LogGP parameters "
+                "(microbenchmark-calibrated)\n");
+    std::printf("Paper:  NOW o=2.9 g=5.8 L=5.0 38 MB/s | Paragon o=1.8 "
+                "g=7.6 L=6.5 141 MB/s | Meiko o=1.7 g=13.6 L=7.5 47 "
+                "MB/s\n\n");
+
+    Table t;
+    t.row()
+        .cell("Platform")
+        .cell("o(us)")
+        .cell("g(us)")
+        .cell("L(us)")
+        .cell("MB/s(1/G)")
+        .cell("oSend(us)")
+        .cell("oRecv(us)")
+        .cell("RTT(us)");
+
+    for (const MachineConfig &m : {MachineConfig::berkeleyNow(),
+                                   MachineConfig::intelParagon(),
+                                   MachineConfig::meikoCs2()}) {
+        Microbench mb(m.params);
+        CalibratedParams c = mb.calibrate();
+        t.row()
+            .cell(m.name)
+            .cell(c.oUs, 1)
+            .cell(c.gUs, 1)
+            .cell(c.latencyUs, 1)
+            .cell(c.bulkMBps, 0)
+            .cell(c.oSendUs, 1)
+            .cell(c.oRecvUs, 1)
+            .cell(c.rttUs, 1);
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 2: calibration summary. Each LogGP knob is swept and every
+ * parameter re-measured, demonstrating (i) the knobs land on their
+ * desired values and (ii) they move independently -- including the
+ * paper's two deliberate artifacts: effective g tracks 2o when the
+ * processor is the bottleneck, and effective g rises at large L
+ * because the outstanding-message window is fixed.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "calib/microbench.hh"
+
+using namespace nowcluster;
+
+namespace {
+
+void
+sweep(const char *title, const char *knob,
+      const std::vector<double> &values,
+      void (LogGPParams::*set)(double))
+{
+    std::printf("\n--- varying %s ---\n", title);
+    Table t;
+    t.row()
+        .cell(std::string("desired ") + knob)
+        .cell("o(us)")
+        .cell("g(us)")
+        .cell("L(us)");
+    for (double v : values) {
+        auto p = MachineConfig::berkeleyNow().params;
+        (p.*set)(v);
+        Microbench mb(p);
+        CalibratedParams c = mb.calibrate();
+        t.row().cell(v, 1).cell(c.oUs, 1).cell(c.gUs, 1).cell(
+            c.latencyUs, 1);
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 2: Calibration summary (desired vs observed, "
+                "and independence of the knobs)\n");
+
+    sweep("overhead o", "o",
+          {2.9, 4.9, 7.9, 12.9, 22.9, 52.9, 77.9, 102.9},
+          &LogGPParams::setDesiredOverheadUsec);
+    sweep("gap g", "g", {5.8, 8, 10, 15, 30, 55, 80, 105},
+          &LogGPParams::setDesiredGapUsec);
+    sweep("latency L", "L", {5, 7.5, 10, 15, 30, 55, 80, 105},
+          &LogGPParams::setDesiredLatencyUsec);
+
+    std::printf("\n--- varying bulk bandwidth 1/G ---\n");
+    Table t;
+    t.row().cell("desired MB/s").cell("MB/s").cell("o(us)").cell(
+        "g(us)").cell("L(us)");
+    for (double mbps : {38.0, 30.0, 20.0, 10.0, 5.0, 1.0}) {
+        auto p = MachineConfig::berkeleyNow().params;
+        p.setBulkMBps(mbps);
+        Microbench mb(p);
+        CalibratedParams c = mb.calibrate();
+        t.row()
+            .cell(mbps, 0)
+            .cell(c.bulkMBps, 1)
+            .cell(c.oUs, 1)
+            .cell(c.gUs, 1)
+            .cell(c.latencyUs, 1);
+    }
+    t.print();
+    return 0;
+}

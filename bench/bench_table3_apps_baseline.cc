@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 3: the application suite, its input sets, and baseline run
+ * times on 16- and 32-node clusters with unmodified LogGP parameters.
+ * Output correctness is validated on every run.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    std::printf("Table 3: Applications, data sets, and baseline run "
+                "times (scale=%.2f)\n\n", scale);
+
+    Table t;
+    t.row()
+        .cell("Program")
+        .cell("Input Set")
+        .cell("16-node (ms)")
+        .cell("32-node (ms)")
+        .cell("Speedup 16->32")
+        .cell("Valid");
+
+    for (const auto &key : appKeys()) {
+        auto desc_app = makeApp(key);
+        desc_app->setup(32, scale, 1);
+
+        RunResult r16 = runApp(key, baseConfig(16, scale));
+        RunResult r32 = runApp(key, baseConfig(32, scale));
+        t.row()
+            .cell(desc_app->name())
+            .cell(desc_app->inputDesc())
+            .cell(toMsec(r16.runtime), 1)
+            .cell(toMsec(r32.runtime), 1)
+            .cell(slowdown(r16.runtime, r32.runtime), 2)
+            .cell(std::string(r16.validated && r32.validated ? "yes"
+                                                             : "NO"));
+    }
+    t.print();
+    return 0;
+}

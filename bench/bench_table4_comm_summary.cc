@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 4: communication summary of every application on 32 nodes with
+ * baseline parameters -- message counts and frequency, mean message
+ * and barrier intervals, bulk and read message fractions, and per-
+ * processor bandwidths.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    std::printf("Table 4: Communication summary, 32 nodes "
+                "(scale=%.2f)\n\n", scale);
+
+    Table t;
+    t.row()
+        .cell("Program")
+        .cell("Avg Msg/P")
+        .cell("Max Msg/P")
+        .cell("Msg/P/ms")
+        .cell("Interval(us)")
+        .cell("Barrier(ms)")
+        .cell("%Bulk")
+        .cell("%Reads")
+        .cell("Bulk KB/s")
+        .cell("Small KB/s");
+
+    for (const auto &key : appKeys()) {
+        RunResult r = runApp(key, baseConfig(32, scale));
+        const CommSummary &s = r.summary;
+        t.row()
+            .cell(s.app)
+            .cell(static_cast<std::int64_t>(s.avgMsgsPerProc))
+            .cell(static_cast<std::int64_t>(s.maxMsgsPerProc))
+            .cell(s.msgsPerProcPerMs, 2)
+            .cell(s.msgIntervalUs, 1)
+            .cell(s.barrierIntervalMs, 1)
+            .cell(s.pctBulk, 2)
+            .cell(s.pctReads, 2)
+            .cell(s.bulkKBps, 1)
+            .cell(s.smallKBps, 1);
+    }
+    t.print();
+    return 0;
+}

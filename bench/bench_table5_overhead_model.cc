@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 5: predicted vs measured run times under added overhead, using
+ * the Section-5.1 model r_pred = r_orig + 2 * m * delta_o with m the
+ * maximum number of messages sent by any processor in the baseline
+ * run. For frequently communicating applications the model tracks the
+ * measurement; applications with serial phases (Radix) run slower than
+ * predicted (the paper's "serialization effect").
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    std::printf("Table 5: predicted vs measured run times (ms) varying "
+                "overhead, 32 nodes (scale=%.2f)\n",
+                scale);
+    std::printf("Model: r_pred = r_orig + 2 * m * delta_o\n");
+
+    for (const auto &key : appKeys()) {
+        RunConfig base = baseConfig(32, scale);
+        RunResult b = runApp(key, base);
+
+        std::printf("\n--- %s (m = %llu msgs) ---\n",
+                    b.summary.app.c_str(),
+                    static_cast<unsigned long long>(b.maxMsgsPerProc));
+        Table t;
+        t.row().cell("o(us)").cell("measured").cell("predicted").cell(
+            "ratio");
+        for (double o : overheadSweep()) {
+            RunConfig c = base;
+            c.knobs.overheadUs = o;
+            c.maxTime = budgetFor(b, c.knobs);
+            c.validate = false;
+            RunResult r = runApp(key, c);
+            Tick pred = predictOverhead(b.runtime, b.maxMsgsPerProc,
+                                        usec(o) - usec(2.9));
+            auto row = t.row();
+            row.cell(o, 1);
+            if (r.ok)
+                row.cell(toMsec(r.runtime), 1);
+            else
+                row.cell(std::string("N/A"));
+            row.cell(toMsec(pred), 1);
+            if (r.ok)
+                row.cell(static_cast<double>(r.runtime) /
+                             static_cast<double>(pred),
+                         2);
+            else
+                row.cell(std::string("-"));
+        }
+        t.print();
+    }
+    return 0;
+}

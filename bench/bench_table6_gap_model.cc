@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 6: predicted vs measured run times under added gap, using the
+ * Section-5.2 *burst* model r_pred = r_base + m * delta_g (the paper
+ * found application communication bursty, so the burst model fits far
+ * better than the uniform-interval model, which is also printed).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace nowcluster;
+using namespace nowcluster::bench;
+
+int
+main()
+{
+    double scale = scaleOr(1.0);
+    std::printf("Table 6: predicted vs measured run times (ms) varying "
+                "gap, 32 nodes (scale=%.2f)\n",
+                scale);
+    std::printf("Burst model: r = r_base + m * delta_g;  uniform "
+                "model: r = r_base + m * (g - I) for g > I\n");
+
+    for (const auto &key : appKeys()) {
+        RunConfig base = baseConfig(32, scale);
+        RunResult b = runApp(key, base);
+        Tick interval = usec(b.summary.msgIntervalUs);
+
+        std::printf("\n--- %s (m = %llu msgs, I = %.1f us) ---\n",
+                    b.summary.app.c_str(),
+                    static_cast<unsigned long long>(b.maxMsgsPerProc),
+                    b.summary.msgIntervalUs);
+        Table t;
+        t.row()
+            .cell("g(us)")
+            .cell("measured")
+            .cell("burst pred")
+            .cell("uniform pred");
+        for (double g : gapSweep()) {
+            RunConfig c = base;
+            c.knobs.gapUs = g;
+            c.maxTime = budgetFor(b, c.knobs);
+            c.validate = false;
+            RunResult r = runApp(key, c);
+            Tick burst = predictGapBurst(b.runtime, b.maxMsgsPerProc,
+                                         usec(g) - usec(5.8));
+            Tick uniform = predictGapUniform(
+                b.runtime, b.maxMsgsPerProc, usec(g), interval);
+            auto row = t.row();
+            row.cell(g, 1);
+            if (r.ok)
+                row.cell(toMsec(r.runtime), 1);
+            else
+                row.cell(std::string("N/A"));
+            row.cell(toMsec(burst), 1).cell(toMsec(uniform), 1);
+        }
+        t.print();
+    }
+    return 0;
+}

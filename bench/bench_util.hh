@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Shared plumbing for the per-table / per-figure bench binaries: the
+ * paper's sweep values, model-driven time budgets (so a livelocked run
+ * is reported as N/A instead of hanging), and slowdown-table printing.
+ */
+
+#ifndef NOWCLUSTER_BENCH_BENCH_UTIL_HH_
+#define NOWCLUSTER_BENCH_BENCH_UTIL_HH_
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "base/table.hh"
+#include "harness/experiment.hh"
+#include "model/models.hh"
+
+namespace nowcluster::bench {
+
+/** Paper display names, keyed like the registry. */
+inline std::string
+displayName(const std::string &key)
+{
+    auto app = makeApp(key);
+    return app->name();
+}
+
+/** The paper's overhead sweep (Figure 5 / Table 5), microseconds. */
+inline const std::vector<double> &
+overheadSweep()
+{
+    static const std::vector<double> v = {2.9,  3.9,  4.9,  6.9, 7.9,
+                                          12.9, 22.9, 52.9, 102.9};
+    return v;
+}
+
+/** The paper's gap sweep (Figure 6 / Table 6), microseconds. */
+inline const std::vector<double> &
+gapSweep()
+{
+    static const std::vector<double> v = {5.8, 8,  10, 15,
+                                          30,  55, 80, 105};
+    return v;
+}
+
+/** The paper's latency sweep (Figure 7), microseconds. */
+inline const std::vector<double> &
+latencySweep()
+{
+    static const std::vector<double> v = {5, 7.5, 10, 15,
+                                          30, 55, 80, 105};
+    return v;
+}
+
+/** The paper's bulk-bandwidth sweep (Figure 8), MB/s. */
+inline const std::vector<double> &
+bandwidthSweep()
+{
+    static const std::vector<double> v = {38, 30, 25, 20, 15,
+                                          10, 5,  2,  1};
+    return v;
+}
+
+/** Baseline configuration for a bench run. */
+inline RunConfig
+baseConfig(int nprocs, double scale)
+{
+    RunConfig c;
+    c.nprocs = nprocs;
+    c.scale = scale;
+    c.seed = 1;
+    return c;
+}
+
+/**
+ * Virtual-time budget for a knob run: three times what the linear
+ * models predict (plus slack). An application that blows this is
+ * reported N/A -- which is exactly how the paper reports livelocked
+ * Barnes at high overhead.
+ */
+inline Tick
+budgetFor(const RunResult &baseline, const Knobs &knobs)
+{
+    Tick worst = baseline.runtime;
+    std::uint64_t m = baseline.maxMsgsPerProc;
+    if (knobs.overheadUs >= 0)
+        worst = predictOverhead(worst, m,
+                                usec(knobs.overheadUs) - usec(2.9));
+    if (knobs.gapUs >= 0)
+        worst = predictGapBurst(worst, m, usec(knobs.gapUs) - usec(5.8));
+    if (knobs.latencyUs >= 0)
+        worst = predictLatencyReads(worst, m,
+                                    usec(knobs.latencyUs) - usec(5.0));
+    if (knobs.bulkMBps > 0 && knobs.bulkMBps < 38.0) {
+        // Crude bound: all bulk bytes at the reduced rate.
+        worst += static_cast<Tick>(38.0 / knobs.bulkMBps *
+                                   static_cast<double>(baseline.runtime));
+    }
+    if (knobs.occupancyUs > 0) {
+        // Occupancy acts like latency and gap at once.
+        Tick occ = usec(knobs.occupancyUs);
+        worst = predictGapBurst(predictLatencyReads(worst, m, occ), m,
+                                occ);
+    }
+    if (knobs.window > 0) {
+        // A small window throttles bursts to RTT/W per message.
+        worst += static_cast<Tick>(m) * usec(30) /
+                 std::max(knobs.window, 1);
+    }
+    return worst * 3 + kSec;
+}
+
+/** One application's slowdown series over a sweep. */
+struct Series
+{
+    std::string key;
+    std::string name;
+    Tick baseline = 0;
+    std::vector<double> slowdown; ///< < 0 means N/A (timed out).
+    std::vector<Tick> runtime;
+};
+
+/**
+ * Run `key` over a sweep of one knob.
+ * @param set_knob Writes the x-value into a Knobs struct.
+ */
+template <typename SetKnob>
+Series
+sweepApp(const std::string &key, int nprocs, double scale,
+         const std::vector<double> &xs, SetKnob &&set_knob)
+{
+    Series s;
+    s.key = key;
+    s.name = displayName(key);
+
+    RunConfig base = baseConfig(nprocs, scale);
+    RunResult b = runApp(key, base);
+    s.baseline = b.runtime;
+    for (double x : xs) {
+        RunConfig c = base;
+        set_knob(c.knobs, x);
+        c.maxTime = budgetFor(b, c.knobs);
+        c.validate = false; // Sweeps measure time; tests check output.
+        RunResult r = runApp(key, c);
+        s.runtime.push_back(r.runtime);
+        s.slowdown.push_back(r.ok ? slowdown(r.runtime, b.runtime)
+                                  : -1.0);
+    }
+    return s;
+}
+
+/** Print a figure-style table: rows = x values, one column per app. */
+inline void
+printSlowdownTable(const std::string &title, const std::string &x_label,
+                   const std::vector<double> &xs,
+                   const std::vector<Series> &series)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    Table t;
+    {
+        auto row = t.row();
+        row.cell(x_label);
+        for (const auto &s : series)
+            row.cell(s.name);
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        auto row = t.row();
+        row.cell(xs[i], 1);
+        for (const auto &s : series) {
+            if (s.slowdown[i] < 0)
+                row.cell(std::string("N/A"));
+            else
+                row.cell(s.slowdown[i], 2);
+        }
+    }
+    t.print();
+}
+
+/** Scale from NOW_SCALE with a bench-specific default. */
+inline double
+scaleOr(double fallback)
+{
+    const char *s = std::getenv("NOW_SCALE");
+    if (!s)
+        return fallback;
+    double v = std::atof(s);
+    return v > 0 ? v : fallback;
+}
+
+} // namespace nowcluster::bench
+
+#endif // NOWCLUSTER_BENCH_BENCH_UTIL_HH_

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Calibrating a machine you define yourself: pick LogGP parameters for
+ * a hypothetical cluster, then measure them back with the Figure-3
+ * microbenchmark -- the loop the paper uses to trust its apparatus.
+ *
+ *   $ ./examples/logp_signature [o_us] [g_us] [L_us] [MBps]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/table.hh"
+#include "calib/microbench.hh"
+
+using namespace nowcluster;
+
+int
+main(int argc, char **argv)
+{
+    LogGPParams params = MachineConfig::berkeleyNow().params;
+    if (argc > 1)
+        params.setDesiredOverheadUsec(std::atof(argv[1]));
+    if (argc > 2)
+        params.setDesiredGapUsec(std::atof(argv[2]));
+    if (argc > 3)
+        params.setDesiredLatencyUsec(std::atof(argv[3]));
+    if (argc > 4)
+        params.setBulkMBps(std::atof(argv[4]));
+
+    std::printf("logp_signature: configured o=%.1f g=%.1f L=%.1f "
+                "%.0f MB/s\n\n",
+                toUsec(params.meanOverhead()), toUsec(params.gap),
+                toUsec(params.totalLatency()), params.bulkMBps());
+
+    Microbench mb(params);
+
+    // The signature plot: one curve per fixed computational delay.
+    const std::vector<double> deltas = {0, 5, 10};
+    const std::vector<int> bursts = {1, 2, 4, 8, 16, 32, 64};
+    LogPSignature sig = mb.signature(deltas, bursts);
+
+    Table t;
+    {
+        auto row = t.row();
+        row.cell("burst");
+        for (double d : deltas)
+            row.cell("Delta=" + fmtDouble(d, 0) + "us");
+    }
+    for (std::size_t b = 0; b < bursts.size(); ++b) {
+        auto row = t.row();
+        row.cell(bursts[b]);
+        for (std::size_t d = 0; d < deltas.size(); ++d)
+            row.cell(sig.usPerMsg[d][b], 2);
+    }
+    t.print();
+
+    CalibratedParams c = mb.calibrate();
+    std::printf("\nmeasured: oSend=%.1f oRecv=%.1f o=%.1f g=%.1f "
+                "L=%.1f RTT=%.1f us, bulk %.1f MB/s\n",
+                c.oSendUs, c.oRecvUs, c.oUs, c.gUs, c.latencyUs,
+                c.rttUs, c.bulkMBps);
+    std::printf("(short bursts show oSend; long bursts approach g; "
+                "L = RTT/2 - 2o)\n");
+    return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate every table and figure into results/, plus test output.
+# Usage: scripts/run_all.sh [build-dir] (default: build)
+set -e
+BUILD=${1:-build}
+mkdir -p results
+ctest --test-dir "$BUILD" 2>&1 | tee results/test_output.txt
+for b in "$BUILD"/bench/*; do
+    name=$(basename "$b")
+    echo "== $name =="
+    "$b" 2>&1 | tee "results/$name.txt"
+done
+echo "All outputs in results/ (Figure 4 images in fig4/)"

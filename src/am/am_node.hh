@@ -1,0 +1,181 @@
+/**
+ * @file
+ * One node's endpoint of the Active Message layer (Generic Active
+ * Messages semantics): polling-based handler execution, request/reply
+ * pairing, one-way messages, and fragmented bulk transfers.
+ */
+
+#ifndef NOWCLUSTER_AM_AM_NODE_HH_
+#define NOWCLUSTER_AM_AM_NODE_HH_
+
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "am/counters.hh"
+#include "base/random.hh"
+#include "base/types.hh"
+#include "net/nic.hh"
+#include "net/packet.hh"
+#include "sim/proc.hh"
+
+namespace nowcluster {
+
+class Cluster;
+class AmNode;
+
+/** An Active Message handler: runs on the receiving node's fiber. */
+using HandlerFn = std::function<void(AmNode &self, Packet &pkt)>;
+
+/**
+ * Per-node Active Message endpoint. All methods that send or wait must
+ * be invoked from this node's fiber (enforced by the underlying Proc).
+ */
+class AmNode
+{
+  public:
+    AmNode(Cluster &cluster, NodeId id, std::uint64_t seed);
+
+    AmNode(const AmNode &) = delete;
+    AmNode &operator=(const AmNode &) = delete;
+
+    NodeId id() const { return id_; }
+    Proc &proc() { return *proc_; }
+    Rng &rng() { return rng_; }
+    Cluster &cluster() { return cluster_; }
+    AmCounters &counters() { return ctrs_; }
+    const AmCounters &counters() const { return ctrs_; }
+
+    /** Current virtual time. */
+    Tick now() const;
+
+    /** Charge local computation time. */
+    void compute(Tick dt);
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /** Send a short request; the handler at dst is expected to reply. */
+    void request(NodeId dst, int handler, Word a0 = 0, Word a1 = 0,
+                 Word a2 = 0, Word a3 = 0, Word a4 = 0, Word a5 = 0);
+
+    /** Reply to the request `cause` (only from inside its handler). */
+    void reply(const Packet &cause, int handler, Word a0 = 0, Word a1 = 0,
+               Word a2 = 0, Word a3 = 0, Word a4 = 0, Word a5 = 0);
+
+    /** Send a short message with no reply (credit returned by NIC ack). */
+    void oneWay(NodeId dst, int handler, Word a0 = 0, Word a1 = 0,
+                Word a2 = 0, Word a3 = 0, Word a4 = 0, Word a5 = 0);
+
+    /**
+     * Bulk store: copy len bytes from src into dst_addr at node dst,
+     * fragmented at the NIC. On arrival of the last fragment, handler
+     * (if >= 0) runs at the receiver with the packet's args; the AM
+     * layer then automatically returns a StoreAck reply, which is what
+     * storeSync() waits for. Counts as one bulk message plus one reply.
+     */
+    void store(NodeId dst, void *dst_addr, const void *src,
+               std::size_t len, int handler = -1, Word a0 = 0,
+               Word a1 = 0, std::function<void()> on_ack = nullptr);
+
+    /**
+     * Bulk data sent as part of a reply (e.g., serving a remote get).
+     * Fragments are credit-free so this is safe from handler context.
+     * handler (if >= 0) runs at the original requester on completion.
+     */
+    void replyStore(const Packet &cause, void *dst_addr, const void *src,
+                    std::size_t len, int handler = -1, Word a0 = 0,
+                    Word a1 = 0);
+
+    /** Number of our stores not yet acknowledged. */
+    int outstandingStores() const { return outstandingStores_; }
+
+    /** Wait until all our bulk stores have been acknowledged. */
+    void storeSync();
+
+    /** Called by the built-in StoreAck handler. */
+    void noteStoreAcked(std::uint64_t op);
+
+    // ------------------------------------------------------------------
+    // Receiving
+    // ------------------------------------------------------------------
+
+    /**
+     * Drain the receive queue, charging receive overhead and running
+     * handlers. @return number of messages processed.
+     */
+    int poll();
+
+    /**
+     * Poll until pred() holds, blocking between network events.
+     * Returns immediately (pred unchecked) if the cluster is draining.
+     */
+    template <typename Pred>
+    void
+    pollUntil(Pred pred)
+    {
+        for (;;) {
+            poll();
+            if (pred() || draining())
+                return;
+            proc_->block();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Network-facing interface (called by Cluster/Network events)
+    // ------------------------------------------------------------------
+
+    /** A packet's presence bit is set: enqueue / DMA it. */
+    void deliver(Packet &&pkt);
+
+    /** A NIC-level ack returned one send credit for destination dst. */
+    void creditReturned(NodeId dst);
+
+    /**
+     * Occupancy extension: pass an arrival through the rx context.
+     * @return when the rx context finishes processing it.
+     */
+    Tick rxOccupy(Tick arrival);
+
+    /** Wake the proc if it is blocked in pollUntil. */
+    void wakeIfBlocked();
+
+    /** True if the cluster is in drain (timeout) mode. */
+    bool draining() const;
+
+  private:
+    friend class Cluster;
+
+    /** Block until a credit for dst is available, then consume it. */
+    void acquireCredit(NodeId dst);
+
+    /** Common send tail: pay overhead, traverse NIC, hand to network. */
+    void sendPacket(Packet &&pkt, bool pay_overhead = true);
+
+    /** Built-in handler index for StoreAck replies. */
+    static constexpr int kStoreAckHandler = 0;
+
+    Cluster &cluster_;
+    NodeId id_;
+    Proc *proc_ = nullptr;
+    Rng rng_;
+    NicTx nic_;
+    AmCounters ctrs_;
+
+    std::deque<Packet> rxQueue_;
+    std::vector<int> credits_;
+    Tick rxBusyUntil_ = 0;
+    int outstandingStores_ = 0;
+    std::uint64_t nextBulkOp_ = 1;
+    bool inHandler_ = false;
+    /** Per-store completion callbacks, keyed by bulk op id. */
+    std::map<std::uint64_t, std::function<void()>> storeAcks_;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_AM_AM_NODE_HH_

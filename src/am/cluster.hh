@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The simulated cluster: P Active-Message nodes, a contention-free
+ * constant-latency interconnect, and an SPMD program launcher.
+ */
+
+#ifndef NOWCLUSTER_AM_CLUSTER_HH_
+#define NOWCLUSTER_AM_CLUSTER_HH_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "am/am_node.hh"
+#include "net/fabric.hh"
+#include "net/loggp.hh"
+#include "sim/simulator.hh"
+
+namespace nowcluster {
+
+/**
+ * Owns the simulator, the LogGP parameters, the handler table, and one
+ * AmNode + Proc per simulated processor.
+ */
+class Cluster
+{
+  public:
+    /**
+     * @param nprocs Number of processors.
+     * @param params Communication parameters (shared by all nodes).
+     * @param seed   Run seed; each node derives its own Rng stream.
+     */
+    Cluster(int nprocs, const LogGPParams &params, std::uint64_t seed = 1);
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+    ~Cluster();
+
+    /** Register a handler (identical table on every node, as in SPMD). */
+    int registerHandler(HandlerFn fn);
+
+    /** Invoke handler h for packet pkt on node `self`. */
+    void runHandler(int h, AmNode &self, Packet &pkt);
+
+    /**
+     * Launch main on every node at time 0 and run to completion.
+     *
+     * @param main     Per-node SPMD body.
+     * @param max_time Virtual-time budget; exceeded runs are drained
+     *                 (all blocking ops return immediately) and reported
+     *                 as failed.
+     * @return true if all nodes finished within the budget.
+     */
+    bool run(std::function<void(AmNode &)> main, Tick max_time = kTickNever);
+
+    /** Virtual time at which the last node's body returned. */
+    Tick runtime() const { return runtime_; }
+
+    /** True if the last run() hit its time budget. */
+    bool timedOut() const { return timedOut_; }
+
+    int nprocs() const { return nprocs_; }
+    AmNode &node(int i) { return *nodes_[i]; }
+    Simulator &sim() { return sim_; }
+    const LogGPParams &params() const { return params_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Drain mode: blocking primitives return immediately. */
+    bool draining() const { return draining_; }
+
+    /** Deliver pkt to its destination at pkt.readyAt. */
+    void transmit(Packet &&pkt);
+
+    /** Schedule the NIC-level ack that returns a credit to src. */
+    void scheduleCreditAck(NodeId src, NodeId dst, Tick deliver_time);
+
+    /** Aggregate messages sent across all nodes. */
+    std::uint64_t totalMessages() const;
+
+    /** The fabric model, if enabled (diagnostics). */
+    const SwitchFabric *fabric() const { return fabric_.get(); }
+
+    /** Per-packet trace callback: (issued, ready, src, dst, kind,
+     *  payload bytes). Kept as a plain hook so the AM layer does not
+     *  depend on the stats library. */
+    using TraceHook = std::function<void(Tick, Tick, NodeId, NodeId,
+                                         PacketKind, std::uint32_t)>;
+
+    void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
+    const TraceHook &traceHook() const { return trace_; }
+
+  private:
+    void noteProcDone(NodeId id);
+
+    Simulator sim_;
+    LogGPParams params_;
+    int nprocs_;
+    std::uint64_t seed_;
+    std::vector<HandlerFn> handlers_;
+    std::vector<std::unique_ptr<AmNode>> nodes_;
+    std::vector<std::unique_ptr<Proc>> procs_;
+    int doneCount_ = 0;
+    Tick runtime_ = 0;
+    bool draining_ = false;
+    bool timedOut_ = false;
+    bool started_ = false;
+    TraceHook trace_;
+    std::unique_ptr<SwitchFabric> fabric_;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_AM_CLUSTER_HH_

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-node communication instrumentation, sufficient to regenerate the
+ * paper's Table 4 and Figure 4.
+ */
+
+#ifndef NOWCLUSTER_AM_COUNTERS_HH_
+#define NOWCLUSTER_AM_COUNTERS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace nowcluster {
+
+/** Message and synchronization counters for one node. */
+struct AmCounters
+{
+    explicit AmCounters(int nprocs) : sentTo(nprocs, 0) {}
+
+    /** Total messages sent (requests + replies + one-ways + bulk ops). */
+    std::uint64_t sent = 0;
+    /** Total messages received (processed by poll). */
+    std::uint64_t received = 0;
+
+    std::uint64_t requests = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t oneWays = 0;
+    /** Bulk operations (a multi-fragment store counts once). */
+    std::uint64_t bulkMsgs = 0;
+    std::uint64_t bulkFrags = 0;
+    std::uint64_t bulkBytesSent = 0;
+    /** Bytes sent in short messages (4 words + header, as in GAM). */
+    std::uint64_t shortBytesSent = 0;
+
+    /** Messages that are read requests or read replies (Split-C tags). */
+    std::uint64_t readMsgs = 0;
+
+    /** Barriers this node has completed. */
+    std::uint64_t barriers = 0;
+    /** Failed lock acquisition attempts (Barnes livelock metric). */
+    std::uint64_t lockFailures = 0;
+    /** Successful lock acquisitions. */
+    std::uint64_t lockAcquires = 0;
+
+    /** Ticks this node spent stalled waiting for send credits. */
+    Tick creditStall = 0;
+    /** Ticks this node spent stalled on a full NIC tx queue. */
+    Tick txQueueStall = 0;
+
+    /** Per-destination message counts (Figure 4 density matrix row). */
+    std::vector<std::uint64_t> sentTo;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_AM_COUNTERS_HH_

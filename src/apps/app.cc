@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Out-of-line anchor for the App interface (keeps the vtable in one
+ * translation unit).
+ */
+
+#include "apps/app.hh"
+
+namespace nowcluster {
+
+// All members are currently defined inline or in registry.cc; this
+// translation unit exists to anchor App's vtable and typeinfo.
+
+} // namespace nowcluster

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The benchmark-application interface: every program of the paper's
+ * suite (Table 3) implements this so the harness, benches, and tests
+ * can drive any of them uniformly.
+ */
+
+#ifndef NOWCLUSTER_APPS_APP_HH_
+#define NOWCLUSTER_APPS_APP_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "splitc/splitc.hh"
+
+namespace nowcluster {
+
+/**
+ * One SPMD benchmark application. Lifecycle: setup() once, then run()
+ * is invoked on every processor's fiber, then validate() once.
+ */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    /** Paper name, e.g. "EM3D(read)". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Build inputs.
+     * @param nprocs Number of processors the run will use.
+     * @param scale  Input-size multiplier (1.0 = default bench size).
+     * @param seed   Deterministic input seed.
+     */
+    virtual void setup(int nprocs, double scale, std::uint64_t seed) = 0;
+
+    /**
+     * Register application-specific Active Message handlers (and any
+     * other pre-run plumbing). Called once, after the runtime is
+     * constructed and before run().
+     */
+    virtual void prepare(SplitCRuntime &rt) { (void)rt; }
+
+    /** SPMD body; called once per processor on its fiber. */
+    virtual void run(SplitC &sc) = 0;
+
+    /** Check output correctness after a completed (non-drained) run. */
+    virtual bool validate() const = 0;
+
+    /** Human-readable description of the input set. */
+    virtual std::string inputDesc() const = 0;
+};
+
+/** Registry key names in paper order (Table 3). */
+const std::vector<std::string> &appKeys();
+
+/** Instantiate an application by registry key (fatal on unknown key). */
+std::unique_ptr<App> makeApp(const std::string &key);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_APPS_APP_HH_

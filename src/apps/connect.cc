@@ -1,0 +1,302 @@
+#include "apps/connect.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace nowcluster {
+
+namespace {
+
+constexpr double kEdgeProb = 0.30;
+constexpr Tick kLocalPerVertex = 2500;
+constexpr Tick kMergePerLabel = 8000;
+
+/** Union-find over arbitrary 64-bit labels. */
+class LabelUf
+{
+  public:
+    std::int64_t
+    find(std::int64_t x)
+    {
+        auto it = parent_.find(x);
+        if (it == parent_.end()) {
+            parent_.emplace(x, x);
+            return x;
+        }
+        std::int64_t root = it->second;
+        if (root == x)
+            return x;
+        root = find(root);
+        parent_[x] = root;
+        return root;
+    }
+
+    void
+    unite(std::int64_t a, std::int64_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[std::max(a, b)] = std::min(a, b);
+    }
+
+  private:
+    std::unordered_map<std::int64_t, std::int64_t> parent_;
+};
+
+std::int64_t
+encodeLabel(int proc, int root)
+{
+    return (static_cast<std::int64_t>(proc) << 32) | root;
+}
+
+/** Flat union-find over a local index space. */
+struct FlatUf
+{
+    explicit FlatUf(int n) : parent(n)
+    {
+        for (int i = 0; i < n; ++i)
+            parent[i] = i;
+    }
+
+    int
+    find(int x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void
+    unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent[std::max(a, b)] = std::min(a, b);
+    }
+
+    std::vector<int> parent;
+};
+
+} // namespace
+
+void
+ConnectApp::setup(int nprocs, double scale, std::uint64_t seed)
+{
+    nprocs_ = nprocs;
+    width_ = std::max(16, static_cast<int>(96 * std::sqrt(scale)));
+    int rows = std::max(
+        2, static_cast<int>(256 * std::sqrt(scale)) / nprocs);
+    nodes_.assign(nprocs, NodeState{});
+    for (int p = 0; p < nprocs; ++p) {
+        Rng rng(seed, 31000 + p);
+        NodeState &n = nodes_[p];
+        n.rowBase = p * rows;
+        n.rows = rows;
+        n.right.resize(static_cast<std::size_t>(rows) * width_);
+        n.down.resize(static_cast<std::size_t>(rows) * width_);
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < width_; ++c) {
+                n.right[r * width_ + c] =
+                    (c + 1 < width_) && rng.chance(kEdgeProb);
+                bool last_global_row =
+                    (p == nprocs - 1) && (r == rows - 1);
+                n.down[r * width_ + c] =
+                    !last_global_row && rng.chance(kEdgeProb);
+            }
+        }
+        n.topLabels.assign(width_, 0);
+        n.botLabels.assign(width_, 0);
+    }
+
+    // Serial reference count over the full mesh.
+    const int total_rows = rows * nprocs;
+    FlatUf uf(total_rows * width_);
+    for (int p = 0; p < nprocs; ++p) {
+        const NodeState &n = nodes_[p];
+        for (int r = 0; r < n.rows; ++r) {
+            int gr = n.rowBase + r;
+            for (int c = 0; c < width_; ++c) {
+                if (n.right[r * width_ + c])
+                    uf.unite(gr * width_ + c, gr * width_ + c + 1);
+                if (n.down[r * width_ + c])
+                    uf.unite(gr * width_ + c, (gr + 1) * width_ + c);
+            }
+        }
+    }
+    std::unordered_set<int> roots;
+    for (int v = 0; v < total_rows * width_; ++v)
+        roots.insert(uf.find(v));
+    serialComponents_ = static_cast<std::int64_t>(roots.size());
+}
+
+void
+ConnectApp::run(SplitC &sc)
+{
+    const int me = sc.myProc();
+    const int p = sc.procs();
+    NodeState &self = nodes_[me];
+    const int w = width_;
+    const int rows = self.rows;
+
+    // ---- Local phase: collapse the strip's subgraph ------------------
+    FlatUf uf(rows * w);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < w; ++c) {
+            if (self.right[r * w + c])
+                uf.unite(r * w + c, r * w + c + 1);
+            if (r + 1 < rows && self.down[r * w + c])
+                uf.unite(r * w + c, (r + 1) * w + c);
+        }
+    }
+    sc.compute(kLocalPerVertex * rows * w);
+
+    // Span summary: top/bottom row labels + interior component count.
+    for (int c = 0; c < w; ++c) {
+        self.topLabels[c] = encodeLabel(me, uf.find(c));
+        self.botLabels[c] = encodeLabel(me, uf.find((rows - 1) * w + c));
+    }
+    std::unordered_set<int> boundary_roots;
+    for (int c = 0; c < w; ++c) {
+        boundary_roots.insert(uf.find(c));
+        boundary_roots.insert(uf.find((rows - 1) * w + c));
+    }
+    std::unordered_set<int> all_roots;
+    for (int v = 0; v < rows * w; ++v)
+        all_roots.insert(uf.find(v));
+    self.interior = 0;
+    for (int root : all_roots) {
+        if (!boundary_roots.count(root))
+            ++self.interior;
+    }
+    sc.barrier();
+
+    // ---- Global phase: successive pairwise span merges ---------------
+    for (int step = 1; step < p; step *= 2) {
+        if (me % (2 * step) == 0 && me + step < p) {
+            const int partner = me + step;
+            const int seam_owner = partner - 1;
+            NodeState &q = nodes_[partner];
+
+            // Pull the partner span's summary with blocking reads,
+            // two labels per 16-byte read.
+            struct Label2
+            {
+                std::int64_t a, b;
+            };
+            std::vector<std::int64_t> q_top(w), q_bot(w);
+            for (int c = 0; c + 1 < w; c += 2) {
+                Label2 two = sc.read(gptr(
+                    partner,
+                    reinterpret_cast<Label2 *>(&q.topLabels[c])));
+                q_top[c] = two.a;
+                q_top[c + 1] = two.b;
+            }
+            for (int c = 0; c + 1 < w; c += 2) {
+                Label2 two = sc.read(gptr(
+                    partner,
+                    reinterpret_cast<Label2 *>(&q.botLabels[c])));
+                q_bot[c] = two.a;
+                q_bot[c + 1] = two.b;
+            }
+            if (w % 2) {
+                q_top[w - 1] =
+                    sc.read(gptr(partner, &q.topLabels[w - 1]));
+                q_bot[w - 1] =
+                    sc.read(gptr(partner, &q.botLabels[w - 1]));
+            }
+            std::int64_t q_interior =
+                sc.read(gptr(partner, &q.interior));
+
+            // Seam edges live in the strip just above the partner
+            // span; they are single bytes, so read eight per message.
+            NodeState &s = nodes_[seam_owner];
+            std::vector<std::uint8_t> seam(w);
+            int c8 = 0;
+            for (; c8 + 8 <= w; c8 += 8) {
+                auto eight = sc.read(gptr(
+                    seam_owner,
+                    reinterpret_cast<std::uint64_t *>(
+                        &s.down[(s.rows - 1) * w + c8])));
+                std::memcpy(&seam[c8], &eight, 8);
+            }
+            for (; c8 < w; ++c8)
+                seam[c8] = sc.read(gptr(
+                    seam_owner, &s.down[(s.rows - 1) * w + c8]));
+
+            // Merge the label spaces across the seam.
+            LabelUf merged;
+            for (int c = 0; c < w; ++c) {
+                merged.find(self.topLabels[c]);
+                merged.find(self.botLabels[c]);
+                merged.find(q_top[c]);
+                merged.find(q_bot[c]);
+            }
+            for (int c = 0; c < w; ++c) {
+                if (seam[c])
+                    merged.unite(self.botLabels[c], q_top[c]);
+            }
+            sc.compute(kMergePerLabel * 4 * w);
+
+            // Components that no longer touch the merged span's top or
+            // bottom row become interior.
+            std::unordered_set<std::int64_t> old_roots, surviving;
+            for (int c = 0; c < w; ++c) {
+                old_roots.insert(merged.find(self.topLabels[c]));
+                old_roots.insert(merged.find(self.botLabels[c]));
+                old_roots.insert(merged.find(q_top[c]));
+                old_roots.insert(merged.find(q_bot[c]));
+            }
+            for (int c = 0; c < w; ++c) {
+                surviving.insert(merged.find(self.topLabels[c]));
+                surviving.insert(merged.find(q_bot[c]));
+            }
+            std::int64_t newly_interior = 0;
+            for (std::int64_t root : old_roots) {
+                if (!surviving.count(root))
+                    ++newly_interior;
+            }
+            self.interior += q_interior + newly_interior;
+            for (int c = 0; c < w; ++c) {
+                self.topLabels[c] = merged.find(self.topLabels[c]);
+                self.botLabels[c] = merged.find(q_bot[c]);
+            }
+        }
+        sc.barrier();
+    }
+
+    if (me == 0) {
+        std::unordered_set<std::int64_t> roots(self.topLabels.begin(),
+                                               self.topLabels.end());
+        roots.insert(self.botLabels.begin(), self.botLabels.end());
+        self.finalComponents =
+            self.interior + static_cast<std::int64_t>(roots.size());
+    }
+    sc.barrier();
+}
+
+bool
+ConnectApp::validate() const
+{
+    return nodes_[0].finalComponents == serialComponents_;
+}
+
+std::string
+ConnectApp::inputDesc() const
+{
+    int total_rows = nodes_.empty() ? 0 : nodes_[0].rows * nprocs_;
+    return std::to_string(static_cast<long long>(total_rows) * width_) +
+           "-node 2-D mesh (" + std::to_string(width_) + "x" +
+           std::to_string(total_rows) + "), 30% connected";
+}
+
+} // namespace nowcluster

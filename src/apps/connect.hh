@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Connected components (Table 3): a 2-D mesh graph with 30% of edges
+ * present is spread across processors in row strips. Each processor
+ * collapses its local subgraph with union-find; a global phase then
+ * successively merges components between neighboring processors using
+ * blocking reads of boundary-row summaries (the paper's read-heavy,
+ * short-message pattern).
+ */
+
+#ifndef NOWCLUSTER_APPS_CONNECT_HH_
+#define NOWCLUSTER_APPS_CONNECT_HH_
+
+#include "apps/app.hh"
+
+namespace nowcluster {
+
+class ConnectApp : public App
+{
+  public:
+    std::string name() const override { return "Connect"; }
+    void setup(int nprocs, double scale, std::uint64_t seed) override;
+    void run(SplitC &sc) override;
+    bool validate() const override;
+    std::string inputDesc() const override;
+
+  private:
+    /**
+     * A span summary: global labels of the span's top and bottom rows
+     * plus the count of components entirely interior to the span.
+     * Global labels encode (proc << 32 | local root).
+     */
+    struct NodeState
+    {
+        /** Row-major local grid rows [rowBase, rowBase+rows). */
+        int rowBase = 0;
+        int rows = 0;
+        /** Right-edge presence: edge (r,c)-(r,c+1). */
+        std::vector<std::uint8_t> right;
+        /** Down-edge presence: edge (r,c)-(r+1,c); includes the seam
+         *  row to the next strip. */
+        std::vector<std::uint8_t> down;
+        /** Current span summary owned by this proc (when leader). */
+        std::vector<std::int64_t> topLabels, botLabels;
+        std::int64_t interior = 0;
+        std::int64_t finalComponents = -1; ///< Set on proc 0.
+    };
+
+    int nprocs_ = 0;
+    int width_ = 0;
+    std::vector<NodeState> nodes_;
+    std::int64_t serialComponents_ = -1;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_APPS_CONNECT_HH_

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * EM3D (Table 3): kernel of a 3-D electromagnetic wave propagation
+ * solver over an irregular bipartite graph of E and H field nodes.
+ *
+ * Two complementary variants, as in the paper:
+ *  - write: bulk-synchronous; producers push boundary values into
+ *    consumer-side ghost slots with pipelined writes.
+ *  - read: consumers pull remote values with blocking reads; the
+ *    paper's worst-case latency application.
+ *
+ * Both compute identical values, validated against a serial solve.
+ */
+
+#ifndef NOWCLUSTER_APPS_EM3D_HH_
+#define NOWCLUSTER_APPS_EM3D_HH_
+
+#include "apps/app.hh"
+
+namespace nowcluster {
+
+class Em3dApp : public App
+{
+  public:
+    /** @param write_based true: EM3D(write); false: EM3D(read). */
+    explicit Em3dApp(bool write_based) : writeBased_(write_based) {}
+
+    std::string
+    name() const override
+    {
+        return writeBased_ ? "EM3D(write)" : "EM3D(read)";
+    }
+
+    void setup(int nprocs, double scale, std::uint64_t seed) override;
+    void run(SplitC &sc) override;
+    bool validate() const override;
+    std::string inputDesc() const override;
+
+  private:
+    /** One directed dependence edge of a field node. */
+    struct Edge
+    {
+        int srcProc;   ///< Owner of the source value.
+        int srcIdx;    ///< Index within the owner's opposite field.
+        double weight;
+        int ghostSlot; ///< Write variant: local ghost index; -1 local.
+    };
+
+    struct NodeState
+    {
+        std::vector<double> vE, vH;
+        std::vector<std::vector<Edge>> eEdges; ///< E <- H dependences.
+        std::vector<std::vector<Edge>> hEdges; ///< H <- E dependences.
+        std::vector<double> ghostH, ghostE;    ///< Consumer-side copies.
+        /** Producer push lists: (local source idx, consumer, slot). */
+        struct Push
+        {
+            int srcIdx;
+            int dstProc;
+            int dstSlot;
+        };
+        std::vector<Push> pushH, pushE;
+    };
+
+    void computePhase(SplitC &sc, bool e_phase);
+    void pushGhosts(SplitC &sc, bool h_values);
+
+    bool writeBased_;
+    int nprocs_ = 0;
+    int nodesPerProc_ = 0;
+    int degree_ = 0;
+    int steps_ = 0;
+    double remoteFrac_ = 0.4;
+    std::vector<NodeState> nodes_;
+    std::vector<std::vector<double>> refE_, refH_; ///< Serial reference.
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_APPS_EM3D_HH_

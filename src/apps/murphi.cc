@@ -1,0 +1,203 @@
+#include "apps/murphi.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+namespace {
+
+constexpr Tick kExpandState = usec(150);
+constexpr Tick kPerSuccessor = usec(15);
+constexpr Tick kConsumeState = usec(0.5);
+
+} // namespace
+
+void
+MurphiApp::setup(int nprocs, double scale, std::uint64_t seed)
+{
+    (void)seed; // The state space is fully determined by the protocol.
+    nprocs_ = nprocs;
+    values_ = std::clamp(static_cast<int>(std::lround(8 * scale)), 2, 15);
+    protocol_ = std::make_unique<SciProtocol>(values_);
+    serial_ = exploreSerial(*protocol_);
+
+    nodes_.assign(nprocs, NodeState{});
+    for (int p = 0; p < nprocs; ++p) {
+        NodeState &n = nodes_[p];
+        n.inbox.assign(nprocs, std::vector<MurState>(
+            static_cast<std::size_t>(kSlots) * kBatch));
+        n.slotBusy.assign(nprocs, {});
+        n.outBatch.resize(nprocs);
+    }
+    totalExplored_ = -1;
+    parallelInvariant_ = true;
+}
+
+void
+MurphiApp::prepare(SplitCRuntime &rt)
+{
+    // The batch arrival handler consumes its states on the spot: the
+    // AM-level StoreAck (sent after this handler runs) then doubles as
+    // the slot-free signal, so a receiver parked in a reduction still
+    // drains traffic and nobody deadlocks on flow control.
+    hArrive_ = rt.cluster().registerHandler(
+        [this](AmNode &self, Packet &pkt) {
+            NodeState &n = nodes_[self.id()];
+            auto slot = static_cast<std::size_t>(pkt.args[0]);
+            auto count = pkt.bulkTotal / sizeof(MurState);
+            const MurState *states =
+                &n.inbox[pkt.src][slot * kBatch];
+            for (std::size_t i = 0; i < count; ++i)
+                enqueueLocal(n, states[i]);
+            ++n.batchesRecv;
+            self.compute(kConsumeState * static_cast<Tick>(count));
+        });
+}
+
+void
+MurphiApp::enqueueLocal(NodeState &self, const MurState &s)
+{
+    if (self.seen.insert(s).second) {
+        ++self.statesOwned;
+        if (!protocol_->invariant(s))
+            self.invariantHolds = false;
+        self.queue.push_back(s);
+    }
+}
+
+void
+MurphiApp::flushBatch(SplitC &sc, int dst)
+{
+    NodeState &self = nodes_[sc.myProc()];
+    auto &batch = self.outBatch[dst];
+    if (batch.empty())
+        return;
+    // Find (or wait for) a free transfer slot to the destination.
+    int slot = -1;
+    sc.am().pollUntil([&] {
+        for (int s = 0; s < kSlots; ++s) {
+            if (!self.slotBusy[dst][s]) {
+                slot = s;
+                return true;
+            }
+        }
+        return false;
+    });
+    if (slot < 0)
+        return; // Draining.
+    self.slotBusy[dst][slot] = 1;
+    ++self.batchesSent;
+    MurState *dst_buf =
+        &nodes_[dst].inbox[sc.myProc()]
+                   [static_cast<std::size_t>(slot) * kBatch];
+    auto *busy = &self.slotBusy[dst][slot];
+    sc.am().store(dst, dst_buf, batch.data(),
+                  batch.size() * sizeof(MurState), hArrive_,
+                  static_cast<Word>(slot), 0,
+                  [busy] { *busy = 0; });
+    batch.clear();
+}
+
+void
+MurphiApp::processQueue(SplitC &sc)
+{
+    NodeState &self = nodes_[sc.myProc()];
+    std::vector<MurState> succ;
+    while (!self.queue.empty() && !sc.draining()) {
+        MurState s = self.queue.front();
+        self.queue.pop_front();
+        succ.clear();
+        protocol_->successors(s, succ);
+        sc.compute(kExpandState +
+                   kPerSuccessor * static_cast<Tick>(succ.size()));
+        for (const MurState &n : succ) {
+            int owner = ownerOf(n);
+            if (owner == sc.myProc()) {
+                enqueueLocal(self, n);
+            } else {
+                self.outBatch[owner].push_back(n);
+                if (static_cast<int>(self.outBatch[owner].size()) >=
+                    kBatch)
+                    flushBatch(sc, owner);
+            }
+        }
+        sc.poll();
+    }
+}
+
+void
+MurphiApp::run(SplitC &sc)
+{
+    const int me = sc.myProc();
+    NodeState &self = nodes_[me];
+
+    if (me == 0) {
+        MurState init = protocol_->initialState();
+        int owner = ownerOf(init);
+        if (owner == 0) {
+            enqueueLocal(self, init);
+        } else {
+            self.outBatch[owner].push_back(init);
+            flushBatch(sc, owner);
+        }
+    }
+
+    for (;;) {
+        processQueue(sc);
+        sc.poll();
+        if (!self.queue.empty())
+            continue;
+        for (int dst = 0; dst < nprocs_; ++dst)
+            flushBatch(sc, dst);
+        sc.storeSync();
+        sc.poll();
+        if (!self.queue.empty())
+            continue;
+
+        // Quiescence detection: batch counts must balance globally and
+        // nobody may hold queued work. All processors execute the same
+        // reduction sequence (the decisions below depend only on the
+        // globally agreed values).
+        std::int64_t g_sent = sc.allReduceAdd(self.batchesSent);
+        std::int64_t g_recv = sc.allReduceAdd(self.batchesRecv);
+        if (sc.draining())
+            return;
+        if (g_sent == g_recv) {
+            sc.poll();
+            std::int64_t pending = self.queue.empty() ? 0 : 1;
+            if (sc.allReduceAdd(pending) == 0)
+                break;
+        }
+        if (sc.draining())
+            return;
+    }
+
+    std::int64_t total = sc.allReduceAdd(self.statesOwned);
+    std::int64_t bad =
+        sc.allReduceAdd(std::int64_t(self.invariantHolds ? 0 : 1));
+    if (me == 0) {
+        totalExplored_ = total;
+        parallelInvariant_ = bad == 0;
+    }
+    sc.barrier();
+}
+
+bool
+MurphiApp::validate() const
+{
+    return totalExplored_ == static_cast<std::int64_t>(serial_.states) &&
+           parallelInvariant_ == serial_.invariantHolds;
+}
+
+std::string
+MurphiApp::inputDesc() const
+{
+    return "SCI protocol, 2 procs, 1 line, values=" +
+           std::to_string(values_) + " (" +
+           std::to_string(serial_.states) + " states)";
+}
+
+} // namespace nowcluster

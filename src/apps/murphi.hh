@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Parallel Mur-phi (Table 3): distributed explicit-state verification
+ * of the SCI coherence protocol. A hash function maps states to owning
+ * processors; newly discovered states are batched and shipped to their
+ * owners in bulk messages (Table 4: ~50% bulk, the other half being
+ * the AM-level acks), with slot-based flow control per processor pair.
+ * Global termination is detected with message-count reductions.
+ */
+
+#ifndef NOWCLUSTER_APPS_MURPHI_HH_
+#define NOWCLUSTER_APPS_MURPHI_HH_
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "apps/app.hh"
+#include "mur/checker.hh"
+#include "mur/sci.hh"
+
+namespace nowcluster {
+
+class MurphiApp : public App
+{
+  public:
+    std::string name() const override { return "Murphi"; }
+    void setup(int nprocs, double scale, std::uint64_t seed) override;
+    void prepare(SplitCRuntime &rt) override;
+    void run(SplitC &sc) override;
+    bool validate() const override;
+    std::string inputDesc() const override;
+
+  private:
+    static constexpr int kBatch = 24; ///< States per bulk message.
+    static constexpr int kSlots = 4;  ///< In-flight batches per pair.
+
+    struct NodeState
+    {
+        /** Receive buffers: [src][slot * kBatch + i]. The arrival
+         *  handler consumes states immediately, so a slot is reusable
+         *  as soon as the sender sees the store's ack. */
+        std::vector<std::vector<MurState>> inbox;
+        std::unordered_set<MurState, MurStateHash> seen;
+        std::deque<MurState> queue;
+        /** Sender side: per destination, slot-busy flags (cleared by
+         *  the per-store ack callback). */
+        std::vector<std::array<std::uint8_t, kSlots>> slotBusy;
+        /** Outgoing partial batches. */
+        std::vector<std::vector<MurState>> outBatch;
+        std::int64_t batchesSent = 0;
+        std::int64_t batchesRecv = 0;
+        bool invariantHolds = true;
+        std::int64_t statesOwned = 0;
+    };
+
+    int
+    ownerOf(const MurState &s) const
+    {
+        return static_cast<int>((s.hash() >> 32) %
+                                static_cast<std::uint64_t>(nprocs_));
+    }
+
+    void enqueueLocal(NodeState &self, const MurState &s);
+    void flushBatch(SplitC &sc, int dst);
+    void processQueue(SplitC &sc);
+
+    int nprocs_ = 0;
+    int values_ = 6;
+    std::unique_ptr<SciProtocol> protocol_;
+    std::vector<NodeState> nodes_;
+    ExploreResult serial_;
+    std::int64_t totalExplored_ = -1;
+    bool parallelInvariant_ = true;
+
+    int hArrive_ = -1; ///< Batch-arrival handler (consumes states).
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_APPS_MURPHI_HH_

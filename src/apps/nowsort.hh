@@ -1,0 +1,67 @@
+/**
+ * @file
+ * NOW-sort (Table 3): two-pass disk-to-disk sort of 100-byte records.
+ * Phase 1 streams records off the read disk and ships them to their
+ * key-range owner with one-way bulk messages at the rate the disk
+ * delivers (communication fully overlapped with I/O). Phase 2 sorts
+ * locally and streams to the write disk. With one 5.5 MB/s disk per
+ * direction the app is disk-limited, which is why Figure 8 shows it
+ * insensitive to network bandwidth until the network is slower than a
+ * single disk.
+ */
+
+#ifndef NOWCLUSTER_APPS_NOWSORT_HH_
+#define NOWCLUSTER_APPS_NOWSORT_HH_
+
+#include <memory>
+
+#include "apps/app.hh"
+#include "disk/disk.hh"
+
+namespace nowcluster {
+
+class NowSortApp : public App
+{
+  public:
+    std::string name() const override { return "NOW-sort"; }
+    void setup(int nprocs, double scale, std::uint64_t seed) override;
+    void run(SplitC &sc) override;
+    bool validate() const override;
+    std::string inputDesc() const override;
+
+    /** The paper's record: a 4-byte key prefix + payload = 100 B. */
+    struct Record
+    {
+        std::uint32_t key;
+        std::uint8_t payload[96];
+    };
+    static_assert(sizeof(Record) == 100);
+
+  private:
+    static constexpr double kDiskMBps = 5.5;
+    static constexpr int kChunkRecords = 256; ///< Disk transfer unit.
+    static constexpr int kSendBatch = 64;     ///< ~6 KB bulk messages.
+
+    struct NodeState
+    {
+        std::vector<Record> input;   ///< "On the read disk".
+        std::vector<Record> recv;    ///< Region per source proc.
+        std::vector<std::int64_t> recvCount; ///< Used slots per source.
+        std::size_t received = 0;
+        std::unique_ptr<Disk> readDisk, writeDisk;
+        std::vector<Record> output;  ///< "On the write disk".
+    };
+
+    int destOf(std::uint32_t key) const;
+
+    int nprocs_ = 0;
+    int recordsPerProc_ = 0;
+    int regionCap_ = 0; ///< recv slots per (dst, src) pair.
+    std::vector<NodeState> nodes_;
+    std::uint64_t inputChecksum_ = 0;
+    std::uint64_t inputCount_ = 0;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_APPS_NOWSORT_HH_

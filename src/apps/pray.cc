@@ -1,0 +1,320 @@
+#include "apps/pray.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace nowcluster {
+
+namespace {
+
+constexpr Tick kNodeVisit = 7000;
+constexpr Tick kSphereTest = 6000;
+constexpr Tick kCacheHit = 80;
+constexpr int kMaxDepth = 8;
+constexpr int kLeafCap = 8;
+
+/** Ray / axis-aligned box overlap (slab test). */
+bool
+rayBox(double ox, double oy, double oz, double dx, double dy, double dz,
+       double cx, double cy, double cz, double half)
+{
+    double tmin = 0.0, tmax = 1e30;
+    const double o[3] = {ox, oy, oz};
+    const double d[3] = {dx, dy, dz};
+    const double c[3] = {cx, cy, cz};
+    for (int a = 0; a < 3; ++a) {
+        double lo = c[a] - half, hi = c[a] + half;
+        if (std::abs(d[a]) < 1e-12) {
+            if (o[a] < lo || o[a] > hi)
+                return false;
+            continue;
+        }
+        double t0 = (lo - o[a]) / d[a];
+        double t1 = (hi - o[a]) / d[a];
+        if (t0 > t1)
+            std::swap(t0, t1);
+        tmin = std::max(tmin, t0);
+        tmax = std::min(tmax, t1);
+        if (tmin > tmax)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+PRayApp::buildTree(const std::vector<int> &ids, double cx, double cy,
+                   double cz, double half, int depth)
+{
+    int id = static_cast<int>(tree_.size());
+    tree_.push_back(TreeNode{});
+    TreeNode &n = tree_.back();
+    n.cx = cx;
+    n.cy = cy;
+    n.cz = cz;
+    n.half = half;
+    for (int i = 0; i < 8; ++i) {
+        n.child[i] = -1;
+        n.sphere[i] = -1;
+    }
+    n.nSpheres = 0;
+
+    if (static_cast<int>(ids.size()) <= kLeafCap || depth >= kMaxDepth) {
+        n.isLeaf = 1;
+        n.nSpheres = std::min<int>(kLeafCap,
+                                   static_cast<int>(ids.size()));
+        for (int i = 0; i < n.nSpheres; ++i)
+            n.sphere[i] = ids[i];
+        return id;
+    }
+    n.isLeaf = 0;
+    double h = half / 2;
+    for (int oct = 0; oct < 8; ++oct) {
+        double ox = cx + ((oct & 1) ? h : -h);
+        double oy = cy + ((oct & 2) ? h : -h);
+        double oz = cz + ((oct & 4) ? h : -h);
+        std::vector<int> sub;
+        for (int sid : ids) {
+            const Sphere &s = spheres_[sid];
+            if (std::abs(s.cx - ox) <= h + s.r &&
+                std::abs(s.cy - oy) <= h + s.r &&
+                std::abs(s.cz - oz) <= h + s.r)
+                sub.push_back(sid);
+        }
+        if (!sub.empty()) {
+            int child = buildTree(sub, ox, oy, oz, h, depth + 1);
+            // tree_ may have reallocated; re-resolve the reference.
+            tree_[id].child[oct] = child;
+        }
+    }
+    return id;
+}
+
+void
+PRayApp::setup(int nprocs, double scale, std::uint64_t seed)
+{
+    nprocs_ = nprocs;
+    width_ = std::max(16, static_cast<int>(64 * std::sqrt(scale)));
+    height_ = std::max(12, static_cast<int>(48 * std::sqrt(scale)));
+    int n_spheres = std::max(32, static_cast<int>(256 * scale));
+
+    Rng rng(seed ^ 0x5151, 51000);
+    spheres_.clear();
+    for (int i = 0; i < n_spheres; ++i) {
+        Sphere s;
+        s.cx = rng.uniform(0.05, 0.95);
+        s.cy = rng.uniform(0.05, 0.95);
+        s.cz = rng.uniform(0.05, 0.95);
+        s.r = rng.uniform(0.02, 0.06);
+        s.colr = rng.uniform(0.3, 1.0);
+        s.colg = rng.uniform(0.3, 1.0);
+        s.colb = rng.uniform(0.3, 1.0);
+        spheres_.push_back(s);
+    }
+
+    tree_.clear();
+    std::vector<int> all(n_spheres);
+    for (int i = 0; i < n_spheres; ++i)
+        all[i] = i;
+    buildTree(all, 0.5, 0.5, 0.5, 0.62, 0);
+
+    // Distribute tree nodes and spheres round-robin across owners.
+    nodes_.assign(nprocs, NodeState{});
+    for (int p = 0; p < nprocs; ++p) {
+        nodes_[p].treeSlots.resize(tree_.size() / nprocs + 1);
+        nodes_[p].sphereSlots.resize(spheres_.size() / nprocs + 1);
+    }
+    for (std::size_t i = 0; i < tree_.size(); ++i)
+        nodes_[i % nprocs].treeSlots[i / nprocs] = tree_[i];
+    for (std::size_t i = 0; i < spheres_.size(); ++i)
+        nodes_[i % nprocs].sphereSlots[i / nprocs] = spheres_[i];
+
+    // Interleaved row ownership.
+    for (int p = 0; p < nprocs; ++p) {
+        int rows = (height_ - p + nprocs - 1) / nprocs;
+        nodes_[p].pixels.assign(
+            static_cast<std::size_t>(std::max(rows, 0)) * width_, 0.f);
+    }
+
+    // Serial reference render with identical arithmetic.
+    reference_.assign(static_cast<std::size_t>(width_) * height_, 0.f);
+    auto node_of = [this](int id) -> const TreeNode & {
+        return tree_[id];
+    };
+    auto sphere_of = [this](int id) -> const Sphere & {
+        return spheres_[id];
+    };
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            double px = (x + 0.5) / width_;
+            double py = (y + 0.5) / height_;
+            reference_[static_cast<std::size_t>(y) * width_ + x] =
+                static_cast<float>(traceRay(px, py, -1.5, 0, 0, 1,
+                                            node_of, sphere_of,
+                                            nullptr));
+        }
+    }
+}
+
+template <typename NodeFetch, typename SphereFetch>
+double
+PRayApp::traceRay(double ox, double oy, double oz, double dx, double dy,
+                  double dz, NodeFetch &&node_of, SphereFetch &&sphere_of,
+                  Tick *charge) const
+{
+    (void)charge;
+    double best_t = 1e30;
+    int best_id = -1;
+    std::vector<int> stack;
+    stack.push_back(0);
+    while (!stack.empty()) {
+        int id = stack.back();
+        stack.pop_back();
+        const TreeNode n = node_of(id);
+        if (!rayBox(ox, oy, oz, dx, dy, dz, n.cx, n.cy, n.cz, n.half))
+            continue;
+        if (n.isLeaf) {
+            for (int i = 0; i < n.nSpheres; ++i) {
+                const Sphere s = sphere_of(n.sphere[i]);
+                double lx = s.cx - ox, ly = s.cy - oy, lz = s.cz - oz;
+                double b = lx * dx + ly * dy + lz * dz;
+                double c = lx * lx + ly * ly + lz * lz - s.r * s.r;
+                double disc = b * b - c;
+                if (disc < 0)
+                    continue;
+                double t = b - std::sqrt(disc);
+                if (t > 1e-9 && t < best_t) {
+                    best_t = t;
+                    best_id = n.sphere[i];
+                }
+            }
+        } else {
+            for (int i = 0; i < 8; ++i) {
+                if (n.child[i] >= 0)
+                    stack.push_back(n.child[i]);
+            }
+        }
+    }
+    if (best_id < 0)
+        return 0.0;
+    const Sphere s = sphere_of(best_id);
+    double hx = ox + best_t * dx, hy = oy + best_t * dy,
+           hz = oz + best_t * dz;
+    double nx = (hx - s.cx) / s.r, ny = (hy - s.cy) / s.r,
+           nz = (hz - s.cz) / s.r;
+    const double il = 1.0 / std::sqrt(3.0);
+    double lambert = std::max(0.0, nx * il + ny * il - nz * il);
+    return (0.1 + 0.9 * lambert) * (s.colr + s.colg + s.colb) / 3.0;
+}
+
+PRayApp::TreeNode
+PRayApp::fetchNode(SplitC &sc, int id,
+                   std::vector<std::pair<int, TreeNode>> &cache)
+{
+    int owner = id % nprocs_;
+    if (owner == sc.myProc()) {
+        sc.compute(kCacheHit);
+        return nodes_[owner].treeSlots[id / nprocs_];
+    }
+    std::size_t slot = static_cast<std::size_t>(id) % cache.size();
+    if (cache[slot].first != id) {
+        TreeNode n;
+        sc.readBulk(gptr(owner, &nodes_[owner].treeSlots[id / nprocs_]),
+                    &n, 1);
+        cache[slot] = {id, n};
+    } else {
+        sc.compute(kCacheHit);
+    }
+    return cache[slot].second;
+}
+
+PRayApp::Sphere
+PRayApp::fetchSphere(SplitC &sc, int id,
+                     std::vector<std::pair<int, Sphere>> &cache)
+{
+    int owner = id % nprocs_;
+    if (owner == sc.myProc()) {
+        sc.compute(kCacheHit);
+        return nodes_[owner].sphereSlots[id / nprocs_];
+    }
+    std::size_t slot = static_cast<std::size_t>(id) % cache.size();
+    if (cache[slot].first != id) {
+        Sphere s;
+        sc.readBulk(
+            gptr(owner, &nodes_[owner].sphereSlots[id / nprocs_]), &s,
+            1);
+        cache[slot] = {id, s};
+    } else {
+        sc.compute(kCacheHit);
+    }
+    return cache[slot].second;
+}
+
+void
+PRayApp::run(SplitC &sc)
+{
+    const int me = sc.myProc();
+    const int p = sc.procs();
+    NodeState &self = nodes_[me];
+
+    std::vector<std::pair<int, TreeNode>> node_cache(
+        kCacheNodes, {-1, TreeNode{}});
+    std::vector<std::pair<int, Sphere>> sphere_cache(
+        kCacheSpheres, {-1, Sphere{}});
+
+    auto node_of = [&](int id) {
+        sc.compute(kNodeVisit);
+        return fetchNode(sc, id, node_cache);
+    };
+    auto sphere_of = [&](int id) {
+        sc.compute(kSphereTest);
+        return fetchSphere(sc, id, sphere_cache);
+    };
+
+    int row_out = 0;
+    for (int y = me; y < height_; y += p, ++row_out) {
+        for (int x = 0; x < width_; ++x) {
+            double px = (x + 0.5) / width_;
+            double py = (y + 0.5) / height_;
+            double v = traceRay(px, py, -1.5, 0, 0, 1, node_of,
+                                sphere_of, nullptr);
+            self.pixels[static_cast<std::size_t>(row_out) * width_ +
+                        x] = static_cast<float>(v);
+        }
+    }
+    sc.barrier();
+}
+
+bool
+PRayApp::validate() const
+{
+    for (int p = 0; p < nprocs_; ++p) {
+        int row_out = 0;
+        for (int y = p; y < height_; y += nprocs_, ++row_out) {
+            for (int x = 0; x < width_; ++x) {
+                float got =
+                    nodes_[p].pixels[static_cast<std::size_t>(row_out) *
+                                     width_ + x];
+                float want =
+                    reference_[static_cast<std::size_t>(y) * width_ +
+                               x];
+                if (got != want)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+PRayApp::inputDesc() const
+{
+    return std::to_string(width_) + "x" + std::to_string(height_) +
+           " image, " + std::to_string(spheres_.size()) + " spheres";
+}
+
+} // namespace nowcluster

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Radb (Table 3): the bulk-message restructuring of Radix sort. After
+ * the global histogram phase (whose scan vector travels as one bulk
+ * message per hop), each processor sends all keys bound for a
+ * destination as a single bulk message of (offset, key) pairs; the
+ * receiver scatters them locally.
+ */
+
+#ifndef NOWCLUSTER_APPS_RADB_HH_
+#define NOWCLUSTER_APPS_RADB_HH_
+
+#include "apps/app.hh"
+
+namespace nowcluster {
+
+class RadbApp : public App
+{
+  public:
+    std::string name() const override { return "Radb"; }
+    void setup(int nprocs, double scale, std::uint64_t seed) override;
+    void run(SplitC &sc) override;
+    bool validate() const override;
+    std::string inputDesc() const override;
+
+    static constexpr int kDigitBits = 8;
+    static constexpr int kRadix = 1 << kDigitBits;
+    static constexpr int kPasses = 2;
+
+  private:
+    struct NodeState
+    {
+        std::vector<std::uint32_t> keys;
+        std::vector<std::uint32_t> recv;
+        std::vector<std::int64_t> ringBuf;
+        std::int64_t ringFlag = 0;
+        /** Staging area for (offset, key) pairs, one region per src. */
+        std::vector<std::uint64_t> stage;
+        /** Pair count per source region; written by the sender. */
+        std::vector<std::int64_t> stageCount;
+        std::int64_t stageGen = 0; ///< Monotonic arrival counter.
+    };
+
+    int nprocs_ = 0;
+    int keysPerProc_ = 0;
+    int regionCap_ = 0;
+    std::vector<NodeState> nodes_;
+    std::vector<std::uint32_t> inputCopy_;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_APPS_RADB_HH_

@@ -1,0 +1,174 @@
+#include "apps/radix.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace nowcluster {
+
+namespace {
+
+// Local compute costs (ns). Tuned so the 32-node message interval
+// lands near Table 4's 6.1 us for Radix.
+constexpr Tick kHistPerKey = 25;
+constexpr Tick kScanPerBucket = 60;
+constexpr Tick kDistPerKey = 150;
+
+std::uint32_t
+digitOf(std::uint32_t key, int pass)
+{
+    return (key >> (pass * RadixApp::kDigitBits)) &
+           (RadixApp::kRadix - 1);
+}
+
+} // namespace
+
+void
+RadixApp::setup(int nprocs, double scale, std::uint64_t seed)
+{
+    nprocs_ = nprocs;
+    keysPerProc_ = std::max(64, static_cast<int>(131072 * scale) / nprocs);
+    nodes_.assign(nprocs, NodeState{});
+    inputCopy_.clear();
+    for (int p = 0; p < nprocs; ++p) {
+        Rng rng(seed, 7000 + p);
+        NodeState &n = nodes_[p];
+        n.keys.resize(keysPerProc_);
+        // Keys use kPasses * kDigitBits significant bits so the sort
+        // is complete after kPasses passes (the paper's 32-bit keys
+        // take two 16-bit passes; we scale both down together).
+        for (auto &k : n.keys)
+            k = static_cast<std::uint32_t>(
+                rng.below(1u << (kPasses * kDigitBits)));
+        n.recv.assign(keysPerProc_, 0);
+        n.ringBuf.assign(kRadix, 0);
+        inputCopy_.insert(inputCopy_.end(), n.keys.begin(), n.keys.end());
+    }
+}
+
+void
+RadixApp::run(SplitC &sc)
+{
+    const int me = sc.myProc();
+    const int p = sc.procs();
+    const std::int64_t big_k = keysPerProc_;
+    NodeState &self = nodes_[me];
+
+    std::vector<std::int64_t> local(kRadix);
+    std::vector<std::int64_t> prefix_below(kRadix); // Sum over procs < me.
+    std::vector<std::int64_t> totals(kRadix);
+    std::vector<std::int64_t> offset(kRadix);
+
+    for (int pass = 0; pass < kPasses; ++pass) {
+        // ---- Phase 1: local histogram --------------------------------
+        std::fill(local.begin(), local.end(), 0);
+        for (std::uint32_t k : self.keys)
+            ++local[digitOf(k, pass)];
+        sc.compute(kHistPerKey * big_k);
+
+        // ---- Phase 2: global histogram (pipelined cyclic shift) ------
+        // The scan vector is forwarded in bucket chunks so hop h+1 can
+        // start while hop h is still streaming ("a kind of pipelined
+        // cyclic shift"); the serial chain is still proportional to the
+        // number of processors, the effect Section 5.1 analyzes.
+        constexpr int kChunks = 16;
+        constexpr int kChunkBuckets = kRadix / kChunks;
+        static_assert(kRadix % kChunks == 0);
+
+        // Sweep 1: running per-bucket prefix travels 0 -> 1 -> ... P-1.
+        const std::int64_t s1 = (pass * 2) * kChunks;
+        const std::int64_t s2 = (pass * 2 + 1) * kChunks;
+        for (int c = 0; c < kChunks; ++c) {
+            const int lo = c * kChunkBuckets, hi = lo + kChunkBuckets;
+            if (me == 0) {
+                std::fill(prefix_below.begin() + lo,
+                          prefix_below.begin() + hi, 0);
+            } else {
+                sc.am().pollUntil(
+                    [&] { return self.ringFlag >= s1 + c + 1; });
+                std::copy(self.ringBuf.begin() + lo,
+                          self.ringBuf.begin() + hi,
+                          prefix_below.begin() + lo);
+            }
+            if (me + 1 < p) {
+                NodeState &next = nodes_[me + 1];
+                for (int b = lo; b < hi; ++b)
+                    sc.put(gptr(me + 1, &next.ringBuf[b]),
+                           prefix_below[b] + local[b]);
+                sc.compute(kScanPerBucket * kChunkBuckets);
+                sc.put(gptr(me + 1, &next.ringFlag), s1 + c + 1);
+                sc.sync();
+            }
+        }
+        // Sweep 2: totals travel P-1 -> 0 -> 1 -> ... -> P-2.
+        const int fwd = (me + 1) % p;
+        for (int c = 0; c < kChunks; ++c) {
+            const int lo = c * kChunkBuckets, hi = lo + kChunkBuckets;
+            if (me == p - 1) {
+                for (int b = lo; b < hi; ++b)
+                    totals[b] = prefix_below[b] + local[b];
+            } else {
+                sc.am().pollUntil(
+                    [&] { return self.ringFlag >= s2 + c + 1; });
+                std::copy(self.ringBuf.begin() + lo,
+                          self.ringBuf.begin() + hi,
+                          totals.begin() + lo);
+            }
+            if (fwd != p - 1) {
+                NodeState &next = nodes_[fwd];
+                for (int b = lo; b < hi; ++b)
+                    sc.put(gptr(fwd, &next.ringBuf[b]), totals[b]);
+                sc.compute(kScanPerBucket * kChunkBuckets);
+                sc.put(gptr(fwd, &next.ringFlag), s2 + c + 1);
+                sc.sync();
+            }
+        }
+        // Global starting offset of each bucket.
+        std::int64_t acc = 0;
+        for (int b = 0; b < kRadix; ++b) {
+            offset[b] = acc + prefix_below[b];
+            acc += totals[b];
+        }
+
+        // ---- Phase 3: distribution (per-key remote writes) -----------
+        for (std::uint32_t k : self.keys) {
+            std::uint32_t b = digitOf(k, pass);
+            std::int64_t g = offset[b]++;
+            int dst = static_cast<int>(g / big_k);
+            std::int64_t off = g % big_k;
+            sc.compute(kDistPerKey);
+            sc.put(gptr(dst, &nodes_[dst].recv[off]), k);
+        }
+        sc.sync();
+        sc.barrier();
+        self.keys.swap(self.recv);
+        sc.barrier();
+    }
+}
+
+bool
+RadixApp::validate() const
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(inputCopy_.size());
+    for (const NodeState &n : nodes_)
+        out.insert(out.end(), n.keys.begin(), n.keys.end());
+    if (out.size() != inputCopy_.size())
+        return false;
+    if (!std::is_sorted(out.begin(), out.end()))
+        return false;
+    std::vector<std::uint32_t> in = inputCopy_;
+    std::sort(in.begin(), in.end());
+    return in == out;
+}
+
+std::string
+RadixApp::inputDesc() const
+{
+    return std::to_string(static_cast<long long>(nprocs_) *
+                          keysPerProc_) +
+           " 16-bit keys (" + std::to_string(keysPerProc_) + "/proc)";
+}
+
+} // namespace nowcluster

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Radix sort (Table 3): sorts 32-bit keys spread over the processors
+ * using short pipelined writes. Two iterations of three phases: local
+ * histogram, global-rank construction via a pipelined cyclic shift
+ * (the serial chain proportional to radix * P that makes Radix
+ * hypersensitive to overhead at 32 nodes), and per-key distribution.
+ */
+
+#ifndef NOWCLUSTER_APPS_RADIX_HH_
+#define NOWCLUSTER_APPS_RADIX_HH_
+
+#include "apps/app.hh"
+
+namespace nowcluster {
+
+class RadixApp : public App
+{
+  public:
+    std::string name() const override { return "Radix"; }
+    void setup(int nprocs, double scale, std::uint64_t seed) override;
+    void run(SplitC &sc) override;
+    bool validate() const override;
+    std::string inputDesc() const override;
+
+    /** Digit width: 8 bits, two passes over 16-bit keys. */
+    static constexpr int kDigitBits = 8;
+    static constexpr int kRadix = 1 << kDigitBits;
+    static constexpr int kPasses = 2;
+
+  private:
+    struct NodeState
+    {
+        std::vector<std::uint32_t> keys;     ///< Current keys.
+        std::vector<std::uint32_t> recv;     ///< Distribution target.
+        std::vector<std::int64_t> ringBuf;   ///< Incoming scan vector.
+        std::int64_t ringFlag = 0;           ///< Scan-hop generation.
+    };
+
+    int nprocs_ = 0;
+    int keysPerProc_ = 0;
+    std::vector<NodeState> nodes_;
+    std::vector<std::uint32_t> inputCopy_; ///< For validation.
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_APPS_RADIX_HH_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The application registry: key -> factory, in Table 3 order.
+ */
+
+#include "apps/app.hh"
+
+#include "apps/barnes.hh"
+#include "apps/connect.hh"
+#include "apps/em3d.hh"
+#include "apps/murphi.hh"
+#include "apps/nowsort.hh"
+#include "apps/pray.hh"
+#include "apps/radb.hh"
+#include "apps/radix.hh"
+#include "apps/sample.hh"
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+const std::vector<std::string> &
+appKeys()
+{
+    static const std::vector<std::string> keys = {
+        "radix",   "em3d-write", "em3d-read", "sample",  "barnes",
+        "pray",    "murphi",     "connect",   "nowsort", "radb",
+    };
+    return keys;
+}
+
+std::unique_ptr<App>
+makeApp(const std::string &key)
+{
+    if (key == "radix")
+        return std::make_unique<RadixApp>();
+    if (key == "em3d-write")
+        return std::make_unique<Em3dApp>(true);
+    if (key == "em3d-read")
+        return std::make_unique<Em3dApp>(false);
+    if (key == "sample")
+        return std::make_unique<SampleApp>();
+    if (key == "barnes")
+        return std::make_unique<BarnesApp>();
+    if (key == "pray")
+        return std::make_unique<PRayApp>();
+    if (key == "murphi")
+        return std::make_unique<MurphiApp>();
+    if (key == "connect")
+        return std::make_unique<ConnectApp>();
+    if (key == "nowsort")
+        return std::make_unique<NowSortApp>();
+    if (key == "radb")
+        return std::make_unique<RadbApp>();
+    fatal("unknown application '%s'", key.c_str());
+}
+
+} // namespace nowcluster

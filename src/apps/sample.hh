@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sample sort (Table 3): probabilistic sort of 32-bit keys. Splitters
+ * are chosen from a sample and broadcast; every processor distributes
+ * its keys to the owning bucket with short writes (the potentially
+ * unbalanced all-to-all of Figure 4d), then radix-sorts its bucket
+ * locally.
+ */
+
+#ifndef NOWCLUSTER_APPS_SAMPLE_HH_
+#define NOWCLUSTER_APPS_SAMPLE_HH_
+
+#include "apps/app.hh"
+
+namespace nowcluster {
+
+class SampleApp : public App
+{
+  public:
+    std::string name() const override { return "Sample"; }
+    void setup(int nprocs, double scale, std::uint64_t seed) override;
+    void run(SplitC &sc) override;
+    bool validate() const override;
+    std::string inputDesc() const override;
+
+  private:
+    static constexpr int kOversample = 32;
+
+    struct NodeState
+    {
+        std::vector<std::uint32_t> keys;
+        std::vector<std::uint32_t> recv;   ///< Distribution target.
+        std::int64_t recvTail = 0;         ///< fetch-add allocation.
+        std::vector<std::uint32_t> sample; ///< Root-side sample pool.
+        std::int64_t sampleTail = 0;
+        std::size_t sorted = 0;            ///< Final key count.
+    };
+
+    int nprocs_ = 0;
+    int keysPerProc_ = 0;
+    std::vector<NodeState> nodes_;
+    std::vector<std::uint32_t> inputCopy_;
+    std::vector<std::uint32_t> splitters_; ///< Shared after bcast.
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_APPS_SAMPLE_HH_

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small statistics accumulators used throughout the instrumentation layer.
+ */
+
+#ifndef NOWCLUSTER_BASE_ACCUM_HH_
+#define NOWCLUSTER_BASE_ACCUM_HH_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace nowcluster {
+
+/** Running count / sum / min / max / mean / variance accumulator. */
+class Accum
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        sumsq_ += x * x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const Accum &other)
+    {
+        n_ += other.n_;
+        sum_ += other.sum_;
+        sumsq_ += other.sumsq_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+    void
+    reset()
+    {
+        *this = Accum();
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+    }
+
+    double
+    variance() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        double m = mean();
+        return (sumsq_ - static_cast<double>(n_) * m * m) /
+               static_cast<double>(n_ - 1);
+    }
+
+    double stddev() const { return std::sqrt(std::max(0.0, variance())); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_BASE_ACCUM_HH_

@@ -1,0 +1,67 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+
+namespace nowcluster {
+
+namespace logging_detail {
+
+void
+message(const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+[[noreturn]] void
+exitMessage(const char *prefix, bool abort_process, const char *file,
+            int line, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "  [%s:%d]\n", file, line);
+    std::fflush(stderr);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace logging_detail
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    logging_detail::message("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    logging_detail::message("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    logging_detail::exitMessage("panic: ", true, file, line, fmt, ap);
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    logging_detail::exitMessage("fatal: ", false, file, line, fmt, ap);
+}
+
+} // namespace nowcluster

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something dubious happened but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef NOWCLUSTER_BASE_LOGGING_HH_
+#define NOWCLUSTER_BASE_LOGGING_HH_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace nowcluster {
+
+namespace logging_detail {
+
+[[noreturn]] void exitMessage(const char *prefix, bool abort_process,
+                              const char *file, int line,
+                              const char *fmt, va_list ap);
+
+void message(const char *prefix, const char *fmt, va_list ap);
+
+} // namespace logging_detail
+
+/** Print an "info:" message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a "warn:" message to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace nowcluster
+
+/** Abort: an internal invariant was violated (simulator bug). */
+#define panic(...) \
+    ::nowcluster::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit: the run cannot continue due to a user/configuration error. */
+#define fatal(...) \
+    ::nowcluster::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                       \
+    do {                                                          \
+        if (cond) {                                               \
+            ::nowcluster::panicImpl(__FILE__, __LINE__,           \
+                                    __VA_ARGS__);                 \
+        }                                                         \
+    } while (0)
+
+/** fatal() unless the condition holds. */
+#define fatal_if(cond, ...)                                       \
+    do {                                                          \
+        if (cond) {                                               \
+            ::nowcluster::fatalImpl(__FILE__, __LINE__,           \
+                                    __VA_ARGS__);                 \
+        }                                                         \
+    } while (0)
+
+#endif // NOWCLUSTER_BASE_LOGGING_HH_

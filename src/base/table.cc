@@ -1,0 +1,97 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace nowcluster {
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(const std::string &s)
+{
+    cells_.push_back(s);
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(double v, int precision)
+{
+    cells_.push_back(fmtDouble(v, precision));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    cells_.push_back(buf);
+    return *this;
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    // Compute column widths.
+    std::vector<size_t> width;
+    for (const auto &row : rows_) {
+        if (row.size() > width.size())
+            width.resize(row.size(), 0);
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::string out;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        const auto &row = rows_[r];
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += "  ";
+            // Right-align numeric-looking cells, left-align the rest.
+            size_t pad = width[c] - row[c].size();
+            bool numeric = !row[c].empty() &&
+                (std::isdigit(static_cast<unsigned char>(row[c][0])) ||
+                 row[c][0] == '-' || row[c][0] == '+');
+            if (numeric) {
+                out.append(pad, ' ');
+                out += row[c];
+            } else {
+                out += row[c];
+                out.append(pad, ' ');
+            }
+        }
+        out += '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t c = 0; c < width.size(); ++c)
+                total += width[c] + (c ? 2 : 0);
+            out.append(total, '-');
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace nowcluster

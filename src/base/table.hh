@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A minimal right-aligned ASCII table printer used by the benchmark
+ * harness to emit paper-style tables.
+ */
+
+#ifndef NOWCLUSTER_BASE_TABLE_HH_
+#define NOWCLUSTER_BASE_TABLE_HH_
+
+#include <string>
+#include <vector>
+
+namespace nowcluster {
+
+/**
+ * Collects rows of strings and prints them with aligned columns.
+ * The first row added is treated as the header and underlined.
+ */
+class Table
+{
+  public:
+    /** Add a full row of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: build a row cell-by-cell. */
+    class RowBuilder
+    {
+      public:
+        explicit RowBuilder(Table &t) : table_(t) {}
+        ~RowBuilder() { table_.addRow(std::move(cells_)); }
+        RowBuilder &cell(const std::string &s);
+        RowBuilder &cell(double v, int precision = 2);
+        RowBuilder &cell(std::int64_t v);
+        RowBuilder &cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+
+      private:
+        Table &table_;
+        std::vector<std::string> cells_;
+    };
+
+    RowBuilder row() { return RowBuilder(*this); }
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Print the table to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string fmtDouble(double v, int precision = 2);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_BASE_TABLE_HH_

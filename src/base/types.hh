@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental types and time units for the nowcluster simulator.
+ *
+ * All simulated time is kept in integer nanoseconds (Tick) so that runs
+ * are exactly reproducible; the paper quotes microseconds, so helpers to
+ * convert in both directions are provided.
+ */
+
+#ifndef NOWCLUSTER_BASE_TYPES_HH_
+#define NOWCLUSTER_BASE_TYPES_HH_
+
+#include <cstdint>
+
+namespace nowcluster {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::int64_t;
+
+/** One microsecond in Ticks. */
+constexpr Tick kUsec = 1000;
+/** One millisecond in Ticks. */
+constexpr Tick kMsec = 1000 * kUsec;
+/** One second in Ticks. */
+constexpr Tick kSec = 1000 * kMsec;
+
+/** A Tick value meaning "never". */
+constexpr Tick kTickNever = INT64_MAX;
+
+/** Convert a (possibly fractional) microsecond count to Ticks. */
+constexpr Tick
+usec(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kUsec) + 0.5);
+}
+
+/** Convert Ticks to fractional microseconds. */
+constexpr double
+toUsec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kUsec);
+}
+
+/** Convert Ticks to fractional milliseconds. */
+constexpr double
+toMsec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMsec);
+}
+
+/** Convert Ticks to fractional seconds. */
+constexpr double
+toSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Processor/node rank within a cluster. */
+using NodeId = int;
+
+/** Payload word carried by a short Active Message. */
+using Word = std::uint64_t;
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_BASE_TYPES_HH_

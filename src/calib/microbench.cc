@@ -1,0 +1,181 @@
+#include "calib/microbench.hh"
+
+#include <algorithm>
+
+#include "am/cluster.hh"
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+namespace {
+
+/** Echo server arrangement shared by the short-message benchmarks. */
+struct EchoRig
+{
+    explicit EchoRig(const LogGPParams &params) : cluster(2, params)
+    {
+        done = cluster.registerHandler([](AmNode &, Packet &) {});
+        echo = cluster.registerHandler(
+            [h = done](AmNode &self, Packet &pkt) {
+                self.reply(pkt, h);
+            });
+    }
+
+    Cluster cluster;
+    int done = -1;
+    int echo = -1;
+    bool stop = false;
+};
+
+} // namespace
+
+double
+Microbench::burstIntervalUs(int m, Tick delta)
+{
+    return toUsec(burstElapsed(m, delta)) / static_cast<double>(m);
+}
+
+double
+Microbench::steadyIntervalUs(Tick delta, int m_lo, int m_hi)
+{
+    Tick lo = burstElapsed(m_lo, delta);
+    Tick hi = burstElapsed(m_hi, delta);
+    return toUsec(hi - lo) / static_cast<double>(m_hi - m_lo);
+}
+
+Tick
+Microbench::burstElapsed(int m, Tick delta)
+{
+    panic_if(m < 1, "burst must contain at least one message");
+    EchoRig rig(params_);
+    Tick elapsed = 0;
+    bool ok = rig.cluster.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            Tick t0 = n.now();
+            for (int i = 0; i < m; ++i) {
+                n.request(1, rig.echo);
+                if (i + 1 < m && delta > 0)
+                    n.compute(delta);
+            }
+            // Clock stops when the last message has been issued,
+            // regardless of in-flight replies (paper, Section 3.3).
+            elapsed = n.now() - t0;
+            // Drain replies so the run terminates cleanly.
+            n.pollUntil([&] {
+                return n.counters().received >=
+                       static_cast<std::uint64_t>(m);
+            });
+            rig.stop = true;
+            n.oneWay(1, rig.done);
+        } else {
+            n.pollUntil([&] { return rig.stop; });
+        }
+    });
+    panic_if(!ok, "microbenchmark run failed");
+    return elapsed;
+}
+
+double
+Microbench::roundTripUs()
+{
+    EchoRig rig(params_);
+    bool got = false;
+    int flag = rig.cluster.registerHandler(
+        [&](AmNode &, Packet &) { got = true; });
+    int echo2 = rig.cluster.registerHandler(
+        [flag](AmNode &self, Packet &pkt) { self.reply(pkt, flag); });
+    Tick rtt = 0;
+    bool ok = rig.cluster.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            Tick t0 = n.now();
+            n.request(1, echo2);
+            n.pollUntil([&] { return got; });
+            rtt = n.now() - t0;
+            rig.stop = true;
+            n.oneWay(1, rig.done);
+        } else {
+            n.pollUntil([&] { return rig.stop; });
+        }
+    });
+    panic_if(!ok, "round-trip run failed");
+    return toUsec(rtt);
+}
+
+double
+Microbench::bulkBandwidthMBps(std::size_t msg_bytes, int count)
+{
+    Cluster cluster(2, params_);
+    bool stop = false;
+    int done = cluster.registerHandler([](AmNode &, Packet &) {});
+    std::vector<std::uint8_t> src(msg_bytes, 0xA5);
+    std::vector<std::uint8_t> dst(msg_bytes);
+    Tick elapsed = 0;
+    bool ok = cluster.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            Tick t0 = n.now();
+            for (int i = 0; i < count; ++i)
+                n.store(1, dst.data(), src.data(), msg_bytes);
+            n.storeSync();
+            elapsed = n.now() - t0;
+            stop = true;
+            n.oneWay(1, done);
+        } else {
+            n.pollUntil([&] { return stop; });
+        }
+    });
+    panic_if(!ok, "bulk bandwidth run failed");
+    double bytes = static_cast<double>(msg_bytes) * count;
+    return bytes / (toSec(elapsed) * 1e6);
+}
+
+CalibratedParams
+Microbench::calibrate()
+{
+    CalibratedParams c;
+    // A single-message burst shows the send overhead.
+    c.oSendUs = burstIntervalUs(1, 0);
+    // The steady-state slope at Delta = 0 is the effective gap.
+    c.gUs = steadyIntervalUs(0);
+    // With Delta large enough that the processor is the bottleneck, the
+    // steady interval is oSend + oRecv + Delta.
+    double big_delta_us =
+        std::max({4.0 * c.gUs, 4.0 * toUsec(params_.totalLatency()),
+                  100.0});
+    double busy = steadyIntervalUs(usec(big_delta_us));
+    c.oRecvUs = std::max(0.0, busy - big_delta_us - c.oSendUs);
+    c.oUs = (c.oSendUs + c.oRecvUs) / 2.0;
+    c.rttUs = roundTripUs();
+    c.latencyUs = c.rttUs / 2.0 - 2.0 * c.oUs;
+    // Grow the bulk message until bandwidth stops improving (the paper
+    // observed the plateau by 2 KB).
+    double best = 0;
+    for (std::size_t sz = 512; sz <= 64 * 1024; sz *= 2) {
+        double bw = bulkBandwidthMBps(sz, 16);
+        if (bw <= best * 1.01) {
+            best = std::max(best, bw);
+            break;
+        }
+        best = bw;
+    }
+    c.bulkMBps = best;
+    return c;
+}
+
+LogPSignature
+Microbench::signature(const std::vector<double> &deltas_us,
+                      const std::vector<int> &burst_sizes)
+{
+    LogPSignature sig;
+    sig.deltasUs = deltas_us;
+    sig.burstSizes = burst_sizes;
+    sig.usPerMsg.resize(deltas_us.size());
+    for (std::size_t d = 0; d < deltas_us.size(); ++d) {
+        sig.usPerMsg[d].reserve(burst_sizes.size());
+        for (int m : burst_sizes)
+            sig.usPerMsg[d].push_back(
+                burstIntervalUs(m, usec(deltas_us[d])));
+    }
+    return sig;
+}
+
+} // namespace nowcluster

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Active Message microbenchmark suite used to calibrate the
+ * apparatus, after Culler et al., "Assessing Fast Network Interfaces"
+ * and Section 3.3 of the paper.
+ *
+ * The core technique: issue a burst of m request messages with a fixed
+ * computational delay Delta between them, stopping the clock when the
+ * last message is issued. Plotting mean initiation interval against m
+ * for several Delta values gives the "LogP signature" (Figure 3), from
+ * which o_send, o_recv, g and (with a round-trip measurement) L can be
+ * read.
+ */
+
+#ifndef NOWCLUSTER_CALIB_MICROBENCH_HH_
+#define NOWCLUSTER_CALIB_MICROBENCH_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/loggp.hh"
+
+namespace nowcluster {
+
+/** Extracted communication parameters, in microseconds / MB/s. */
+struct CalibratedParams
+{
+    double oSendUs = 0;
+    double oRecvUs = 0;
+    double oUs = 0;     ///< Mean overhead (oSend + oRecv) / 2.
+    double gUs = 0;     ///< Steady-state initiation interval, Delta = 0.
+    double rttUs = 0;   ///< Request/reply round trip.
+    double latencyUs = 0; ///< rtt/2 - 2o.
+    double bulkMBps = 0;  ///< Plateau bulk-transfer bandwidth.
+};
+
+/** Raw data behind a Figure-3 style signature plot. */
+struct LogPSignature
+{
+    std::vector<double> deltasUs;           ///< One curve per Delta.
+    std::vector<int> burstSizes;            ///< X axis.
+    /** usPerMsg[d][b]: mean initiation interval for deltasUs[d],
+     *  burstSizes[b]. */
+    std::vector<std::vector<double>> usPerMsg;
+};
+
+/**
+ * Runs microbenchmarks on freshly built two-node clusters with the
+ * given communication parameters.
+ */
+class Microbench
+{
+  public:
+    explicit Microbench(const LogGPParams &params) : params_(params) {}
+
+    /**
+     * Mean initiation interval (us/message) for a burst of m requests
+     * with delta of computation between consecutive sends.
+     */
+    double burstIntervalUs(int m, Tick delta);
+
+    /** Raw elapsed time for the same burst (start to last issue). */
+    Tick burstElapsed(int m, Tick delta);
+
+    /**
+     * Steady-state initiation interval: the slope of burstElapsed
+     * between two burst lengths, which cancels the pipeline-fill
+     * transient and the missing trailing delay.
+     */
+    double steadyIntervalUs(Tick delta, int m_lo = 64, int m_hi = 256);
+
+    /** Single request/reply round-trip time in microseconds. */
+    double roundTripUs();
+
+    /**
+     * Sustained bulk bandwidth for back-to-back stores of msg_bytes.
+     */
+    double bulkBandwidthMBps(std::size_t msg_bytes, int count = 32);
+
+    /** Full parameter extraction (Section 3.3 procedure). */
+    CalibratedParams calibrate();
+
+    /** Generate the Figure-3 signature data. */
+    LogPSignature signature(const std::vector<double> &deltas_us,
+                            const std::vector<int> &burst_sizes);
+
+  private:
+    LogGPParams params_;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_CALIB_MICROBENCH_HH_

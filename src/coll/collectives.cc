@@ -1,0 +1,281 @@
+#include "coll/collectives.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+std::vector<BroadcastStep>
+buildOptimalBroadcast(int nprocs, Tick send_interval, Tick arrival_cost)
+{
+    panic_if(send_interval <= 0 || arrival_cost <= 0,
+             "broadcast schedule needs positive model parameters");
+    std::vector<BroadcastStep> steps;
+    if (nprocs <= 1)
+        return steps;
+
+    // Min-heap of (next free transmission slot, node). Greedy: the
+    // next reception always uses the earliest available slot, and new
+    // holders immediately start transmitting themselves.
+    using Slot = std::pair<Tick, NodeId>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free;
+    free.push({0, 0});
+    NodeId next_rank = 1;
+    while (next_rank < nprocs) {
+        auto [t, sender] = free.top();
+        free.pop();
+        NodeId receiver = next_rank++;
+        steps.push_back({sender, receiver, t});
+        free.push({t + send_interval, sender});
+        free.push({t + arrival_cost, receiver});
+    }
+    return steps;
+}
+
+Tick
+predictedBroadcastCompletion(const std::vector<BroadcastStep> &steps,
+                             Tick arrival_cost)
+{
+    Tick done = 0;
+    for (const BroadcastStep &s : steps)
+        done = std::max(done, s.issueAt + arrival_cost);
+    return done;
+}
+
+Collectives::Collectives(int nprocs, std::size_t max_elems)
+    : nprocs_(nprocs), maxElems_(std::max<std::size_t>(max_elems, 1)),
+      nodes_(nprocs)
+{
+    int levels = 0;
+    while ((1 << levels) < nprocs)
+        ++levels;
+    for (NodeState &n : nodes_) {
+        n.box.assign(static_cast<std::size_t>(nprocs) * maxElems_, 0);
+        n.boxSeen.assign(nprocs, 0);
+        n.scanVal.assign(std::max(levels, 1), 0);
+        n.scanSeen.assign(std::max(levels, 1), 0);
+    }
+    // Default model: Berkeley NOW numbers.
+    auto p = MachineConfig::berkeleyNow().params;
+    sendInterval_ = std::max(p.oSend, p.gap);
+    arrivalCost_ = p.oSend + p.latency + p.oRecv;
+}
+
+void
+Collectives::setModel(Tick send_interval, Tick arrival_cost)
+{
+    panic_if(scheduleBuilt_, "setModel must precede the first use");
+    sendInterval_ = send_interval;
+    arrivalCost_ = arrival_cost;
+}
+
+void
+Collectives::ensureSchedule()
+{
+    if (scheduleBuilt_)
+        return;
+    optTargets_.assign(nprocs_, {});
+    auto steps =
+        buildOptimalBroadcast(nprocs_, sendInterval_, arrivalCost_);
+    // Steps come out ordered by issue time per sender (the greedy
+    // assigns each sender's slots in time order).
+    for (const BroadcastStep &s : steps)
+        optTargets_[s.sender].push_back(s.receiver);
+    scheduleBuilt_ = true;
+}
+
+Word
+Collectives::broadcast(SplitC &sc, Word value, NodeId root, BcastAlg alg)
+{
+    const int p = sc.procs();
+    const int me = sc.myProc();
+    // Bulk-synchronous entry: the barrier doubles as the guarantee
+    // that everyone consumed the previous epoch's mailbox.
+    sc.barrier();
+    const std::int64_t epoch = ++nodes_[me].myBcastEpoch;
+    if (p == 1)
+        return value;
+    ensureSchedule();
+
+    const int rel = (me - root + p) % p;
+    Word v = value;
+
+    // Note: no sync inside deliver_to -- the whole point of the LogP
+    // schedule is that a holder pipelines its transmissions at the
+    // send interval instead of waiting out a round trip per target.
+    auto deliver_to = [&](int rel_dst, Word w) {
+        NodeId dst = static_cast<NodeId>((rel_dst + root) % p);
+        sc.put(gptr(dst, &nodes_[dst].bcastVal), w);
+        sc.put(gptr(dst, &nodes_[dst].bcastSeen), epoch);
+    };
+    auto wait_value = [&]() {
+        NodeState &mine = nodes_[me];
+        sc.am().pollUntil([&] { return mine.bcastSeen >= epoch; });
+        return mine.bcastVal;
+    };
+
+    switch (alg) {
+      case BcastAlg::Linear:
+        if (rel == 0) {
+            for (int q = 1; q < p; ++q)
+                deliver_to(q, v);
+        } else {
+            v = wait_value();
+        }
+        break;
+
+      case BcastAlg::Binomial: {
+        int levels = 0;
+        while ((1 << levels) < p)
+            ++levels;
+        bool have = rel == 0;
+        for (int k = levels - 1; k >= 0; --k) {
+            if (!have && rel >= (1 << k) && rel < (1 << (k + 1))) {
+                v = wait_value();
+                have = true;
+            } else if (have && !(rel & (1 << k)) &&
+                       rel + (1 << k) < p) {
+                deliver_to(rel + (1 << k), v);
+            }
+        }
+        break;
+      }
+
+      case BcastAlg::LogPOptimal:
+        if (rel != 0)
+            v = wait_value();
+        for (NodeId t : optTargets_[rel])
+            deliver_to(t, v);
+        break;
+    }
+    sc.sync(); // Collect the acks of everything we pipelined.
+    return v;
+}
+
+void
+Collectives::allGather(SplitC &sc, const Word *mine, std::size_t n,
+                       Word *out, GatherAlg alg)
+{
+    const int p = sc.procs();
+    const int me = sc.myProc();
+    panic_if(n > maxElems_, "allGather exceeds the context's max_elems");
+    sc.barrier();
+    const std::int64_t epoch = ++nodes_[me].myGatherEpoch;
+
+    std::copy(mine, mine + n, out + static_cast<std::size_t>(me) * n);
+    if (p == 1)
+        return;
+
+    auto send_block = [&](NodeId dst, int src_block, const Word *data) {
+        NodeState &d = nodes_[dst];
+        sc.am().store(dst,
+                      &d.box[static_cast<std::size_t>(src_block) *
+                             maxElems_],
+                      data, n * sizeof(Word));
+        sc.put(gptr(dst, &d.boxSeen[src_block]), epoch);
+        sc.sync();
+    };
+    auto wait_block = [&](int src_block) {
+        NodeState &m = nodes_[me];
+        sc.am().pollUntil(
+            [&] { return m.boxSeen[src_block] >= epoch; });
+        std::copy(&m.box[static_cast<std::size_t>(src_block) *
+                         maxElems_],
+                  &m.box[static_cast<std::size_t>(src_block) *
+                         maxElems_] + n,
+                  out + static_cast<std::size_t>(src_block) * n);
+    };
+
+    if (alg == GatherAlg::RecursiveDoubling && (p & (p - 1)) == 0) {
+        // Exchange ever-larger block groups with XOR partners.
+        for (int k = 0; (1 << k) < p; ++k) {
+            int partner = me ^ (1 << k);
+            int group = 1 << k;
+            int my_base = (me / group) * group;
+            int partner_base = (partner / group) * group;
+            for (int b = my_base; b < my_base + group; ++b)
+                send_block(partner, b,
+                           out + static_cast<std::size_t>(b) * n);
+            for (int b = partner_base; b < partner_base + group; ++b)
+                wait_block(b);
+        }
+        return;
+    }
+
+    // Ring: every step, pass along the block received last step.
+    int right = (me + 1) % p;
+    for (int s = 1; s < p; ++s) {
+        int send_src = (me - s + 1 + p) % p;
+        int recv_src = (me - s + p) % p;
+        send_block(right, send_src,
+                   out + static_cast<std::size_t>(send_src) * n);
+        wait_block(recv_src);
+    }
+}
+
+void
+Collectives::allToAll(SplitC &sc, const Word *send, std::size_t n,
+                      Word *recv)
+{
+    const int p = sc.procs();
+    const int me = sc.myProc();
+    panic_if(n > maxElems_, "allToAll exceeds the context's max_elems");
+    sc.barrier();
+    const std::int64_t epoch = ++nodes_[me].myGatherEpoch;
+
+    std::copy(send + static_cast<std::size_t>(me) * n,
+              send + static_cast<std::size_t>(me) * n + n,
+              recv + static_cast<std::size_t>(me) * n);
+
+    // Rotation pairwise exchange: works for any P.
+    for (int s = 1; s < p; ++s) {
+        NodeId dst = static_cast<NodeId>((me + s) % p);
+        NodeId src = static_cast<NodeId>((me - s + p) % p);
+        NodeState &d = nodes_[dst];
+        sc.am().store(dst,
+                      &d.box[static_cast<std::size_t>(me) * maxElems_],
+                      send + static_cast<std::size_t>(dst) * n,
+                      n * sizeof(Word));
+        sc.put(gptr(dst, &d.boxSeen[me]), epoch);
+        sc.sync();
+        NodeState &m = nodes_[me];
+        sc.am().pollUntil([&] { return m.boxSeen[src] >= epoch; });
+        std::copy(
+            &m.box[static_cast<std::size_t>(src) * maxElems_],
+            &m.box[static_cast<std::size_t>(src) * maxElems_] + n,
+            recv + static_cast<std::size_t>(src) * n);
+    }
+}
+
+std::int64_t
+Collectives::scanAdd(SplitC &sc, std::int64_t value)
+{
+    const int p = sc.procs();
+    const int me = sc.myProc();
+    sc.barrier();
+    const std::int64_t epoch = ++nodes_[me].myScanEpoch;
+
+    std::int64_t partial = value;
+    int level = 0;
+    for (int d = 1; d < p; d *= 2, ++level) {
+        // Kogge-Stone: send my partial d to the right, take from the
+        // left, every processor at every level.
+        if (me + d < p) {
+            NodeState &dst = nodes_[me + d];
+            sc.put(gptr(me + d, &dst.scanVal[level]), partial);
+            sc.put(gptr(me + d, &dst.scanSeen[level]), epoch);
+            sc.sync();
+        }
+        if (me - d >= 0) {
+            NodeState &mine = nodes_[me];
+            sc.am().pollUntil(
+                [&] { return mine.scanSeen[level] >= epoch; });
+            partial += mine.scanVal[level];
+        }
+    }
+    return partial;
+}
+
+} // namespace nowcluster

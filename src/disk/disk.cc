@@ -1,0 +1,23 @@
+#include "disk/disk.hh"
+
+#include <algorithm>
+
+namespace nowcluster {
+
+Tick
+Disk::startTransfer(std::size_t bytes, int *done, Proc *waiter)
+{
+    Tick start = std::max(busyUntil_, sim_.now());
+    Tick xfer = static_cast<Tick>(
+        static_cast<double>(bytes) * nsPerByte_ + 0.5);
+    busyUntil_ = start + seekOverhead_ + xfer;
+    Tick at = busyUntil_;
+    sim_.schedule(at, [done, waiter] {
+        ++*done;
+        if (waiter)
+            waiter->wake();
+    });
+    return at;
+}
+
+} // namespace nowcluster

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A streaming-disk model for NOW-sort: each disk is a serial resource
+ * with a fixed bandwidth; transfers complete asynchronously via
+ * simulator events, so a processor can overlap communication with I/O
+ * exactly as the paper's NOW-sort does.
+ */
+
+#ifndef NOWCLUSTER_DISK_DISK_HH_
+#define NOWCLUSTER_DISK_DISK_HH_
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "sim/proc.hh"
+#include "sim/simulator.hh"
+
+namespace nowcluster {
+
+/** One disk: a bandwidth-limited serial device. */
+class Disk
+{
+  public:
+    /**
+     * @param sim   Owning simulator.
+     * @param mbps  Streaming bandwidth in MB/s (paper: 5.5 per disk).
+     * @param seek_overhead  Fixed cost per transfer request.
+     */
+    Disk(Simulator &sim, double mbps, Tick seek_overhead = usec(500))
+        : sim_(sim), nsPerByte_(1e9 / (mbps * 1e6)),
+          seekOverhead_(seek_overhead)
+    {}
+
+    /** Streaming bandwidth in MB/s. */
+    double mbps() const { return 1e9 / nsPerByte_ / 1e6; }
+
+    /**
+     * Start an asynchronous transfer of `bytes`. When it completes,
+     * *done is incremented and `waiter` (if non-null) is woken. The
+     * disk serializes transfers in issue order.
+     * @return the virtual time at which the transfer will complete.
+     */
+    Tick startTransfer(std::size_t bytes, int *done, Proc *waiter);
+
+    /** Time the disk becomes idle. */
+    Tick busyUntil() const { return busyUntil_; }
+
+  private:
+    Simulator &sim_;
+    double nsPerByte_;
+    Tick seekOverhead_;
+    Tick busyUntil_ = 0;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_DISK_DISK_HH_

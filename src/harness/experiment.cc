@@ -1,0 +1,80 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+
+#include "apps/app.hh"
+#include "base/logging.hh"
+#include "splitc/splitc.hh"
+
+namespace nowcluster {
+
+void
+Knobs::applyTo(LogGPParams &params) const
+{
+    if (overheadUs >= 0)
+        params.setDesiredOverheadUsec(overheadUs);
+    if (gapUs >= 0)
+        params.setDesiredGapUsec(gapUs);
+    if (latencyUs >= 0)
+        params.setDesiredLatencyUsec(latencyUs);
+    if (bulkMBps > 0)
+        params.setBulkMBps(bulkMBps);
+    if (occupancyUs >= 0)
+        params.setOccupancyUsec(occupancyUs);
+    if (window > 0)
+        params.window = window;
+    if (fabricHosts > 0 || fabricLinkMBps > 0) {
+        params.fabric = true;
+        if (fabricHosts > 0)
+            params.fabricHostsPerSwitch = fabricHosts;
+        if (fabricLinkMBps > 0)
+            params.fabricLinkMBps = fabricLinkMBps;
+    }
+}
+
+RunResult
+runApp(const std::string &app_key, const RunConfig &config)
+{
+    auto app = makeApp(app_key);
+    app->setup(config.nprocs, config.scale, config.seed);
+
+    LogGPParams params = config.machine.params;
+    config.knobs.applyTo(params);
+
+    SplitCRuntime rt(config.nprocs, params, config.seed);
+    app->prepare(rt);
+    if (config.trace) {
+        rt.cluster().setTraceHook(
+            [trace = config.trace](Tick issued, Tick ready, NodeId src,
+                                   NodeId dst, PacketKind kind,
+                                   std::uint32_t bytes) {
+                trace->record(issued, ready, src, dst, kind, bytes);
+            });
+    }
+
+    RunResult r;
+    r.ok = rt.run([&](SplitC &sc) { app->run(sc); }, config.maxTime);
+    r.runtime = rt.runtime();
+    r.summary = summarizeComm(rt.cluster(), r.runtime, app->name());
+    r.matrix = commMatrix(rt.cluster());
+    r.maxMsgsPerProc = r.summary.maxMsgsPerProc;
+    r.lockFailures = r.summary.lockFailures;
+    r.validated = r.ok && (!config.validate || app->validate());
+    return r;
+}
+
+double
+envScale()
+{
+    const char *s = std::getenv("NOW_SCALE");
+    if (!s)
+        return 1.0;
+    double v = std::atof(s);
+    if (v <= 0) {
+        warn("ignoring invalid NOW_SCALE='%s'", s);
+        return 1.0;
+    }
+    return v;
+}
+
+} // namespace nowcluster

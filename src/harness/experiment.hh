@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The experiment harness: configure a cluster with paper-style LogGP
+ * knob settings, run a benchmark application on it, and collect the
+ * measurements every bench binary needs.
+ */
+
+#ifndef NOWCLUSTER_HARNESS_EXPERIMENT_HH_
+#define NOWCLUSTER_HARNESS_EXPERIMENT_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "net/loggp.hh"
+#include "stats/comm_stats.hh"
+#include "stats/trace.hh"
+
+namespace nowcluster {
+
+/** Paper-style knob settings; negative values mean "leave baseline". */
+struct Knobs
+{
+    double overheadUs = -1;  ///< Desired mean o (Figure 5 x-axis).
+    double gapUs = -1;       ///< Desired g (Figure 6 x-axis).
+    double latencyUs = -1;   ///< Desired L (Figure 7 x-axis).
+    double bulkMBps = -1;    ///< Available bulk bandwidth (Figure 8).
+    double occupancyUs = -1; ///< Extension: rx-controller occupancy.
+    int window = -1;         ///< Extension: flow-control window.
+    /** Extension: switch-fabric contention model (enables when either
+     *  field is set). */
+    int fabricHosts = -1;
+    double fabricLinkMBps = -1;
+
+    /** Apply to a parameter set. */
+    void applyTo(LogGPParams &params) const;
+};
+
+/** Complete configuration of one application run. */
+struct RunConfig
+{
+    int nprocs = 32;
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    MachineConfig machine = MachineConfig::berkeleyNow();
+    Knobs knobs;
+    /** Virtual-time budget; exceeded runs are reported failed (the
+     *  paper's "N/A" entries, e.g. livelocked Barnes). */
+    Tick maxTime = 600 * kSec;
+    bool validate = true;
+    /** Optional message trace sink (not owned). */
+    MessageTrace *trace = nullptr;
+};
+
+/** Everything measured from one run. */
+struct RunResult
+{
+    bool ok = false;        ///< Completed within budget.
+    bool validated = false; ///< Output passed the app's check.
+    Tick runtime = 0;
+    CommSummary summary;
+    CommMatrix matrix;
+    std::uint64_t maxMsgsPerProc = 0;
+    std::uint64_t lockFailures = 0;
+};
+
+/** Run one application under the given configuration. */
+RunResult runApp(const std::string &app_key, const RunConfig &config);
+
+/** Environment-variable scale override (NOW_SCALE), default 1.0. */
+double envScale();
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_HARNESS_EXPERIMENT_HH_

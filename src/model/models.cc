@@ -1,0 +1,47 @@
+#include "model/models.hh"
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+Tick
+predictOverhead(Tick r_orig, std::uint64_t max_msgs, Tick delta_o)
+{
+    panic_if(delta_o < 0, "negative added overhead");
+    return r_orig + 2 * static_cast<Tick>(max_msgs) * delta_o;
+}
+
+Tick
+predictGapBurst(Tick r_base, std::uint64_t max_msgs, Tick delta_g)
+{
+    panic_if(delta_g < 0, "negative added gap");
+    return r_base + static_cast<Tick>(max_msgs) * delta_g;
+}
+
+Tick
+predictGapUniform(Tick r_base, std::uint64_t max_msgs, Tick total_g,
+                  Tick mean_interval)
+{
+    if (total_g <= mean_interval)
+        return r_base;
+    return r_base +
+           static_cast<Tick>(max_msgs) * (total_g - mean_interval);
+}
+
+Tick
+predictLatencyReads(Tick r_base, std::uint64_t blocking_reads,
+                    Tick delta_l)
+{
+    panic_if(delta_l < 0, "negative added latency");
+    return r_base + static_cast<Tick>(blocking_reads) * 2 * delta_l;
+}
+
+double
+slowdown(Tick runtime, Tick baseline)
+{
+    if (baseline <= 0)
+        return 0.0;
+    return static_cast<double>(runtime) / static_cast<double>(baseline);
+}
+
+} // namespace nowcluster

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The analytic sensitivity models of Section 5: closed-form predictions
+ * of application runtime under added overhead, gap, and latency.
+ */
+
+#ifndef NOWCLUSTER_MODEL_MODELS_HH_
+#define NOWCLUSTER_MODEL_MODELS_HH_
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace nowcluster {
+
+/**
+ * Overhead model (Section 5.1):
+ *   r_pred = r_orig + 2 * m * delta_o
+ * where m is the maximum number of messages sent by any processor and
+ * delta_o the per-side added overhead. The factor of two arises because
+ * every Split-C communication event is one half of a request/response
+ * pair: the sender also pays to receive the matching response (or paid
+ * to receive the request it is answering).
+ */
+Tick predictOverhead(Tick r_orig, std::uint64_t max_msgs, Tick delta_o);
+
+/**
+ * Burst gap model (Section 5.2):
+ *   r_pred = r_base + m * delta_g
+ * assumes all messages are sent in bursts faster than the gap, so every
+ * message eats the full added gap.
+ */
+Tick predictGapBurst(Tick r_base, std::uint64_t max_msgs, Tick delta_g);
+
+/**
+ * Uniform gap model (Section 5.2):
+ *   r_pred = r_base + m * (g - I)  if g > I, else r_base
+ * assumes messages are spaced at the application's mean interval I, so
+ * gap is only felt once it exceeds that interval.
+ */
+Tick predictGapUniform(Tick r_base, std::uint64_t max_msgs, Tick total_g,
+                       Tick mean_interval);
+
+/**
+ * Read-latency model (Section 5.3): every blocking read spans one
+ * round trip, so added one-way latency delta_l is paid twice:
+ *   r_pred = r_base + reads * 2 * delta_l
+ * Only accurate for applications that do nothing to hide latency
+ * (EM3D(read) in the paper).
+ */
+Tick predictLatencyReads(Tick r_base, std::uint64_t blocking_reads,
+                         Tick delta_l);
+
+/** Slowdown helper: measured / baseline. */
+double slowdown(Tick runtime, Tick baseline);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_MODEL_MODELS_HH_

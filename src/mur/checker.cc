@@ -1,0 +1,44 @@
+#include "mur/checker.hh"
+
+#include <deque>
+#include <unordered_set>
+
+namespace nowcluster {
+
+ExploreResult
+exploreSerial(const MurProtocol &protocol, std::uint64_t max_states)
+{
+    ExploreResult r;
+    std::unordered_set<MurState, MurStateHash> seen;
+    std::deque<MurState> queue;
+
+    MurState init = protocol.initialState();
+    seen.insert(init);
+    queue.push_back(init);
+    r.states = 1;
+    r.invariantHolds = protocol.invariant(init);
+
+    std::vector<MurState> succ;
+    while (!queue.empty()) {
+        MurState s = queue.front();
+        queue.pop_front();
+        succ.clear();
+        protocol.successors(s, succ);
+        r.transitions += succ.size();
+        for (const MurState &n : succ) {
+            if (seen.insert(n).second) {
+                ++r.states;
+                if (!protocol.invariant(n))
+                    r.invariantHolds = false;
+                if (r.states >= max_states) {
+                    r.complete = false;
+                    return r;
+                }
+                queue.push_back(n);
+            }
+        }
+    }
+    return r;
+}
+
+} // namespace nowcluster

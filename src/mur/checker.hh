@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Explicit-state model-checking substrate (the verifier behind the
+ * paper's parallel Mur-phi application).
+ *
+ * A protocol is a deterministic successor function over fixed-size
+ * encoded states plus an invariant. The serial breadth-first explorer
+ * here is both the reference for validating the parallel version and a
+ * reusable library component.
+ */
+
+#ifndef NOWCLUSTER_MUR_CHECKER_HH_
+#define NOWCLUSTER_MUR_CHECKER_HH_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nowcluster {
+
+/** A fixed-size encoded protocol state. */
+struct MurState
+{
+    static constexpr std::size_t kBytes = 16;
+    std::array<std::uint8_t, kBytes> bytes{};
+
+    bool
+    operator==(const MurState &o) const
+    {
+        return bytes == o.bytes;
+    }
+
+    /** 64-bit mixing hash (also used to assign owning processors). */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+        std::uint64_t w[2];
+        std::memcpy(w, bytes.data(), sizeof(w));
+        for (std::uint64_t x : w) {
+            h ^= x;
+            h *= 0xff51afd7ed558ccdULL;
+            h ^= h >> 33;
+        }
+        return h;
+    }
+};
+
+struct MurStateHash
+{
+    std::size_t
+    operator()(const MurState &s) const
+    {
+        return static_cast<std::size_t>(s.hash());
+    }
+};
+
+/** A protocol: initial state, successor relation, invariant. */
+class MurProtocol
+{
+  public:
+    virtual ~MurProtocol() = default;
+
+    virtual std::string name() const = 0;
+
+    virtual MurState initialState() const = 0;
+
+    /**
+     * Append every successor of s to out, in a deterministic order.
+     * May append duplicates; the explorer deduplicates.
+     */
+    virtual void successors(const MurState &s,
+                            std::vector<MurState> &out) const = 0;
+
+    /** @return false if s violates an assertion. */
+    virtual bool invariant(const MurState &s) const = 0;
+};
+
+/** Result of an exploration. */
+struct ExploreResult
+{
+    std::uint64_t states = 0;      ///< Distinct states reached.
+    std::uint64_t transitions = 0; ///< Successor edges generated.
+    bool invariantHolds = true;
+    bool complete = true;          ///< False if maxStates was hit.
+};
+
+/** Serial BFS over the protocol's reachable state space. */
+ExploreResult exploreSerial(const MurProtocol &protocol,
+                            std::uint64_t max_states = UINT64_MAX);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_MUR_CHECKER_HH_

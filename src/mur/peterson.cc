@@ -1,0 +1,64 @@
+#include "mur/peterson.hh"
+
+namespace nowcluster {
+
+MurState
+PetersonProtocol::initialState() const
+{
+    return MurState{}; // Both idle, flags clear, turn = 0.
+}
+
+bool
+PetersonProtocol::invariant(const MurState &s) const
+{
+    return !(s.bytes[0] == kCritical && s.bytes[1] == kCritical);
+}
+
+void
+PetersonProtocol::successors(const MurState &s,
+                             std::vector<MurState> &out) const
+{
+    for (int i = 0; i < 2; ++i) {
+        const int j = 1 - i;
+        MurState n = s;
+        switch (s.bytes[i]) {
+          case kIdle:
+            n.bytes[i] = kSetFlag;
+            out.push_back(n);
+            break;
+          case kSetFlag:
+            n.bytes[2 + i] = 1;
+            n.bytes[i] = kSetTurn;
+            out.push_back(n);
+            break;
+          case kSetTurn:
+            n.bytes[4] = static_cast<std::uint8_t>(j);
+            n.bytes[i] = kWait;
+            out.push_back(n);
+            break;
+          case kWait:
+            // Enter when the peer is not interested or it is our turn.
+            // The broken variant ignores the turn variable, which
+            // admits the classic interleaving where both enter.
+            if (!s.bytes[2 + j] ||
+                (breakIt_ ? !s.bytes[2 + j] : s.bytes[4] == i)) {
+                n.bytes[i] = kCritical;
+                out.push_back(n);
+            } else if (breakIt_) {
+                // Broken variant: spin-then-enter anyway.
+                n.bytes[i] = kCritical;
+                out.push_back(n);
+            }
+            break;
+          case kCritical:
+            n.bytes[2 + i] = 0;
+            n.bytes[i] = kIdle;
+            out.push_back(n);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace nowcluster

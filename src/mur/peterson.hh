@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Peterson's two-process mutual-exclusion algorithm as a verifier
+ * protocol -- the classic Mur-phi demo, here exercising the checker
+ * substrate with a second, independent model (and, with
+ * `break_it = true`, a deliberately buggy variant whose invariant
+ * violation the checker must find).
+ */
+
+#ifndef NOWCLUSTER_MUR_PETERSON_HH_
+#define NOWCLUSTER_MUR_PETERSON_HH_
+
+#include "mur/checker.hh"
+
+namespace nowcluster {
+
+/**
+ * State: per process i in {0,1}: pc[i] in {Idle, SetFlag, SetTurn,
+ * Wait, Critical}; flag[i]; plus the shared turn variable.
+ */
+class PetersonProtocol : public MurProtocol
+{
+  public:
+    /** @param break_it Omit the turn check (a real mutex bug). */
+    explicit PetersonProtocol(bool break_it = false)
+        : breakIt_(break_it)
+    {}
+
+    std::string name() const override { return "peterson"; }
+    MurState initialState() const override;
+    void successors(const MurState &s,
+                    std::vector<MurState> &out) const override;
+    bool invariant(const MurState &s) const override;
+
+    enum Pc : std::uint8_t
+    {
+        kIdle = 0,
+        kSetFlag,
+        kSetTurn,
+        kWait,
+        kCritical,
+    };
+
+    // Layout: [0],[1] pc; [2],[3] flag; [4] turn.
+
+  private:
+    bool breakIt_;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_MUR_PETERSON_HH_

@@ -1,0 +1,292 @@
+#include "mur/sci.hh"
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+// Byte layout (see header): channels pack (enum | value << 4) since
+// data values are < 16.
+namespace {
+
+constexpr int kCs = 0;    // +i : cache state
+constexpr int kCv = 2;    // +i : cache data value
+constexpr int kReq = 4;   // +i : request channel (enum | val<<4)
+constexpr int kResp = 6;  // +i : response channel (enum | val<<4)
+constexpr int kAck = 8;   // +i : ack channel (enum | val<<4)
+constexpr int kDir = 10;  //      sharer bits 0-1, dirty bit 2
+constexpr int kMv = 11;   //      memory data value
+
+std::uint8_t
+chanMsg(std::uint8_t b)
+{
+    return b & 0x0F;
+}
+
+std::uint8_t
+chanVal(std::uint8_t b)
+{
+    return b >> 4;
+}
+
+std::uint8_t
+chan(std::uint8_t msg, std::uint8_t val)
+{
+    return static_cast<std::uint8_t>(msg | (val << 4));
+}
+
+bool
+sharer(const MurState &s, int i)
+{
+    return (s.bytes[kDir] >> i) & 1;
+}
+
+bool
+dirty(const MurState &s)
+{
+    return (s.bytes[kDir] >> 2) & 1;
+}
+
+void
+setSharer(MurState &s, int i, bool on)
+{
+    if (on)
+        s.bytes[kDir] |= static_cast<std::uint8_t>(1u << i);
+    else
+        s.bytes[kDir] &= static_cast<std::uint8_t>(~(1u << i));
+}
+
+void
+setDirty(MurState &s, bool on)
+{
+    if (on)
+        s.bytes[kDir] |= 4;
+    else
+        s.bytes[kDir] &= static_cast<std::uint8_t>(~4u);
+}
+
+} // namespace
+
+SciProtocol::SciProtocol(int values) : values_(values)
+{
+    fatal_if(values < 2 || values > 15,
+             "SciProtocol: values must be in [2, 15]");
+}
+
+MurState
+SciProtocol::initialState() const
+{
+    return MurState{}; // All invalid, channels empty, memory value 0.
+}
+
+bool
+SciProtocol::invariant(const MurState &s) const
+{
+    auto cs0 = static_cast<CacheState>(s.bytes[kCs]);
+    auto cs1 = static_cast<CacheState>(s.bytes[kCs + 1]);
+    bool valid0 = cs0 == kShared || cs0 == kModified;
+    bool valid1 = cs1 == kShared || cs1 == kModified;
+
+    // Single-writer: never two valid copies when one is modified.
+    if ((cs0 == kModified && valid1) || (cs1 == kModified && valid0))
+        return false;
+    // Shared copies agree with each other and with memory.
+    if (cs0 == kShared && cs1 == kShared &&
+        (s.bytes[kCv] != s.bytes[kCv + 1] ||
+         s.bytes[kCv] != s.bytes[kMv]))
+        return false;
+    // A modified copy implies the directory knows about it.
+    if (cs0 == kModified && !(dirty(s) && sharer(s, 0)))
+        return false;
+    if (cs1 == kModified && !(dirty(s) && sharer(s, 1)))
+        return false;
+    return true;
+}
+
+void
+SciProtocol::successors(const MurState &s, std::vector<MurState> &out) const
+{
+    // ---- Cache-initiated rules -------------------------------------
+    for (int i = 0; i < 2; ++i) {
+        auto cs = static_cast<CacheState>(s.bytes[kCs + i]);
+        bool req_free = chanMsg(s.bytes[kReq + i]) == kReqNone;
+
+        if (cs == kInvalid && req_free) {
+            MurState n = s; // Issue GETS.
+            n.bytes[kCs + i] = kPendingS;
+            n.bytes[kReq + i] = chan(kGetS, 0);
+            out.push_back(n);
+            n = s; // Issue GETM.
+            n.bytes[kCs + i] = kPendingM;
+            n.bytes[kReq + i] = chan(kGetM, 0);
+            out.push_back(n);
+        }
+        if (cs == kShared && req_free) {
+            MurState n = s; // Upgrade.
+            n.bytes[kCs + i] = kPendingM;
+            n.bytes[kReq + i] = chan(kGetM, 0);
+            out.push_back(n);
+        }
+        if (cs == kModified) {
+            MurState n = s; // Write: bump the data value.
+            n.bytes[kCv + i] = static_cast<std::uint8_t>(
+                (s.bytes[kCv + i] + 1) % values_);
+            out.push_back(n);
+            if (req_free) {
+                n = s; // Evict: write back.
+                n.bytes[kCs + i] = kPendingWb;
+                n.bytes[kReq + i] = chan(kPutM, s.bytes[kCv + i]);
+                out.push_back(n);
+            }
+        }
+
+        // ---- Cache consumes its response channel --------------------
+        std::uint8_t resp = chanMsg(s.bytes[kResp + i]);
+        std::uint8_t rv = chanVal(s.bytes[kResp + i]);
+        bool ack_free = chanMsg(s.bytes[kAck + i]) == kAckNone;
+        if (resp == kDataS && cs == kPendingS) {
+            MurState n = s;
+            n.bytes[kCs + i] = kShared;
+            n.bytes[kCv + i] = rv;
+            n.bytes[kResp + i] = 0;
+            out.push_back(n);
+        }
+        if (resp == kDataM && cs == kPendingM) {
+            MurState n = s;
+            n.bytes[kCs + i] = kModified;
+            n.bytes[kCv + i] = rv;
+            n.bytes[kResp + i] = 0;
+            out.push_back(n);
+        }
+        if (resp == kInv && ack_free) {
+            MurState n = s;
+            n.bytes[kResp + i] = 0;
+            switch (cs) {
+              case kShared:
+                n.bytes[kCs + i] = kInvalid;
+                n.bytes[kCv + i] = 0;
+                n.bytes[kAck + i] = chan(kInvAckClean, 0);
+                break;
+              case kModified:
+              case kPendingWb:
+                // Recall of a dirty line (possibly racing our PUTM).
+                n.bytes[kAck + i] = chan(kInvAckDirty, s.bytes[kCv + i]);
+                if (cs == kModified) {
+                    n.bytes[kCs + i] = kInvalid;
+                    n.bytes[kCv + i] = 0;
+                }
+                break;
+              default:
+                // Stale invalidation (pending or invalid): ack clean,
+                // drop any stale data.
+                n.bytes[kAck + i] = chan(kInvAckClean, 0);
+                n.bytes[kCv + i] = 0;
+                break;
+            }
+            out.push_back(n);
+        }
+        if (resp == kWbAck && cs == kPendingWb) {
+            MurState n = s;
+            n.bytes[kCs + i] = kInvalid;
+            n.bytes[kCv + i] = 0;
+            n.bytes[kResp + i] = 0;
+            out.push_back(n);
+        }
+    }
+
+    // ---- Directory rules --------------------------------------------
+    for (int i = 0; i < 2; ++i) {
+        const int j = 1 - i;
+        std::uint8_t req = chanMsg(s.bytes[kReq + i]);
+        std::uint8_t reqv = chanVal(s.bytes[kReq + i]);
+        if (req == kReqNone)
+            continue;
+        // Grants to cache i must wait until any in-flight ack from i has
+        // been consumed, or the stale ack would clobber the new grant's
+        // directory state.
+        bool resp_i_free = chanMsg(s.bytes[kResp + i]) == kRespNone &&
+                           chanMsg(s.bytes[kAck + i]) == kAckNone;
+        bool resp_j_free = chanMsg(s.bytes[kResp + j]) == kRespNone;
+        bool ack_j_free = chanMsg(s.bytes[kAck + j]) == kAckNone;
+
+        if (req == kGetS) {
+            if (dirty(s) && sharer(s, j)) {
+                // Recall the dirty copy first (send at most one INV:
+                // guard on both channels being empty).
+                if (resp_j_free && ack_j_free) {
+                    MurState n = s;
+                    n.bytes[kResp + j] = chan(kInv, 0);
+                    out.push_back(n);
+                }
+            } else if (!dirty(s) && resp_i_free) {
+                MurState n = s;
+                n.bytes[kResp + i] = chan(kDataS, s.bytes[kMv]);
+                setSharer(n, i, true);
+                n.bytes[kReq + i] = 0;
+                out.push_back(n);
+            }
+        }
+
+        if (req == kGetM) {
+            if (dirty(s) && sharer(s, j)) {
+                if (resp_j_free && ack_j_free) {
+                    MurState n = s;
+                    n.bytes[kResp + j] = chan(kInv, 0);
+                    out.push_back(n);
+                }
+            } else if (!dirty(s) && sharer(s, j)) {
+                // Invalidate the other sharer before granting M.
+                if (resp_j_free && ack_j_free) {
+                    MurState n = s;
+                    n.bytes[kResp + j] = chan(kInv, 0);
+                    out.push_back(n);
+                }
+            } else if (!dirty(s) && !sharer(s, j) && resp_i_free) {
+                MurState n = s;
+                n.bytes[kResp + i] = chan(kDataM, s.bytes[kMv]);
+                setSharer(n, i, true);
+                setSharer(n, j, false);
+                setDirty(n, true);
+                n.bytes[kReq + i] = 0;
+                out.push_back(n);
+            }
+        }
+
+        if (req == kPutM && resp_i_free) {
+            MurState n = s;
+            if (dirty(s) && sharer(s, i)) {
+                n.bytes[kMv] = reqv;
+                setDirty(n, false);
+                setSharer(n, i, false);
+            }
+            // Otherwise the line was already recalled: absorb the
+            // stale PUTM without touching memory.
+            n.bytes[kResp + i] = chan(kWbAck, 0);
+            n.bytes[kReq + i] = 0;
+            out.push_back(n);
+        }
+    }
+
+    // ---- Directory consumes acks (independent of pending requests) --
+    for (int i = 0; i < 2; ++i) {
+        std::uint8_t ack = chanMsg(s.bytes[kAck + i]);
+        std::uint8_t av = chanVal(s.bytes[kAck + i]);
+        if (ack == kInvAckClean) {
+            MurState n = s;
+            setSharer(n, i, false);
+            if (dirty(s) && sharer(s, i))
+                setDirty(n, false); // Defensive; owner acks dirty.
+            n.bytes[kAck + i] = 0;
+            out.push_back(n);
+        }
+        if (ack == kInvAckDirty) {
+            MurState n = s;
+            n.bytes[kMv] = av;
+            setDirty(n, false);
+            setSharer(n, i, false);
+            n.bytes[kAck + i] = 0;
+            out.push_back(n);
+        }
+    }
+}
+
+} // namespace nowcluster

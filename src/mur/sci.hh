@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A simplified SCI-flavored cache-coherence protocol for the verifier:
+ * two processors, one cache line, one memory module each (the paper's
+ * Mur-phi input configuration).
+ *
+ * The protocol is a directory/linked-list MSI with explicit request,
+ * response, and invalidation channels, plus a small modular data value
+ * tracked through caches, memory, and in-flight data messages. The
+ * data value multiplies the state space (tunable via `values`) the way
+ * the real SCI model's richer state does, and gives the invariant
+ * something meaningful to check: any two valid copies agree.
+ */
+
+#ifndef NOWCLUSTER_MUR_SCI_HH_
+#define NOWCLUSTER_MUR_SCI_HH_
+
+#include "mur/checker.hh"
+
+namespace nowcluster {
+
+/** Simplified SCI coherence model. See file comment. */
+class SciProtocol : public MurProtocol
+{
+  public:
+    /**
+     * @param values Number of distinct data values (>= 2); larger
+     *               values enlarge the reachable state space.
+     */
+    explicit SciProtocol(int values = 4);
+
+    std::string name() const override { return "sci"; }
+    MurState initialState() const override;
+    void successors(const MurState &s,
+                    std::vector<MurState> &out) const override;
+    bool invariant(const MurState &s) const override;
+
+    /** Cache stability states. */
+    enum CacheState : std::uint8_t
+    {
+        kInvalid = 0,
+        kPendingS,   ///< GETS issued, waiting for data.
+        kPendingM,   ///< GETM issued, waiting for data/ack.
+        kShared,
+        kModified,
+        kPendingWb,  ///< PUTM issued, waiting for writeback ack.
+    };
+
+    /** Request channel contents (cache -> directory). */
+    enum ReqMsg : std::uint8_t
+    {
+        kReqNone = 0,
+        kGetS,
+        kGetM,
+        kPutM,
+    };
+
+    /** Response channel contents (directory -> cache). */
+    enum RespMsg : std::uint8_t
+    {
+        kRespNone = 0,
+        kDataS, ///< Data, shared grant.
+        kDataM, ///< Data, exclusive grant.
+        kInv,   ///< Invalidate / recall.
+        kWbAck, ///< Writeback complete.
+    };
+
+    /** Acknowledge channel contents (cache -> directory). */
+    enum AckMsg : std::uint8_t
+    {
+        kAckNone = 0,
+        kInvAckClean, ///< Line dropped, was clean.
+        kInvAckDirty, ///< Line flushed, carries data.
+    };
+
+    // State layout within MurState::bytes (two caches, i in {0, 1}):
+    //   [0+i] cache state            [2+i] cache data value
+    //   [4+i] request channel        [5 is cache 1's; see code]
+    //   [6+i] response channel       [8+i] response data value
+    //   [10+i] ack channel           [12+i] ack data value
+    //   [14]  directory: bit0/1 sharer list, bit2 dirty-at-owner
+    //   [15]  memory data value
+
+  private:
+    int values_;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_MUR_SCI_HH_

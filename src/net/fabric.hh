@@ -1,0 +1,73 @@
+/**
+ * @file
+ * An optional switch-fabric contention model.
+ *
+ * The paper's cluster was ten 8-port Myrinet switches (160 MB/s per
+ * port), and the study treats the network as contention-free constant
+ * latency -- implicitly claiming switch contention is negligible at
+ * the offered loads. This model lets the laboratory *test* that
+ * assumption: hosts hang off leaf switches; cross-switch packets
+ * serialize over the source switch's uplink and the destination
+ * switch's downlink. The model only ever *adds* delay relative to the
+ * constant-latency baseline, so enabling it with uncontended traffic
+ * changes nothing and calibration stays intact.
+ */
+
+#ifndef NOWCLUSTER_NET_FABRIC_HH_
+#define NOWCLUSTER_NET_FABRIC_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace nowcluster {
+
+/** Two-level switch fabric: leaf switches joined by a central stage. */
+class SwitchFabric
+{
+  public:
+    struct Config
+    {
+        /** Hosts attached to each leaf switch (paper: 8-port M2F
+         *  switches with some ports used as uplinks). */
+        int hostsPerSwitch = 4;
+        /** Per-port link bandwidth (paper: 160 MB/s). */
+        double linkMBps = 160.0;
+        /** Minimum wire size of a short message, for serialization. */
+        std::size_t minPacketBytes = 28;
+    };
+
+    SwitchFabric(int nprocs, const Config &config);
+
+    /** Which leaf switch a host hangs off. */
+    int switchOf(NodeId host) const
+    {
+        return host / config_.hostsPerSwitch;
+    }
+
+    /**
+     * Account a packet of `bytes` from src to dst injected at time t.
+     * @return the *additional* delay (>= 0) relative to the
+     *         contention-free constant-latency path; mutates the link
+     *         busy state.
+     */
+    Tick contentionDelay(NodeId src, NodeId dst, std::size_t bytes,
+                         Tick inject);
+
+    /** Total ticks of queueing observed so far (diagnostic). */
+    Tick totalQueueing() const { return totalQueueing_; }
+
+  private:
+    Tick serializationTime(std::size_t bytes) const;
+
+    Config config_;
+    int nSwitches_;
+    std::vector<Tick> uplinkBusy_;   ///< Leaf -> spine, per switch.
+    std::vector<Tick> downlinkBusy_; ///< Spine -> leaf, per switch.
+    Tick totalQueueing_ = 0;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_NET_FABRIC_HH_

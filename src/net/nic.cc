@@ -1,0 +1,37 @@
+#include "net/nic.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+NicTx::Accept
+NicTx::accept(Tick h, Tick occupancy, Tick transfer)
+{
+    // Free slots whose descriptors have already entered the tx context.
+    while (!slotRelease_.empty() && slotRelease_.front() <= h)
+        slotRelease_.pop_front();
+
+    // If the FIFO is full, the host spins until a slot opens. Releases
+    // are monotonically increasing, so the wait target is the entry that
+    // leaves exactly depth-1 descriptors queued.
+    const std::size_t depth =
+        static_cast<std::size_t>(params_->txQueueDepth);
+    if (slotRelease_.size() >= depth) {
+        h = slotRelease_[slotRelease_.size() - depth];
+        while (!slotRelease_.empty() && slotRelease_.front() <= h)
+            slotRelease_.pop_front();
+    }
+
+    Accept a;
+    a.hostFreeAt = h;
+    a.injectStart = std::max(h, busyUntil_);
+    a.wireAt = a.injectStart + transfer;
+    busyUntil_ = a.injectStart + occupancy;
+    // A descriptor occupies its FIFO slot until fully processed.
+    slotRelease_.push_back(busyUntil_);
+    return a;
+}
+
+} // namespace nowcluster

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Transmit-side model of the network interface (the "LANai").
+ *
+ * The tx context is a single serial resource: each descriptor occupies it
+ * for `occupancy` ticks (g for shorts, size*G + g for bulk fragments).
+ * The host writes descriptors into a finite FIFO and stalls when it is
+ * full — this is how g back-pressures the processor during bursts.
+ *
+ * The receive context is modeled as always available (the paper's LANai
+ * has dual hardware contexts precisely so receive proceeds while
+ * transmit is stalled), so there is no NicRx class: arrival timestamps
+ * are computed at injection and the network schedules delivery directly.
+ */
+
+#ifndef NOWCLUSTER_NET_NIC_HH_
+#define NOWCLUSTER_NET_NIC_HH_
+
+#include <deque>
+
+#include "base/types.hh"
+#include "net/loggp.hh"
+
+namespace nowcluster {
+
+/** Deterministic timestamp algebra for the NIC transmit pipeline. */
+class NicTx
+{
+  public:
+    explicit NicTx(const LogGPParams &params) : params_(&params) {}
+
+    /** Result of offering a descriptor to the NIC. */
+    struct Accept
+    {
+        /** When the host finished enqueuing (>= offer time if stalled). */
+        Tick hostFreeAt;
+        /** When the tx context begins injecting this message. */
+        Tick injectStart;
+        /** When the payload has fully left the NIC (== injectStart for
+         *  short messages; injectStart + size*G for bulk fragments). */
+        Tick wireAt;
+    };
+
+    /**
+     * Offer a short message to the NIC at host time h.
+     * Occupies the tx context for g after injection.
+     */
+    Accept
+    acceptShort(Tick h)
+    {
+        return accept(h, params_->gap, 0);
+    }
+
+    /**
+     * Offer a bulk fragment of size bytes at host time h.
+     * The DMA transfer takes size*G; the injection-loop stall g follows.
+     */
+    Accept
+    acceptBulk(Tick h, std::size_t size)
+    {
+        Tick xfer = static_cast<Tick>(
+            static_cast<double>(size) * params_->gPerByte + 0.5);
+        return accept(h, xfer + params_->gap, xfer);
+    }
+
+    /** Time the tx context becomes idle after everything accepted. */
+    Tick busyUntil() const { return busyUntil_; }
+
+  private:
+    Accept accept(Tick h, Tick occupancy, Tick transfer);
+
+    const LogGPParams *params_;
+    Tick busyUntil_ = 0;
+    /** injectStart of descriptors still logically queued; a slot frees
+     *  when its descriptor enters the tx context. */
+    std::deque<Tick> slotRelease_;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_NET_NIC_HH_

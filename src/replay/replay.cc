@@ -1,0 +1,133 @@
+#include "replay/replay.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "am/cluster.hh"
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+ReplaySchedule
+extractSchedule(const MessageTrace &trace, int nprocs,
+                const LogGPParams &recorded_on)
+{
+    ReplaySchedule sched;
+    sched.nprocs = nprocs;
+    sched.steps.resize(nprocs);
+
+    // Per-source sequences, in issue order (the trace appends sends in
+    // issue order per processor already).
+    std::vector<std::vector<const TraceRecord *>> by_src(nprocs);
+    for (const TraceRecord &r : trace.records()) {
+        panic_if(r.src < 0 || r.src >= nprocs,
+                 "trace source %d outside %d-proc cluster", r.src,
+                 nprocs);
+        by_src[r.src].push_back(&r);
+    }
+
+    const Tick send_cost = recorded_on.sendOverhead();
+    for (int p = 0; p < nprocs; ++p) {
+        Tick prev_issue = 0;
+        bool first = true;
+        auto &steps = sched.steps[p];
+        for (std::size_t i = 0; i < by_src[p].size(); ++i) {
+            const TraceRecord &r = *by_src[p][i];
+            // Replies and acks regenerate during replay.
+            if (r.kind == PacketKind::Reply)
+                continue;
+            if (r.kind == PacketKind::BulkFrag) {
+                // Coalesce a run of fragments to the same destination
+                // into one bulk operation.
+                std::uint64_t bytes = r.bytes;
+                std::size_t j = i + 1;
+                while (j < by_src[p].size() &&
+                       by_src[p][j]->kind == PacketKind::BulkFrag &&
+                       by_src[p][j]->dst == r.dst &&
+                       by_src[p][j]->issuedAt - by_src[p][j - 1]->issuedAt
+                           < usec(200)) {
+                    bytes += by_src[p][j]->bytes;
+                    ++j;
+                }
+                Tick gap = first ? 0 : r.issuedAt - prev_issue;
+                steps.push_back(
+                    {std::max<Tick>(0, gap - send_cost), r.dst, true,
+                     static_cast<std::uint32_t>(
+                         std::min<std::uint64_t>(bytes, 1u << 30))});
+                prev_issue = by_src[p][j - 1]->issuedAt;
+                first = false;
+                i = j - 1;
+                continue;
+            }
+            Tick gap = first ? 0 : r.issuedAt - prev_issue;
+            steps.push_back({std::max<Tick>(0, gap - send_cost), r.dst,
+                             false, 0});
+            prev_issue = r.issuedAt;
+            first = false;
+        }
+    }
+    return sched;
+}
+
+ReplayResult
+replaySchedule(const ReplaySchedule &schedule, const LogGPParams &params)
+{
+    ReplayResult result;
+    const int p = schedule.nprocs;
+    if (p == 0)
+        return result;
+
+    // Scratch target buffers sized to the largest bulk step per node.
+    std::size_t max_bulk = 1;
+    for (const auto &steps : schedule.steps) {
+        for (const ReplayStep &s : steps)
+            max_bulk = std::max<std::size_t>(max_bulk, s.bytes);
+    }
+    std::vector<std::vector<std::uint8_t>> scratch(p);
+    for (auto &b : scratch)
+        b.assign(max_bulk, 0);
+    std::vector<std::uint8_t> payload(max_bulk, 0xEE);
+
+    Cluster cluster(p, params);
+    int finished = 0;
+    bool stop = false;
+    int sink = cluster.registerHandler([](AmNode &, Packet &) {});
+    int h_done = cluster.registerHandler(
+        [&](AmNode &, Packet &) { ++finished; });
+    int h_stop = cluster.registerHandler(
+        [&](AmNode &, Packet &) { stop = true; });
+
+    bool ok = cluster.run([&](AmNode &n) {
+        const int me = n.id();
+        for (const ReplayStep &s : schedule.steps[me]) {
+            if (s.think > 0)
+                n.compute(s.think);
+            if (s.bulk) {
+                n.store(s.dst, scratch[s.dst].data(), payload.data(),
+                        s.bytes);
+            } else {
+                n.oneWay(s.dst, sink);
+            }
+        }
+        n.storeSync();
+        // Completion protocol: everyone reports to 0; 0 broadcasts
+        // stop so receivers keep polling until all traffic landed.
+        if (me == 0) {
+            ++finished;
+            n.pollUntil([&] { return finished == p; });
+            stop = true;
+            for (int q = 1; q < p; ++q)
+                n.oneWay(q, h_stop);
+        } else {
+            n.oneWay(0, h_done);
+            n.pollUntil([&] { return stop; });
+        }
+    }, 3600 * kSec);
+
+    result.ok = ok;
+    result.makespan = cluster.runtime();
+    result.sends = schedule.totalSends();
+    return result;
+}
+
+} // namespace nowcluster

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are (when, sequence, closure) triples ordered by time and, for
+ * equal times, by insertion order, which makes every run deterministic.
+ */
+
+#ifndef NOWCLUSTER_SIM_EVENT_QUEUE_HH_
+#define NOWCLUSTER_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace nowcluster {
+
+/** Priority queue of timestamped closures with FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    /** Schedule fn to run at absolute time when. */
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event; kTickNever if none. */
+    Tick
+    nextTime() const
+    {
+        return heap_.empty() ? kTickNever : heap_.top().when;
+    }
+
+    /**
+     * Pop and return the earliest event.
+     * @pre !empty()
+     */
+    std::pair<Tick, std::function<void()>>
+    pop()
+    {
+        // std::priority_queue::top() is const; the closure must be moved
+        // out, so we const_cast the known-mutable entry. This is the
+        // standard workaround and is safe because pop() follows at once.
+        Entry &top = const_cast<Entry &>(heap_.top());
+        auto result = std::make_pair(top.when, std::move(top.fn));
+        heap_.pop();
+        return result;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_SIM_EVENT_QUEUE_HH_

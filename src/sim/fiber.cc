@@ -1,0 +1,86 @@
+#include "sim/fiber.hh"
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+namespace {
+
+// The fiber currently executing on this thread. The simulator is single
+// threaded; thread_local keeps tests that spawn threads safe anyway.
+thread_local Fiber *current_fiber = nullptr;
+
+// Handoff slot for the trampoline: makecontext() can only pass ints
+// portably, so the Fiber* is passed through this thread-local instead.
+thread_local Fiber *starting_fiber = nullptr;
+
+} // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
+    : body_(std::move(body)), stack_(new char[stack_size])
+{
+    panic_if(stack_size < 16 * 1024, "fiber stack too small: %zu",
+             stack_size);
+    if (getcontext(&context_) != 0)
+        panic("getcontext failed");
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_size;
+    context_.uc_link = &returnContext_;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                0);
+}
+
+Fiber::~Fiber()
+{
+    // Destroying a suspended (started but unfinished) fiber leaks any
+    // resources held by frames on its stack; warn so tests notice.
+    if (started_ && !finished_)
+        warn("destroying unfinished fiber");
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = starting_fiber;
+    starting_fiber = nullptr;
+    self->body_();
+    self->finished_ = true;
+    current_fiber = nullptr;
+    // Returning switches to uc_link (returnContext_).
+}
+
+void
+Fiber::resume()
+{
+    panic_if(current_fiber != nullptr,
+             "Fiber::resume called from inside a fiber");
+    panic_if(finished_, "resuming a finished fiber");
+    current_fiber = this;
+    if (!started_) {
+        started_ = true;
+        starting_fiber = this;
+    }
+    if (swapcontext(&returnContext_, &context_) != 0)
+        panic("swapcontext into fiber failed");
+    // We only get back here after the fiber yields or finishes.
+    current_fiber = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = current_fiber;
+    panic_if(self == nullptr, "Fiber::yield called outside a fiber");
+    current_fiber = nullptr;
+    if (swapcontext(&self->context_, &self->returnContext_) != 0)
+        panic("swapcontext out of fiber failed");
+    current_fiber = self;
+}
+
+Fiber *
+Fiber::current()
+{
+    return current_fiber;
+}
+
+} // namespace nowcluster

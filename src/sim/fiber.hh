@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Stackful coroutines (fibers) used to run one SPMD program instance per
+ * simulated processor.
+ *
+ * Built on ucontext so that application code can block in the middle of
+ * arbitrarily nested calls (reads, locks, barriers) exactly like a real
+ * Split-C program would, while the event-driven kernel advances virtual
+ * time underneath.
+ */
+
+#ifndef NOWCLUSTER_SIM_FIBER_HH_
+#define NOWCLUSTER_SIM_FIBER_HH_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace nowcluster {
+
+/**
+ * A cooperatively scheduled execution context with its own stack.
+ *
+ * Only one fiber runs at a time; resume() transfers control from the
+ * scheduler into the fiber, and yield() transfers back. Fibers must not
+ * be resumed after finishing.
+ */
+class Fiber
+{
+  public:
+    /**
+     * Create a fiber that will run body when first resumed.
+     * @param body  The function to execute on the fiber's stack.
+     * @param stack_size  Stack size in bytes (default 256 KiB).
+     */
+    explicit Fiber(std::function<void()> body,
+                   std::size_t stack_size = 256 * 1024);
+
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Run the fiber until it yields or finishes.
+     * Must be called from scheduler context (not from inside a fiber).
+     */
+    void resume();
+
+    /**
+     * Suspend the currently running fiber, returning control to the
+     * resume() call that started it. Must be called from fiber context.
+     */
+    static void yield();
+
+    /** The fiber currently executing, or nullptr in scheduler context. */
+    static Fiber *current();
+
+    /** True once body has returned. */
+    bool finished() const { return finished_; }
+
+  private:
+    static void trampoline();
+
+    std::function<void()> body_;
+    std::unique_ptr<char[]> stack_;
+    ucontext_t context_;
+    ucontext_t returnContext_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_SIM_FIBER_HH_

@@ -1,0 +1,85 @@
+#include "sim/proc.hh"
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+Proc::Proc(Simulator &sim, NodeId id, std::function<void(Proc &)> body)
+    : sim_(sim), id_(id), body_(std::move(body))
+{
+    fiber_ = std::make_unique<Fiber>([this] { body_(*this); });
+}
+
+void
+Proc::start(Tick at)
+{
+    panic_if(state_ != ProcState::Created, "proc %d started twice", id_);
+    state_ = ProcState::Ready;
+    sim_.schedule(at, [this] { activate(); });
+}
+
+void
+Proc::activate()
+{
+    panic_if(state_ != ProcState::Ready, "activating proc %d in state %d",
+             id_, static_cast<int>(state_));
+    state_ = ProcState::Running;
+    fiber_->resume();
+    if (fiber_->finished())
+        state_ = ProcState::Done;
+    // Otherwise the fiber yielded via compute() (state Ready, event
+    // already scheduled) or block() (state Blocked, waiting for wake).
+}
+
+void
+Proc::compute(Tick dt)
+{
+    panic_if(!isCurrent(), "compute() outside proc %d's fiber", id_);
+    panic_if(dt < 0, "negative compute time %lld",
+             static_cast<long long>(dt));
+    busyTime_ += dt;
+    if (dt == 0)
+        return;
+    state_ = ProcState::Ready;
+    sim_.scheduleIn(dt, [this] { activate(); });
+    Fiber::yield();
+}
+
+void
+Proc::block()
+{
+    panic_if(!isCurrent(), "block() outside proc %d's fiber", id_);
+    if (wakePending_) {
+        // A wake was posted while we were running (e.g., one of our own
+        // handlers satisfied the condition): don't suspend at all.
+        wakePending_ = false;
+        return;
+    }
+    state_ = ProcState::Blocked;
+    Fiber::yield();
+}
+
+void
+Proc::wake(Tick at)
+{
+    if (at < 0)
+        at = sim_.now();
+    switch (state_) {
+      case ProcState::Blocked:
+        state_ = ProcState::Ready;
+        sim_.schedule(at, [this] { activate(); });
+        break;
+      case ProcState::Running:
+        // Wake posted from this proc's own call chain (during poll);
+        // remember it so the next block() returns immediately.
+        wakePending_ = true;
+        break;
+      case ProcState::Ready:
+      case ProcState::Created:
+      case ProcState::Done:
+        // Already scheduled, not started, or finished: nothing to do.
+        break;
+    }
+}
+
+} // namespace nowcluster

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Spread arrays: Split-C's signature data structure. A spread array is
+ * a global array laid out cyclically across processors -- element i
+ * lives on node i % P at local offset i / P -- so `A[i]` works from
+ * any processor through the usual global-pointer operations.
+ *
+ * This implementation owns per-node backing storage (constructed
+ * outside run(), like application node state) and exposes the Split-C
+ * operation vocabulary: blocking read/write, split-phase put/get, and
+ * block-cyclic views for bulk movement.
+ */
+
+#ifndef NOWCLUSTER_SPLITC_SPREAD_ARRAY_HH_
+#define NOWCLUSTER_SPLITC_SPREAD_ARRAY_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/logging.hh"
+#include "splitc/splitc.hh"
+
+namespace nowcluster {
+
+/**
+ * A cyclically distributed global array of T.
+ *
+ * @tparam T element type (trivially copyable, <= 16 bytes for the
+ *           word-granularity operations).
+ */
+template <typename T>
+class SpreadArray
+{
+  public:
+    /**
+     * @param nprocs Processor count of the cluster it will be used on.
+     * @param size   Global element count.
+     */
+    SpreadArray(int nprocs, std::size_t size)
+        : nprocs_(nprocs), size_(size),
+          perNode_((size + nprocs - 1) /
+                   static_cast<std::size_t>(nprocs)),
+          backing_(nprocs)
+    {
+        fatal_if(nprocs < 1, "spread array needs processors");
+        for (auto &b : backing_)
+            b.assign(std::max<std::size_t>(perNode_, 1), T{});
+    }
+
+    std::size_t size() const { return size_; }
+    int nprocs() const { return nprocs_; }
+
+    /** Owning node of global index i. */
+    NodeId
+    nodeOf(std::size_t i) const
+    {
+        return static_cast<NodeId>(i % static_cast<std::size_t>(nprocs_));
+    }
+
+    /** Local offset of global index i on its owner. */
+    std::size_t
+    offsetOf(std::size_t i) const
+    {
+        return i / static_cast<std::size_t>(nprocs_);
+    }
+
+    /** Global pointer to element i. */
+    GlobalPtr<T>
+    at(std::size_t i)
+    {
+        panic_if(i >= size_, "spread array index %zu out of %zu", i,
+                 size_);
+        return gptr(nodeOf(i), &backing_[nodeOf(i)][offsetOf(i)]);
+    }
+
+    /** Blocking read of element i. */
+    T
+    read(SplitC &sc, std::size_t i)
+    {
+        return sc.read(at(i));
+    }
+
+    /** Blocking write of element i. */
+    void
+    write(SplitC &sc, std::size_t i, const T &v)
+    {
+        sc.write(at(i), v);
+    }
+
+    /** Split-phase write (complete with sc.sync()). */
+    void
+    put(SplitC &sc, std::size_t i, const T &v)
+    {
+        sc.put(at(i), v);
+    }
+
+    /** Split-phase read into *local (complete with sc.sync()). */
+    void
+    get(SplitC &sc, std::size_t i, T *local)
+    {
+        sc.get(at(i), local);
+    }
+
+    /**
+     * Direct access to the slice owned by node `node` -- the idiomatic
+     * Split-C "my elements" loop is
+     * `for (i = myProc; i < size; i += procs)` over `local(me)[i/P]`.
+     */
+    T *localSlice(NodeId node) { return backing_[node].data(); }
+    const T *
+    localSlice(NodeId node) const
+    {
+        return backing_[node].data();
+    }
+
+    /** Number of elements node `node` owns. */
+    std::size_t
+    localCount(NodeId node) const
+    {
+        if (size_ == 0)
+            return 0;
+        std::size_t full = size_ / static_cast<std::size_t>(nprocs_);
+        return full + (static_cast<std::size_t>(node) <
+                               size_ % static_cast<std::size_t>(nprocs_)
+                           ? 1
+                           : 0);
+    }
+
+    /**
+     * Bulk-fetch the owner slice of `node` into local memory
+     * (blocking): the building block for gather-style phases.
+     */
+    void
+    readSlice(SplitC &sc, NodeId node, T *out)
+    {
+        std::size_t n = localCount(node);
+        if (n == 0)
+            return;
+        sc.readBulk(gptr(node, backing_[node].data()), out, n);
+    }
+
+    /**
+     * Bulk-store `n` elements into the owner slice of `node`
+     * (asynchronous; complete with sc.storeSync()).
+     */
+    void
+    writeSlice(SplitC &sc, NodeId node, const T *src, std::size_t n)
+    {
+        panic_if(n > localCount(node), "slice overflow");
+        sc.storeArr(gptr(node, backing_[node].data()), src, n);
+    }
+
+  private:
+    int nprocs_;
+    std::size_t size_;
+    std::size_t perNode_;
+    std::vector<std::vector<T>> backing_;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_SPLITC_SPREAD_ARRAY_HH_

@@ -1,0 +1,138 @@
+#include "stats/comm_stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "am/cluster.hh"
+
+namespace nowcluster {
+
+CommSummary
+summarizeComm(const Cluster &cluster_in, Tick runtime,
+              const std::string &app_name)
+{
+    // Counters are read-only here; Cluster only exposes non-const
+    // node(), so cast once rather than duplicate the accessor.
+    Cluster &cluster = const_cast<Cluster &>(cluster_in);
+    const int p = cluster.nprocs();
+
+    CommSummary s;
+    s.app = app_name;
+    s.nprocs = p;
+    s.runtime = runtime;
+
+    std::uint64_t total = 0, max_per_proc = 0;
+    std::uint64_t bulk = 0, reads = 0, barriers = 0;
+    std::uint64_t bulk_bytes = 0, small_bytes = 0;
+    for (int i = 0; i < p; ++i) {
+        const AmCounters &c = cluster.node(i).counters();
+        total += c.sent;
+        max_per_proc = std::max(max_per_proc, c.sent);
+        bulk += c.bulkMsgs;
+        reads += c.readMsgs;
+        barriers += c.barriers;
+        bulk_bytes += c.bulkBytesSent;
+        small_bytes += c.shortBytesSent;
+        s.lockFailures += c.lockFailures;
+        s.lockAcquires += c.lockAcquires;
+    }
+
+    s.avgMsgsPerProc = total / static_cast<std::uint64_t>(p);
+    s.maxMsgsPerProc = max_per_proc;
+
+    double ms = toMsec(runtime);
+    double sec = toSec(runtime);
+    if (runtime > 0) {
+        s.msgsPerProcPerMs = static_cast<double>(s.avgMsgsPerProc) / ms;
+        s.msgIntervalUs = s.avgMsgsPerProc
+                              ? toUsec(runtime) /
+                                    static_cast<double>(s.avgMsgsPerProc)
+                              : 0.0;
+        double barriers_per_proc =
+            static_cast<double>(barriers) / static_cast<double>(p);
+        s.barrierIntervalMs =
+            barriers_per_proc > 0 ? ms / barriers_per_proc : 0.0;
+        s.bulkKBps = static_cast<double>(bulk_bytes) /
+                     static_cast<double>(p) / 1024.0 / sec;
+        s.smallKBps = static_cast<double>(small_bytes) /
+                      static_cast<double>(p) / 1024.0 / sec;
+    }
+    if (total > 0) {
+        s.pctBulk = 100.0 * static_cast<double>(bulk) /
+                    static_cast<double>(total);
+        s.pctReads = 100.0 * static_cast<double>(reads) /
+                     static_cast<double>(total);
+    }
+    return s;
+}
+
+CommMatrix
+commMatrix(const Cluster &cluster_in)
+{
+    Cluster &cluster = const_cast<Cluster &>(cluster_in);
+    const int p = cluster.nprocs();
+    CommMatrix m;
+    m.nprocs = p;
+    m.counts.resize(static_cast<std::size_t>(p) * p, 0);
+    for (int i = 0; i < p; ++i) {
+        const AmCounters &c = cluster.node(i).counters();
+        for (int j = 0; j < p; ++j)
+            m.counts[static_cast<std::size_t>(i) * p + j] = c.sentTo[j];
+    }
+    return m;
+}
+
+std::uint64_t
+CommMatrix::maxCount() const
+{
+    std::uint64_t mx = 0;
+    for (auto v : counts)
+        mx = std::max(mx, v);
+    return mx;
+}
+
+bool
+CommMatrix::writePgm(const std::string &path, int cell) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const int dim = nprocs * cell;
+    std::fprintf(f, "P5\n%d %d\n255\n", dim, dim);
+    const double mx = static_cast<double>(std::max<std::uint64_t>(
+        maxCount(), 1));
+    std::vector<unsigned char> row(static_cast<std::size_t>(dim));
+    for (int i = 0; i < nprocs; ++i) {
+        for (int j = 0; j < nprocs; ++j) {
+            double frac = static_cast<double>(at(i, j)) / mx;
+            // White (255) = zero messages, black (0) = maximum.
+            auto grey = static_cast<unsigned char>(255.5 - 255.0 * frac);
+            for (int c = 0; c < cell; ++c)
+                row[static_cast<std::size_t>(j) * cell + c] = grey;
+        }
+        for (int c = 0; c < cell; ++c)
+            std::fwrite(row.data(), 1, row.size(), f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+std::string
+CommMatrix::ascii() const
+{
+    static const char shades[] = " .:-=+*#%@";
+    const double mx = static_cast<double>(std::max<std::uint64_t>(
+        maxCount(), 1));
+    std::string out;
+    for (int i = 0; i < nprocs; ++i) {
+        for (int j = 0; j < nprocs; ++j) {
+            double frac = static_cast<double>(at(i, j)) / mx;
+            int idx = std::min(9, static_cast<int>(frac * 9.999));
+            out += shades[idx];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace nowcluster

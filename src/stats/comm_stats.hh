@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Instrumentation summaries: the per-application communication profile
+ * of Table 4 and the communication-balance matrix of Figure 4.
+ */
+
+#ifndef NOWCLUSTER_STATS_COMM_STATS_HH_
+#define NOWCLUSTER_STATS_COMM_STATS_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace nowcluster {
+
+class Cluster;
+
+/** One row of the paper's Table 4. */
+struct CommSummary
+{
+    std::string app;
+    int nprocs = 0;
+    Tick runtime = 0;
+
+    std::uint64_t avgMsgsPerProc = 0;
+    std::uint64_t maxMsgsPerProc = 0;
+    /** Message frequency: messages per processor per millisecond. */
+    double msgsPerProcPerMs = 0;
+    /** Mean interval between sends, microseconds. */
+    double msgIntervalUs = 0;
+    /** Mean interval between barriers, milliseconds. */
+    double barrierIntervalMs = 0;
+    /** Percent of messages using the bulk transfer mechanism. */
+    double pctBulk = 0;
+    /** Percent of messages that are read requests or replies. */
+    double pctReads = 0;
+    /** Mean per-processor bulk bandwidth, KB/s. */
+    double bulkKBps = 0;
+    /** Mean per-processor short-message bandwidth, KB/s. */
+    double smallKBps = 0;
+
+    std::uint64_t lockFailures = 0;
+    std::uint64_t lockAcquires = 0;
+};
+
+/** Build a Table-4 row from a finished cluster run. */
+CommSummary summarizeComm(const Cluster &cluster, Tick runtime,
+                          const std::string &app_name);
+
+/**
+ * The Figure-4 communication-balance matrix: counts[i*P+j] is the
+ * number of messages i sent to j.
+ */
+struct CommMatrix
+{
+    int nprocs = 0;
+    std::vector<std::uint64_t> counts;
+
+    std::uint64_t at(int i, int j) const { return counts[i * nprocs + j]; }
+    std::uint64_t maxCount() const;
+
+    /**
+     * Write the matrix as a binary PGM image (white = no messages,
+     * black = per-matrix maximum), scaled up by `cell` pixels per entry.
+     */
+    bool writePgm(const std::string &path, int cell = 8) const;
+
+    /** Render as coarse ASCII art for terminal output. */
+    std::string ascii() const;
+};
+
+/** Extract the communication matrix from a finished cluster run. */
+CommMatrix commMatrix(const Cluster &cluster);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_STATS_COMM_STATS_HH_

@@ -1,0 +1,108 @@
+#include "stats/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace nowcluster {
+
+const char *
+packetKindName(PacketKind kind)
+{
+    switch (kind) {
+      case PacketKind::Request:
+        return "request";
+      case PacketKind::Reply:
+        return "reply";
+      case PacketKind::OneWay:
+        return "oneway";
+      case PacketKind::BulkFrag:
+        return "bulk";
+    }
+    return "?";
+}
+
+double
+MessageTrace::meanFlightUs() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0;
+    for (const TraceRecord &r : records_)
+        sum += toUsec(r.readyAt - r.issuedAt);
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+MessageTrace::burstFraction(Tick threshold) const
+{
+    // Group issue times by source, then count consecutive gaps below
+    // the threshold.
+    std::map<NodeId, std::vector<Tick>> by_src;
+    for (const TraceRecord &r : records_)
+        by_src[r.src].push_back(r.issuedAt);
+    std::uint64_t close = 0, total = 0;
+    for (auto &[src, times] : by_src) {
+        std::sort(times.begin(), times.end());
+        for (std::size_t i = 1; i < times.size(); ++i) {
+            ++total;
+            if (times[i] - times[i - 1] < threshold)
+                ++close;
+        }
+    }
+    return total ? static_cast<double>(close) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+bool
+MessageTrace::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "issued_us,ready_us,src,dst,kind,bytes\n");
+    for (const TraceRecord &r : records_) {
+        std::fprintf(f, "%.3f,%.3f,%d,%d,%s,%u\n", toUsec(r.issuedAt),
+                     toUsec(r.readyAt), r.src, r.dst,
+                     packetKindName(r.kind), r.bytes);
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+MessageTrace::readCsv(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    char line[256];
+    // Header.
+    if (!std::fgets(line, sizeof(line), f)) {
+        std::fclose(f);
+        return false;
+    }
+    while (std::fgets(line, sizeof(line), f)) {
+        double issued_us, ready_us;
+        int src, dst;
+        char kind[16] = {};
+        unsigned bytes = 0;
+        if (std::sscanf(line, "%lf,%lf,%d,%d,%15[^,],%u", &issued_us,
+                        &ready_us, &src, &dst, kind, &bytes) != 6)
+            continue;
+        PacketKind k = PacketKind::OneWay;
+        std::string ks = kind;
+        if (ks == "request")
+            k = PacketKind::Request;
+        else if (ks == "reply")
+            k = PacketKind::Reply;
+        else if (ks == "bulk")
+            k = PacketKind::BulkFrag;
+        record(usec(issued_us), usec(ready_us), src, dst, k, bytes);
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace nowcluster

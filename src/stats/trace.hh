@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Optional per-message tracing: when attached to a cluster, every
+ * packet leaving a NIC is recorded with its issue and arrival times.
+ * Useful for debugging applications and for offline analysis of
+ * burstiness (the property behind the paper's gap models).
+ */
+
+#ifndef NOWCLUSTER_STATS_TRACE_HH_
+#define NOWCLUSTER_STATS_TRACE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "net/packet.hh"
+
+namespace nowcluster {
+
+/** One traced message. */
+struct TraceRecord
+{
+    Tick issuedAt;  ///< Host finished handing it to the NIC.
+    Tick readyAt;   ///< Presence bit set at the receiver.
+    NodeId src;
+    NodeId dst;
+    PacketKind kind;
+    std::uint32_t bytes; ///< Payload bytes (fragment size for bulk).
+};
+
+/** An in-memory message trace with CSV export. */
+class MessageTrace
+{
+  public:
+    void
+    record(Tick issued, Tick ready, NodeId src, NodeId dst,
+           PacketKind kind, std::uint32_t bytes)
+    {
+        records_.push_back({issued, ready, src, dst, kind, bytes});
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    void clear() { records_.clear(); }
+
+    /** Mean in-flight time (issue to presence bit), microseconds. */
+    double meanFlightUs() const;
+
+    /**
+     * Fraction of consecutive same-source messages issued closer
+     * together than `threshold` -- a burstiness measure (Section 5.2).
+     */
+    double burstFraction(Tick threshold) const;
+
+    /** Write `issued_us,ready_us,src,dst,kind,bytes` rows. */
+    bool writeCsv(const std::string &path) const;
+
+    /** Load records back from a writeCsv file (appends). */
+    bool readCsv(const std::string &path);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/** Human-readable packet kind (also used in the CSV). */
+const char *packetKindName(PacketKind kind);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_STATS_TRACE_HH_

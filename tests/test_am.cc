@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Integration tests for the Active Message layer: the timing of the
+ * round-trip path is checked against the closed-form LogGP expressions
+ * the paper relies on, plus flow control, bulk transfer, and drain
+ * (deadlock/timeout) behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "am/cluster.hh"
+#include "net/loggp.hh"
+
+namespace nowcluster {
+namespace {
+
+LogGPParams
+baseline()
+{
+    return MachineConfig::berkeleyNow().params;
+}
+
+TEST(Am, PingPongRoundTripMatchesLogGP)
+{
+    // RTT for a request/reply with an always-polling echo server is
+    // 2*(oSend + L + oRecv): the canonical "2L + 4o" of the LogP paper
+    // (with o split into its send and receive halves).
+    Cluster c(2, baseline());
+    bool got = false;
+    bool server_stop = false;
+    int done = c.registerHandler(
+        [&](AmNode &, Packet &) { got = true; });
+    int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+        self.reply(pkt, done);
+    });
+
+    Tick rtt = -1;
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            Tick t0 = n.now();
+            n.request(1, echo);
+            n.pollUntil([&] { return got; });
+            rtt = n.now() - t0;
+            server_stop = true;
+            n.oneWay(1, done); // Release the server.
+        } else {
+            n.pollUntil([&] { return server_stop; });
+        }
+    }));
+    auto p = baseline();
+    Tick expected = 2 * (p.oSend + p.latency + p.oRecv);
+    EXPECT_EQ(rtt, expected); // 21.6 us with NOW parameters.
+}
+
+TEST(Am, AddedLatencyRaisesRttByTwiceDelta)
+{
+    auto measure = [](double l_us) {
+        auto p = baseline();
+        p.setDesiredLatencyUsec(l_us);
+        Cluster c(2, p);
+        bool got = false;
+        bool stop = false;
+        int done = c.registerHandler([&](AmNode &, Packet &) {
+            got = true;
+        });
+        int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+            self.reply(pkt, done);
+        });
+        Tick rtt = -1;
+        c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                Tick t0 = n.now();
+                n.request(1, echo);
+                n.pollUntil([&] { return got; });
+                rtt = n.now() - t0;
+                stop = true;
+                n.oneWay(1, done);
+            } else {
+                n.pollUntil([&] { return stop; });
+            }
+        });
+        return rtt;
+    };
+    Tick base = measure(5.0);
+    Tick slow = measure(55.0);
+    EXPECT_EQ(slow - base, 2 * usec(50.0));
+}
+
+TEST(Am, RequestsBeyondWindowThrottle)
+{
+    // With W outstanding requests allowed and a server that only polls,
+    // the (W+1)-th request must wait for a reply to come back.
+    auto p = baseline();
+    p.window = 4;
+    Cluster c(2, p);
+    int done = c.registerHandler([](AmNode &, Packet &) {});
+    int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+        self.reply(pkt, done);
+    });
+    bool stop = false;
+    Tick credit_stall = 0;
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            for (int i = 0; i < 20; ++i)
+                n.request(1, echo);
+            // Wait for all 20 replies so counters are final.
+            n.pollUntil([&] { return n.counters().received >= 20; });
+            credit_stall = n.counters().creditStall;
+            stop = true;
+            n.oneWay(1, done);
+        } else {
+            n.pollUntil([&] { return stop; });
+        }
+    }));
+    // 20 requests with window 4 must have stalled for credits.
+    EXPECT_GT(credit_stall, 0);
+}
+
+TEST(Am, OneWayDelivers)
+{
+    Cluster c(2, baseline());
+    int count = 0;
+    int h = c.registerHandler([&](AmNode &, Packet &pkt) {
+        EXPECT_EQ(pkt.args[0], 7u);
+        EXPECT_EQ(pkt.args[3], 11u);
+        ++count;
+    });
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            for (int i = 0; i < 5; ++i)
+                n.oneWay(1, h, 7, 8, 9, 11);
+        } else {
+            n.pollUntil([&] { return count == 5; });
+        }
+    }));
+    EXPECT_EQ(count, 5);
+}
+
+TEST(Am, BulkStoreMovesDataIntact)
+{
+    Cluster c(2, baseline());
+    std::vector<std::uint8_t> src(10000), dst(10000, 0);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 13 + 1);
+    bool arrived = false;
+    int h = c.registerHandler([&](AmNode &, Packet &) { arrived = true; });
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.store(1, dst.data(), src.data(), src.size(), h);
+            n.storeSync();
+            EXPECT_EQ(n.outstandingStores(), 0);
+        } else {
+            n.pollUntil([&] { return arrived; });
+        }
+    }));
+    EXPECT_TRUE(arrived);
+    EXPECT_EQ(src, dst);
+}
+
+TEST(Am, BulkStoreCountsOneMessagePlusAck)
+{
+    Cluster c(2, baseline());
+    std::vector<std::uint8_t> src(9000), dst(9000);
+    int h = c.registerHandler([](AmNode &, Packet &) {});
+    bool arrived = false;
+    int h2 = c.registerHandler([&](AmNode &, Packet &) { arrived = true; });
+    (void)h;
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.store(1, dst.data(), src.data(), src.size(), h2);
+            n.storeSync();
+        } else {
+            n.pollUntil([&] { return arrived; });
+        }
+    }));
+    // Sender: 1 bulk message (3 fragments at 4 KB max).
+    EXPECT_EQ(c.node(0).counters().bulkMsgs, 1u);
+    EXPECT_EQ(c.node(0).counters().bulkFrags, 3u);
+    EXPECT_EQ(c.node(0).counters().sent, 1u);
+    // Receiver: 1 StoreAck reply.
+    EXPECT_EQ(c.node(1).counters().replies, 1u);
+    EXPECT_EQ(c.node(1).counters().sent, 1u);
+}
+
+TEST(Am, ZeroLengthStoreCompletes)
+{
+    Cluster c(2, baseline());
+    bool arrived = false;
+    int h = c.registerHandler([&](AmNode &, Packet &) { arrived = true; });
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.store(1, nullptr, nullptr, 0, h);
+            n.storeSync();
+        } else {
+            n.pollUntil([&] { return arrived; });
+        }
+    }));
+    EXPECT_TRUE(arrived);
+}
+
+TEST(Am, BulkBandwidthLimitedByG)
+{
+    // A large store across a 38 MB/s link: delivery time must be close
+    // to bytes * G.
+    auto p = baseline();
+    Cluster c(2, p);
+    const std::size_t n_bytes = 1 << 20;
+    std::vector<std::uint8_t> src(n_bytes, 42), dst(n_bytes);
+    bool arrived = false;
+    int h = c.registerHandler([&](AmNode &, Packet &) { arrived = true; });
+    Tick elapsed = 0;
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            Tick t0 = n.now();
+            n.store(1, dst.data(), src.data(), n_bytes, h);
+            n.storeSync();
+            elapsed = n.now() - t0;
+        } else {
+            n.pollUntil([&] { return arrived; });
+        }
+    }));
+    double mbps = static_cast<double>(n_bytes) / (toSec(elapsed) * 1e6);
+    EXPECT_GT(mbps, 30.0);
+    EXPECT_LT(mbps, 38.5);
+}
+
+TEST(Am, DeadlockIsDetectedAndDrained)
+{
+    // Node 0 waits forever for a message nobody sends.
+    Cluster c(2, baseline());
+    bool never = false;
+    EXPECT_FALSE(c.run([&](AmNode &n) {
+        if (n.id() == 0)
+            n.pollUntil([&] { return never; });
+    }));
+    EXPECT_TRUE(c.timedOut());
+}
+
+TEST(Am, TimeoutDrainsLongRun)
+{
+    Cluster c(2, baseline());
+    EXPECT_FALSE(c.run([&](AmNode &n) {
+        for (int i = 0; i < 1000; ++i)
+            n.compute(kSec);
+    }, kSec)); // Budget of 1 simulated second.
+    EXPECT_TRUE(c.timedOut());
+}
+
+TEST(Am, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        Cluster c(4, baseline(), 99);
+        int h = c.registerHandler([](AmNode &, Packet &) {});
+        int echo = c.registerHandler([h](AmNode &self, Packet &pkt) {
+            self.reply(pkt, h);
+        });
+        std::vector<int> done(4, 0);
+        int finished = 0;
+        c.run([&](AmNode &n) {
+            Rng &r = n.rng();
+            for (int i = 0; i < 200; ++i) {
+                NodeId dst = static_cast<NodeId>(
+                    r.below(4));
+                if (dst == n.id())
+                    dst = (dst + 1) % 4;
+                n.request(dst, echo);
+                n.poll();
+                n.compute(static_cast<Tick>(r.below(2000)));
+            }
+            ++finished;
+            done[n.id()] = 1;
+            n.pollUntil([&] { return finished == 4; });
+        });
+        return c.runtime();
+    };
+    Tick a = run_once();
+    Tick b = run_once();
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0);
+}
+
+TEST(Am, CountersTrackSends)
+{
+    Cluster c(2, baseline());
+    int h = c.registerHandler([](AmNode &, Packet &) {});
+    int echo = c.registerHandler([h](AmNode &self, Packet &pkt) {
+        self.reply(pkt, h);
+    });
+    bool stop = false;
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            for (int i = 0; i < 10; ++i)
+                n.request(1, echo);
+            n.pollUntil([&] { return n.counters().received >= 10; });
+            stop = true;
+            n.oneWay(1, h);
+        } else {
+            n.pollUntil([&] { return stop; });
+        }
+    }));
+    EXPECT_EQ(c.node(0).counters().requests, 10u);
+    EXPECT_EQ(c.node(0).counters().oneWays, 1u);
+    EXPECT_EQ(c.node(0).counters().sent, 11u);
+    EXPECT_EQ(c.node(0).counters().sentTo[1], 11u);
+    EXPECT_EQ(c.node(1).counters().replies, 10u);
+    EXPECT_EQ(c.node(1).counters().received, 11u);
+}
+
+} // namespace
+} // namespace nowcluster
+
+// ----------------------------------------------------------------------
+// Occupancy extension and window edge cases.
+// ----------------------------------------------------------------------
+
+namespace nowcluster {
+namespace {
+
+TEST(Am, OccupancySerializesArrivals)
+{
+    // Two one-way messages injected back to back: with occupancy, the
+    // second presence bit is set at least `occupancy` after the first.
+    auto p = baseline();
+    p.setOccupancyUsec(50.0);
+    Cluster c(2, p);
+    std::vector<Tick> arrivals;
+    int h = c.registerHandler([&](AmNode &self, Packet &) {
+        arrivals.push_back(self.now());
+    });
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.oneWay(1, h);
+            n.oneWay(1, h);
+        } else {
+            n.pollUntil([&] { return arrivals.size() == 2; });
+        }
+    }));
+    ASSERT_EQ(arrivals.size(), 2u);
+    // Injection spacing is only g = 5.8 us; the rx context stretches
+    // it to >= 50 us.
+    EXPECT_GE(arrivals[1] - arrivals[0], usec(50.0));
+}
+
+TEST(Am, OccupancyAddsToRoundTrip)
+{
+    auto measure = [](double occ_us) {
+        auto p = baseline();
+        p.setOccupancyUsec(occ_us);
+        Cluster c(2, p);
+        bool got = false;
+        int done = c.registerHandler([&](AmNode &, Packet &) {
+            got = true;
+        });
+        int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+            self.reply(pkt, done);
+        });
+        Tick rtt = 0;
+        bool stop = false;
+        c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                Tick t0 = n.now();
+                n.request(1, echo);
+                n.pollUntil([&] { return got; });
+                rtt = n.now() - t0;
+                stop = true;
+                n.oneWay(1, done);
+            } else {
+                n.pollUntil([&] { return stop; });
+            }
+        });
+        return rtt;
+    };
+    // One occupancy charge per direction.
+    EXPECT_EQ(measure(25.0) - measure(0.0), 2 * usec(25.0));
+}
+
+TEST(Am, WindowOfOneStillMakesProgress)
+{
+    auto p = baseline();
+    p.window = 1;
+    Cluster c(2, p);
+    int done = c.registerHandler([](AmNode &, Packet &) {});
+    int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+        self.reply(pkt, done);
+    });
+    bool stop = false;
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            for (int i = 0; i < 50; ++i)
+                n.request(1, echo);
+            n.pollUntil(
+                [&] { return n.counters().received >= 50; });
+            stop = true;
+            n.oneWay(1, done);
+        } else {
+            n.pollUntil([&] { return stop; });
+        }
+    }));
+    EXPECT_EQ(c.node(0).counters().requests, 50u);
+}
+
+TEST(Am, SixWordArgsArriveIntact)
+{
+    Cluster c(2, baseline());
+    Word seen[6] = {};
+    bool got = false;
+    int h = c.registerHandler([&](AmNode &, Packet &pkt) {
+        for (int i = 0; i < 6; ++i)
+            seen[i] = pkt.args[i];
+        got = true;
+    });
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0)
+            n.oneWay(1, h, 1, 2, 3, 4, 5, 6);
+        else
+            n.pollUntil([&] { return got; });
+    }));
+    for (Word i = 0; i < 6; ++i)
+        EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(Am, FragmentsOfOneStoreArriveInOrder)
+{
+    // A multi-fragment store into a buffer, then a short message; the
+    // completion must observe the full buffer (FIFO per pair).
+    Cluster c(2, baseline());
+    std::vector<std::uint8_t> src(20000), dst(20000, 0);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i & 0xFF);
+    bool checked = false;
+    int h = c.registerHandler([&](AmNode &, Packet &) {
+        checked = true;
+        for (std::size_t i = 0; i < dst.size(); ++i)
+            ASSERT_EQ(dst[i], static_cast<std::uint8_t>(i & 0xFF));
+    });
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.store(1, dst.data(), src.data(), src.size(), h);
+            n.storeSync();
+        } else {
+            n.pollUntil([&] { return checked; });
+        }
+    }));
+    EXPECT_TRUE(checked);
+}
+
+TEST(Am, PerStoreAckCallbackFires)
+{
+    Cluster c(2, baseline());
+    std::vector<std::uint8_t> src(100), dst(100);
+    int fired = 0;
+    bool got = false;
+    int h = c.registerHandler([&](AmNode &, Packet &) { got = true; });
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.store(1, dst.data(), src.data(), src.size(), h, 0, 0,
+                    [&] { ++fired; });
+            n.storeSync();
+            EXPECT_EQ(fired, 1);
+        } else {
+            n.pollUntil([&] { return got; });
+        }
+    }));
+    EXPECT_EQ(fired, 1);
+}
+
+} // namespace
+} // namespace nowcluster

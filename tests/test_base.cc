@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the base module: time units, PRNG, accumulators, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/accum.hh"
+#include "base/random.hh"
+#include "base/table.hh"
+#include "base/types.hh"
+
+namespace nowcluster {
+namespace {
+
+TEST(Types, UsecRoundTrip)
+{
+    EXPECT_EQ(usec(1.0), 1000);
+    EXPECT_EQ(usec(2.9), 2900);
+    EXPECT_EQ(usec(0.0), 0);
+    EXPECT_DOUBLE_EQ(toUsec(usec(103.0)), 103.0);
+    EXPECT_DOUBLE_EQ(toSec(kSec), 1.0);
+    EXPECT_DOUBLE_EQ(toMsec(kMsec), 1.0);
+}
+
+TEST(Types, UsecRounds)
+{
+    // 2.9995us rounds to 3000ns, not truncates to 2999.
+    EXPECT_EQ(usec(2.9995), 3000);
+}
+
+TEST(Rng, DeterministicStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DistinctStreamsPerRank)
+{
+    Rng a(42, 0), b(42, 1);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversRange)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = r.below(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Accum, Moments)
+{
+    Accum a;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_NEAR(a.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accum, EmptyIsZero)
+{
+    Accum a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accum, Merge)
+{
+    Accum a, b;
+    a.add(1.0);
+    a.add(5.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Table, AlignsColumnsAndUnderlinesHeader)
+{
+    Table t;
+    t.row().cell("name").cell("value");
+    t.row().cell("alpha").cell(12.5, 1);
+    t.row().cell("b").cell(std::int64_t{7});
+    std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("12.5"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    // Two data rows + header + underline = 4 lines.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(2.899, 1), "2.9");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+} // namespace
+} // namespace nowcluster
+
+// ----------------------------------------------------------------------
+// Error-reporting contracts (death tests).
+// ----------------------------------------------------------------------
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+namespace {
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %d broken", 7), "invariant 7 broken");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LoggingDeath, PanicIfFiresOnlyWhenTrue)
+{
+    panic_if(false, "must not fire");
+    EXPECT_DEATH(panic_if(1 + 1 == 2, "fired %d", 2), "fired 2");
+}
+
+TEST(LoggingDeath, FatalIfFiresOnlyWhenTrue)
+{
+    fatal_if(false, "must not fire");
+    EXPECT_EXIT(fatal_if(true, "boom"), ::testing::ExitedWithCode(1),
+                "boom");
+}
+
+} // namespace
+} // namespace nowcluster

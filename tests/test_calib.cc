@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Calibration tests: these reproduce the *checks* behind the paper's
+ * Table 2 — each LogGP knob moves its own parameter by the intended
+ * amount and leaves the others alone — plus the Figure 3 signature
+ * shape and Table 1 baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "calib/microbench.hh"
+
+namespace nowcluster {
+namespace {
+
+LogGPParams
+baseline()
+{
+    return MachineConfig::berkeleyNow().params;
+}
+
+TEST(Calib, BaselineMatchesTable1)
+{
+    Microbench mb(baseline());
+    auto c = mb.calibrate();
+    EXPECT_NEAR(c.oSendUs, 1.8, 0.1);
+    EXPECT_NEAR(c.oRecvUs, 4.0, 0.2);
+    EXPECT_NEAR(c.oUs, 2.9, 0.2);
+    EXPECT_NEAR(c.gUs, 5.8, 0.7);
+    EXPECT_NEAR(c.latencyUs, 5.0, 0.3);
+    EXPECT_NEAR(c.rttUs, 21.6, 0.5); // Figure 3 reports ~21 us.
+    EXPECT_GT(c.bulkMBps, 30.0);
+    EXPECT_LT(c.bulkMBps, 39.0);
+}
+
+TEST(Calib, SignatureShapeMatchesFigure3)
+{
+    // Short bursts show oSend; long bursts approach g; large Delta
+    // curves sit at oSend + oRecv + Delta.
+    auto p = baseline();
+    p.setDesiredGapUsec(14.0);
+    Microbench mb(p);
+    double first = mb.burstIntervalUs(1, 0);
+    EXPECT_NEAR(first, 1.8, 0.2);
+    double steady = mb.burstIntervalUs(128, 0);
+    EXPECT_NEAR(steady, 14.0, 1.5); // The calibrated g ~ 12.8-14.
+    double busy = mb.burstIntervalUs(128, usec(100));
+    EXPECT_NEAR(busy, 100.0 + 1.8 + 4.0, 1.5);
+}
+
+struct KnobCase
+{
+    double value_us;
+};
+
+class OverheadKnob : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(OverheadKnob, MovesOnlyOverhead)
+{
+    double o_us = GetParam();
+    auto p = baseline();
+    p.setDesiredOverheadUsec(o_us);
+    Microbench mb(p);
+    auto c = mb.calibrate();
+    EXPECT_NEAR(c.oUs, o_us, 0.05 * o_us + 0.3);
+    // As in Table 2: g grows to oSend + oRecv when 2o > g...
+    double expect_g = std::max(5.8, 2.0 * o_us);
+    EXPECT_NEAR(c.gUs, expect_g, 0.05 * expect_g + 1.0);
+    // ...but L stays put.
+    EXPECT_NEAR(c.latencyUs, 5.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OverheadKnob,
+                         ::testing::Values(2.9, 4.9, 12.9, 52.9, 102.9));
+
+class GapKnob : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(GapKnob, MovesOnlyGap)
+{
+    double g_us = GetParam();
+    auto p = baseline();
+    p.setDesiredGapUsec(g_us);
+    Microbench mb(p);
+    auto c = mb.calibrate();
+    EXPECT_NEAR(c.gUs, g_us, 0.08 * g_us + 1.0);
+    EXPECT_NEAR(c.oUs, 2.9, 0.3);
+    EXPECT_NEAR(c.latencyUs, 5.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GapKnob,
+                         ::testing::Values(5.8, 10.0, 30.0, 55.0, 105.0));
+
+class LatencyKnob : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LatencyKnob, MovesLatencyAndCapsPipeline)
+{
+    double l_us = GetParam();
+    auto p = baseline();
+    p.setDesiredLatencyUsec(l_us);
+    Microbench mb(p);
+    auto c = mb.calibrate();
+    EXPECT_NEAR(c.latencyUs, l_us, 0.05 * l_us + 0.3);
+    EXPECT_NEAR(c.oUs, 2.9, 0.3);
+    // Table 2's artifact: with a fixed outstanding-message window the
+    // effective gap rises once RTT/window exceeds the baseline g.
+    double rtt = 2.0 * (l_us + 5.8);
+    double expect_g = std::max(5.8, rtt / p.window);
+    EXPECT_NEAR(c.gUs, expect_g, 0.15 * expect_g + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LatencyKnob,
+                         ::testing::Values(5.0, 15.0, 30.0, 55.0, 105.0));
+
+class BulkKnob : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(BulkKnob, MovesBulkBandwidthOnly)
+{
+    double mbps = GetParam();
+    auto p = baseline();
+    p.setBulkMBps(mbps);
+    Microbench mb(p);
+    auto c = mb.calibrate();
+    EXPECT_GT(c.bulkMBps, 0.75 * mbps);
+    EXPECT_LT(c.bulkMBps, 1.02 * mbps);
+    EXPECT_NEAR(c.oUs, 2.9, 0.3);
+    EXPECT_NEAR(c.gUs, 5.8, 0.7);
+    EXPECT_NEAR(c.latencyUs, 5.0, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BulkKnob,
+                         ::testing::Values(38.0, 15.0, 5.0, 1.0));
+
+TEST(Calib, MachinesOfTable1AreOrderedLikeThePaper)
+{
+    Microbench now_mb(MachineConfig::berkeleyNow().params);
+    Microbench paragon_mb(MachineConfig::intelParagon().params);
+    Microbench meiko_mb(MachineConfig::meikoCs2().params);
+    auto now_c = now_mb.calibrate();
+    auto par_c = paragon_mb.calibrate();
+    auto mei_c = meiko_mb.calibrate();
+    // Paragon and Meiko have lower o than NOW; NOW has the lowest g;
+    // Paragon has by far the highest bulk bandwidth.
+    EXPECT_LT(par_c.oUs, now_c.oUs);
+    EXPECT_LT(mei_c.oUs, now_c.oUs);
+    EXPECT_LT(now_c.gUs, par_c.gUs);
+    EXPECT_LT(par_c.gUs, mei_c.gUs);
+    EXPECT_GT(par_c.bulkMBps, 2.0 * now_c.bulkMBps);
+}
+
+} // namespace
+} // namespace nowcluster
+
+namespace nowcluster {
+namespace {
+
+TEST(Calib, OccupancyShowsUpAsLatencyAndGap)
+{
+    auto p = baseline();
+    p.setOccupancyUsec(25.0);
+    Microbench mb(p);
+    auto c = mb.calibrate();
+    // One occupancy charge sits on each one-way trip: L grows by ~25.
+    EXPECT_NEAR(c.latencyUs, 30.0, 2.0);
+    // And arrivals serialize: effective g >= occupancy.
+    EXPECT_GE(c.gUs, 24.0);
+    // Host overhead is untouched.
+    EXPECT_NEAR(c.oSendUs, 1.8, 0.2);
+}
+
+} // namespace
+} // namespace nowcluster

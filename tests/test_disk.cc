@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the streaming-disk model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/disk.hh"
+
+namespace nowcluster {
+namespace {
+
+TEST(Disk, TransferTimeMatchesBandwidth)
+{
+    Simulator sim;
+    Disk d(sim, 5.5, /*seek_overhead=*/0);
+    int done = 0;
+    // 5.5 MB at 5.5 MB/s takes one second.
+    Tick at = d.startTransfer(5'500'000, &done, nullptr);
+    EXPECT_EQ(at, kSec);
+    sim.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(sim.now(), kSec);
+}
+
+TEST(Disk, SeekOverheadIsCharged)
+{
+    Simulator sim;
+    Disk d(sim, 10.0, usec(500));
+    int done = 0;
+    Tick at = d.startTransfer(1'000'000, &done, nullptr); // 100 ms xfer.
+    EXPECT_EQ(at, usec(500) + 100 * kMsec);
+}
+
+TEST(Disk, TransfersSerialize)
+{
+    Simulator sim;
+    Disk d(sim, 10.0, 0);
+    int done = 0;
+    Tick a = d.startTransfer(1'000'000, &done, nullptr);
+    Tick b = d.startTransfer(1'000'000, &done, nullptr);
+    EXPECT_EQ(b - a, 100 * kMsec);
+    sim.run();
+    EXPECT_EQ(done, 2);
+}
+
+TEST(Disk, WakesWaitingProc)
+{
+    Simulator sim;
+    Disk d(sim, 10.0, 0);
+    int done = 0;
+    Tick woke = -1;
+    Proc p(sim, 0, [&](Proc &self) {
+        d.startTransfer(2'000'000, &done, &self);
+        while (done == 0)
+            self.block();
+        woke = self.now();
+    });
+    p.start(0);
+    sim.run();
+    EXPECT_EQ(woke, 200 * kMsec);
+}
+
+TEST(Disk, OverlapWithComputation)
+{
+    // A proc that computes while the disk streams finishes when the
+    // longer of the two finishes, not the sum.
+    Simulator sim;
+    Disk d(sim, 10.0, 0);
+    int done = 0;
+    Tick end = -1;
+    Proc p(sim, 0, [&](Proc &self) {
+        d.startTransfer(1'000'000, &done, &self); // 100 ms.
+        self.compute(60 * kMsec);                 // Overlapped.
+        while (done == 0)
+            self.block();
+        end = self.now();
+    });
+    p.start(0);
+    sim.run();
+    EXPECT_EQ(end, 100 * kMsec);
+}
+
+} // namespace
+} // namespace nowcluster

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the switch-fabric contention model: topology mapping,
+ * queueing algebra, the idle-fabric-is-free property, and end-to-end
+ * behavior through the cluster.
+ */
+
+#include <gtest/gtest.h>
+
+#include "am/cluster.hh"
+#include "net/fabric.hh"
+
+namespace nowcluster {
+namespace {
+
+SwitchFabric::Config
+cfg(int hosts = 4, double mbps = 160.0)
+{
+    SwitchFabric::Config c;
+    c.hostsPerSwitch = hosts;
+    c.linkMBps = mbps;
+    return c;
+}
+
+TEST(Fabric, TopologyMapping)
+{
+    SwitchFabric f(32, cfg(4));
+    EXPECT_EQ(f.switchOf(0), 0);
+    EXPECT_EQ(f.switchOf(3), 0);
+    EXPECT_EQ(f.switchOf(4), 1);
+    EXPECT_EQ(f.switchOf(31), 7);
+}
+
+TEST(Fabric, SameSwitchTrafficIsFree)
+{
+    SwitchFabric f(8, cfg(4));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(f.contentionDelay(0, 1, 4096, i * 10), 0);
+    EXPECT_EQ(f.totalQueueing(), 0);
+}
+
+TEST(Fabric, IdleCrossSwitchPathAddsNothing)
+{
+    // Well-spaced packets see no queueing: the model only charges
+    // contention, never the base traversal.
+    SwitchFabric f(8, cfg(4));
+    EXPECT_EQ(f.contentionDelay(0, 4, 28, usec(100)), 0);
+    EXPECT_EQ(f.contentionDelay(0, 4, 28, usec(200)), 0);
+}
+
+TEST(Fabric, BackToBackPacketsQueueOnTheUplink)
+{
+    SwitchFabric f(8, cfg(4, 1.0)); // 1 MB/s: 28 us per short packet.
+    Tick first = f.contentionDelay(0, 4, 28, 0);
+    Tick second = f.contentionDelay(1, 4, 28, 0);
+    EXPECT_EQ(first, 0);
+    // The second packet waits a full serialization on the shared
+    // uplink (28 us at 1 MB/s) -- and then again on the downlink
+    // behind the first packet.
+    EXPECT_GE(second, usec(28.0));
+    EXPECT_GT(f.totalQueueing(), 0);
+}
+
+TEST(Fabric, DownlinkIsSharedTooAcrossSourceSwitches)
+{
+    SwitchFabric f(12, cfg(4, 1.0));
+    // Sources on different switches, same destination switch.
+    Tick a = f.contentionDelay(0, 8, 28, 0);
+    Tick b = f.contentionDelay(4, 9, 28, 0);
+    EXPECT_EQ(a, 0);
+    EXPECT_GE(b, usec(28.0)); // Queued behind a on switch 2's downlink.
+}
+
+TEST(Fabric, ClusterWithIdleFabricMatchesBaselineExactly)
+{
+    auto run_rtt = [](bool fabric) {
+        auto p = MachineConfig::berkeleyNow().params;
+        p.fabric = fabric;
+        Cluster c(8, p);
+        bool got = false, stop = false;
+        int done = c.registerHandler([&](AmNode &, Packet &) {
+            got = true;
+        });
+        int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+            self.reply(pkt, done);
+        });
+        Tick rtt = 0;
+        c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                Tick t0 = n.now();
+                n.request(7, echo); // Cross-switch with 4 hosts/switch.
+                n.pollUntil([&] { return got; });
+                rtt = n.now() - t0;
+                stop = true;
+                n.oneWay(7, done);
+            } else {
+                n.pollUntil([&] { return stop; });
+            }
+        });
+        return rtt;
+    };
+    EXPECT_EQ(run_rtt(false), run_rtt(true));
+}
+
+TEST(Fabric, SlowLinksStretchBursts)
+{
+    // A burst of cross-switch one-ways through 1 MB/s links arrives
+    // much later than through 160 MB/s links.
+    auto last_arrival = [](double mbps) {
+        auto p = MachineConfig::berkeleyNow().params;
+        p.fabric = true;
+        p.fabricLinkMBps = mbps;
+        Cluster c(8, p);
+        int seen = 0;
+        Tick last = 0;
+        int h = c.registerHandler([&](AmNode &self, Packet &) {
+            ++seen;
+            last = self.now();
+        });
+        c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                for (int i = 0; i < 16; ++i)
+                    n.oneWay(4, h);
+            } else if (n.id() == 4) {
+                n.pollUntil([&] { return seen == 16; });
+            }
+        });
+        return last;
+    };
+    EXPECT_GT(last_arrival(1.0), last_arrival(160.0) + usec(100));
+}
+
+} // namespace
+} // namespace nowcluster

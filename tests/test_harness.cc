@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the experiment harness: knob application, run
+ * configuration defaults, and result bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+namespace nowcluster {
+namespace {
+
+TEST(Knobs, DefaultsLeaveParamsUntouched)
+{
+    Knobs k;
+    auto p = MachineConfig::berkeleyNow().params;
+    auto q = p;
+    k.applyTo(q);
+    EXPECT_EQ(q.addedO, p.addedO);
+    EXPECT_EQ(q.gap, p.gap);
+    EXPECT_EQ(q.addedL, p.addedL);
+    EXPECT_DOUBLE_EQ(q.gPerByte, p.gPerByte);
+    EXPECT_EQ(q.occupancy, 0);
+    EXPECT_EQ(q.window, p.window);
+    EXPECT_FALSE(q.fabric);
+}
+
+TEST(Knobs, EveryKnobLandsInItsField)
+{
+    Knobs k;
+    k.overheadUs = 12.9;
+    k.gapUs = 30;
+    k.latencyUs = 55;
+    k.bulkMBps = 10;
+    k.occupancyUs = 7;
+    k.window = 4;
+    k.fabricHosts = 8;
+    k.fabricLinkMBps = 80;
+    auto p = MachineConfig::berkeleyNow().params;
+    k.applyTo(p);
+    EXPECT_EQ(p.meanOverhead(), usec(12.9));
+    EXPECT_EQ(p.gap, usec(30));
+    EXPECT_EQ(p.totalLatency(), usec(55));
+    EXPECT_NEAR(p.bulkMBps(), 10.0, 1e-9);
+    EXPECT_EQ(p.occupancy, usec(7));
+    EXPECT_EQ(p.window, 4);
+    EXPECT_TRUE(p.fabric);
+    EXPECT_EQ(p.fabricHostsPerSwitch, 8);
+    EXPECT_DOUBLE_EQ(p.fabricLinkMBps, 80.0);
+}
+
+TEST(Harness, EnvScaleParsesAndRejectsGarbage)
+{
+    ::setenv("NOW_SCALE", "2.5", 1);
+    EXPECT_DOUBLE_EQ(envScale(), 2.5);
+    ::setenv("NOW_SCALE", "-3", 1);
+    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+    ::setenv("NOW_SCALE", "bogus", 1);
+    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+    ::unsetenv("NOW_SCALE");
+    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+}
+
+TEST(Harness, RunResultCarriesEverything)
+{
+    RunConfig c;
+    c.nprocs = 4;
+    c.scale = 0.1;
+    RunResult r = runApp("radix", c);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.validated);
+    EXPECT_GT(r.runtime, 0);
+    EXPECT_EQ(r.summary.nprocs, 4);
+    EXPECT_EQ(r.matrix.nprocs, 4);
+    EXPECT_GE(r.maxMsgsPerProc, r.summary.avgMsgsPerProc);
+}
+
+TEST(Harness, ValidateFlagSkipsValidation)
+{
+    RunConfig c;
+    c.nprocs = 2;
+    c.scale = 0.1;
+    c.validate = false;
+    RunResult r = runApp("radix", c);
+    EXPECT_TRUE(r.ok);
+    // validated mirrors ok when validation is skipped.
+    EXPECT_TRUE(r.validated);
+}
+
+TEST(Harness, TimedOutRunIsFlagged)
+{
+    RunConfig c;
+    c.nprocs = 2;
+    c.scale = 0.1;
+    c.maxTime = usec(10); // Nothing finishes in 10 us.
+    RunResult r = runApp("radix", c);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.validated);
+}
+
+TEST(Harness, MachineConfigSelectsParams)
+{
+    RunConfig c;
+    c.nprocs = 4;
+    c.scale = 0.1;
+    c.machine = MachineConfig::intelParagon();
+    RunResult paragon = runApp("radb", c);
+    c.machine = MachineConfig::berkeleyNow();
+    RunResult now = runApp("radb", c);
+    ASSERT_TRUE(paragon.ok && now.ok);
+    // Radb is bulk-heavy: the Paragon's 141 MB/s should win.
+    EXPECT_LT(paragon.runtime, now.runtime);
+}
+
+} // namespace
+} // namespace nowcluster

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the Section-5 analytic models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/models.hh"
+
+namespace nowcluster {
+namespace {
+
+TEST(Models, OverheadModelIsLinearInMessagesAndDelta)
+{
+    Tick base = 7 * kSec;
+    EXPECT_EQ(predictOverhead(base, 0, usec(100)), base);
+    EXPECT_EQ(predictOverhead(base, 1000, 0), base);
+    EXPECT_EQ(predictOverhead(base, 1000, usec(50)),
+              base + 2 * 1000 * usec(50));
+}
+
+TEST(Models, GapBurstModel)
+{
+    Tick base = kSec;
+    EXPECT_EQ(predictGapBurst(base, 500, usec(10)),
+              base + 500 * usec(10));
+}
+
+TEST(Models, GapUniformModelHasThreshold)
+{
+    Tick base = kSec;
+    // Below the mean interval, no effect.
+    EXPECT_EQ(predictGapUniform(base, 500, usec(5), usec(8)), base);
+    // Above it, linear in the excess.
+    EXPECT_EQ(predictGapUniform(base, 500, usec(20), usec(8)),
+              base + 500 * usec(12));
+}
+
+TEST(Models, LatencyModelPaysRoundTrips)
+{
+    Tick base = kSec;
+    EXPECT_EQ(predictLatencyReads(base, 100, usec(50)),
+              base + 100 * 2 * usec(50));
+}
+
+TEST(Models, SlowdownHelper)
+{
+    EXPECT_DOUBLE_EQ(slowdown(2 * kSec, kSec), 2.0);
+    EXPECT_DOUBLE_EQ(slowdown(kSec, 0), 0.0);
+}
+
+TEST(Models, EquivalentWorkOfLatencyAndOverhead)
+{
+    // Section 5.3: 100us of latency adds the same per-read cost as
+    // 50us of overhead (4 overhead charges vs 2 latency charges).
+    Tick base = kSec;
+    std::uint64_t reads = 1000;
+    // One read = 2 messages for the reading processor.
+    Tick by_o = predictOverhead(base, reads, usec(50));
+    Tick by_l = predictLatencyReads(base, reads, usec(50));
+    EXPECT_EQ(by_o, by_l);
+}
+
+} // namespace
+} // namespace nowcluster

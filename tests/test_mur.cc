@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the model-checking substrate and the SCI protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mur/checker.hh"
+#include "mur/sci.hh"
+
+namespace nowcluster {
+namespace {
+
+/** A trivial protocol: a counter 0..n-1 with +1 and *2 transitions. */
+class CounterProtocol : public MurProtocol
+{
+  public:
+    explicit CounterProtocol(int n, bool violate_at_7 = false)
+        : n_(n), violate7_(violate_at_7)
+    {}
+
+    std::string name() const override { return "counter"; }
+
+    MurState
+    initialState() const override
+    {
+        return MurState{};
+    }
+
+    void
+    successors(const MurState &s, std::vector<MurState> &out) const override
+    {
+        int v = s.bytes[0];
+        MurState a = s;
+        a.bytes[0] = static_cast<std::uint8_t>((v + 1) % n_);
+        out.push_back(a);
+        MurState b = s;
+        b.bytes[0] = static_cast<std::uint8_t>((v * 2) % n_);
+        out.push_back(b);
+    }
+
+    bool
+    invariant(const MurState &s) const override
+    {
+        return !(violate7_ && s.bytes[0] == 7);
+    }
+
+  private:
+    int n_;
+    bool violate7_;
+};
+
+TEST(MurChecker, ExploresFullCounterSpace)
+{
+    CounterProtocol p(100);
+    auto r = exploreSerial(p);
+    EXPECT_EQ(r.states, 100u);
+    EXPECT_EQ(r.transitions, 200u);
+    EXPECT_TRUE(r.invariantHolds);
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(MurChecker, DetectsInvariantViolation)
+{
+    CounterProtocol p(100, true);
+    auto r = exploreSerial(p);
+    EXPECT_FALSE(r.invariantHolds);
+}
+
+TEST(MurChecker, MaxStatesTruncates)
+{
+    CounterProtocol p(100);
+    auto r = exploreSerial(p, 10);
+    EXPECT_EQ(r.states, 10u);
+    EXPECT_FALSE(r.complete);
+}
+
+TEST(MurChecker, StateHashDiscriminates)
+{
+    MurState a, b;
+    b.bytes[5] = 1;
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_EQ(a.hash(), MurState{}.hash());
+}
+
+TEST(Sci, InvariantHoldsOverFullSpace)
+{
+    SciProtocol p(3);
+    auto r = exploreSerial(p);
+    EXPECT_TRUE(r.invariantHolds);
+    EXPECT_TRUE(r.complete);
+    // A real protocol: a few thousand states at least.
+    EXPECT_GT(r.states, 1000u);
+}
+
+TEST(Sci, StateSpaceGrowsWithValues)
+{
+    auto r2 = exploreSerial(SciProtocol(2));
+    auto r4 = exploreSerial(SciProtocol(4));
+    EXPECT_GT(r4.states, r2.states);
+}
+
+TEST(Sci, DeterministicExploration)
+{
+    auto a = exploreSerial(SciProtocol(4));
+    auto b = exploreSerial(SciProtocol(4));
+    EXPECT_EQ(a.states, b.states);
+    EXPECT_EQ(a.transitions, b.transitions);
+}
+
+} // namespace
+} // namespace nowcluster
+
+// ----------------------------------------------------------------------
+// Peterson's algorithm: a second protocol exercising the substrate.
+// ----------------------------------------------------------------------
+
+#include "mur/peterson.hh"
+
+namespace nowcluster {
+namespace {
+
+TEST(Peterson, MutualExclusionHolds)
+{
+    PetersonProtocol p;
+    auto r = exploreSerial(p);
+    EXPECT_TRUE(r.invariantHolds);
+    EXPECT_TRUE(r.complete);
+    // The classic model has a small, fixed reachable space.
+    EXPECT_GT(r.states, 20u);
+    EXPECT_LT(r.states, 500u);
+}
+
+TEST(Peterson, BrokenVariantViolatesInvariant)
+{
+    PetersonProtocol p(/*break_it=*/true);
+    auto r = exploreSerial(p);
+    EXPECT_FALSE(r.invariantHolds);
+}
+
+TEST(Peterson, BrokenSpaceContainsCorrectSpace)
+{
+    auto good = exploreSerial(PetersonProtocol(false));
+    auto bad = exploreSerial(PetersonProtocol(true));
+    EXPECT_GT(bad.states, good.states);
+}
+
+} // namespace
+} // namespace nowcluster

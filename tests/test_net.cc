@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the network substrate: LogGP parameters and NIC
+ * transmit timing algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/loggp.hh"
+#include "net/nic.hh"
+
+namespace nowcluster {
+namespace {
+
+TEST(LogGP, BaselineNow)
+{
+    auto m = MachineConfig::berkeleyNow();
+    EXPECT_EQ(m.params.meanOverhead(), usec(2.9));
+    EXPECT_EQ(m.params.gap, usec(5.8));
+    EXPECT_EQ(m.params.latency, usec(5.0));
+    EXPECT_NEAR(m.params.bulkMBps(), 38.0, 0.01);
+}
+
+TEST(LogGP, OverheadKnobAddsToBothSides)
+{
+    auto p = MachineConfig::berkeleyNow().params;
+    p.setDesiredOverheadUsec(102.9);
+    EXPECT_EQ(p.addedO, usec(100.0));
+    EXPECT_EQ(p.sendOverhead(), usec(101.8));
+    EXPECT_EQ(p.recvOverhead(), usec(104.0));
+    EXPECT_EQ(p.meanOverhead(), usec(102.9));
+    // Latency and gap untouched.
+    EXPECT_EQ(p.totalLatency(), usec(5.0));
+    EXPECT_EQ(p.gap, usec(5.8));
+}
+
+TEST(LogGP, LatencyKnobOnlyAddsDelay)
+{
+    auto p = MachineConfig::berkeleyNow().params;
+    p.setDesiredLatencyUsec(105.0);
+    EXPECT_EQ(p.addedL, usec(100.0));
+    EXPECT_EQ(p.totalLatency(), usec(105.0));
+    EXPECT_EQ(p.meanOverhead(), usec(2.9));
+    EXPECT_EQ(p.gap, usec(5.8));
+}
+
+TEST(LogGP, GapKnobProgramsInjectionLoop)
+{
+    auto p = MachineConfig::berkeleyNow().params;
+    p.setDesiredGapUsec(55.0);
+    EXPECT_EQ(p.gap, usec(55.0));
+    EXPECT_EQ(p.meanOverhead(), usec(2.9));
+    EXPECT_EQ(p.totalLatency(), usec(5.0));
+}
+
+TEST(LogGP, BulkBandwidthRoundTrip)
+{
+    LogGPParams p;
+    p.setBulkMBps(10.0);
+    EXPECT_NEAR(p.bulkMBps(), 10.0, 1e-9);
+    EXPECT_NEAR(p.gPerByte, 100.0, 1e-9); // 10 MB/s = 100 ns/B
+}
+
+TEST(NicTx, IdleNicInjectsImmediately)
+{
+    LogGPParams p;
+    p.gap = usec(5.8);
+    NicTx nic(p);
+    auto a = nic.acceptShort(1000);
+    EXPECT_EQ(a.hostFreeAt, 1000);
+    EXPECT_EQ(a.injectStart, 1000);
+    EXPECT_EQ(a.wireAt, 1000);
+    EXPECT_EQ(nic.busyUntil(), 1000 + usec(5.8));
+}
+
+TEST(NicTx, BackToBackShortsSpacedByGap)
+{
+    LogGPParams p;
+    p.gap = usec(10);
+    p.txQueueDepth = 64;
+    NicTx nic(p);
+    Tick prev = -1;
+    for (int i = 0; i < 10; ++i) {
+        auto a = nic.acceptShort(0);
+        if (prev >= 0) {
+            EXPECT_EQ(a.injectStart - prev, usec(10));
+        }
+        prev = a.injectStart;
+        EXPECT_EQ(a.hostFreeAt, 0); // Queue deep enough: host never stalls.
+    }
+}
+
+TEST(NicTx, HostStallsWhenFifoFull)
+{
+    LogGPParams p;
+    p.gap = usec(10);
+    p.txQueueDepth = 2;
+    NicTx nic(p);
+    // Two descriptors fit; the third must wait for the second to enter
+    // the tx context at t=10us.
+    auto a0 = nic.acceptShort(0);
+    auto a1 = nic.acceptShort(0);
+    auto a2 = nic.acceptShort(0);
+    EXPECT_EQ(a0.hostFreeAt, 0);
+    EXPECT_EQ(a1.hostFreeAt, 0);
+    EXPECT_EQ(a2.hostFreeAt, usec(10));
+    EXPECT_EQ(a2.injectStart, usec(20));
+}
+
+TEST(NicTx, SteadyStateHostRateEqualsGap)
+{
+    LogGPParams p;
+    p.gap = usec(7);
+    p.txQueueDepth = 4;
+    NicTx nic(p);
+    Tick host = 0;
+    Tick prev_free = 0;
+    // After the FIFO fills, consecutive host-free times step by g.
+    for (int i = 0; i < 100; ++i) {
+        auto a = nic.acceptShort(host);
+        host = a.hostFreeAt;
+        if (i > 10) {
+            EXPECT_EQ(a.hostFreeAt - prev_free, usec(7));
+        }
+        prev_free = a.hostFreeAt;
+    }
+}
+
+TEST(NicTx, BulkFragmentOccupiesTransferTime)
+{
+    LogGPParams p;
+    p.gap = usec(5.8);
+    p.setBulkMBps(40.0); // 25 ns per byte.
+    NicTx nic(p);
+    auto a = nic.acceptBulk(0, 4000); // 100 us of DMA.
+    EXPECT_EQ(a.injectStart, 0);
+    EXPECT_EQ(a.wireAt, usec(100));
+    EXPECT_EQ(nic.busyUntil(), usec(105.8));
+}
+
+TEST(NicTx, BulkStreamBandwidthMatchesG)
+{
+    LogGPParams p;
+    p.gap = usec(0.0);
+    p.setBulkMBps(38.0);
+    p.txQueueDepth = 4;
+    NicTx nic(p);
+    Tick host = 0;
+    const int frags = 100;
+    const std::size_t frag_size = 4096;
+    Tick last_wire = 0;
+    for (int i = 0; i < frags; ++i) {
+        auto a = nic.acceptBulk(host, frag_size);
+        host = a.hostFreeAt;
+        last_wire = a.wireAt;
+    }
+    double mbps = static_cast<double>(frags * frag_size) /
+                  (toSec(last_wire) * 1e6);
+    EXPECT_NEAR(mbps, 38.0, 1.0);
+}
+
+TEST(NicTx, ZeroByteBulkStillTakesGap)
+{
+    LogGPParams p;
+    p.gap = usec(3);
+    NicTx nic(p);
+    auto a = nic.acceptBulk(0, 0);
+    EXPECT_EQ(a.wireAt, 0);
+    EXPECT_EQ(nic.busyUntil(), usec(3));
+}
+
+} // namespace
+} // namespace nowcluster

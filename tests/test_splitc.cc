@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Integration tests for the Split-C runtime: global pointers, blocking
+ * and split-phase operations, collectives, atomics, and locks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "splitc/splitc.hh"
+
+namespace nowcluster {
+namespace {
+
+LogGPParams
+baseline()
+{
+    return MachineConfig::berkeleyNow().params;
+}
+
+/** Per-node scratch memory shared by the SPMD body. */
+struct NodeMem
+{
+    std::int64_t value = 0;
+    double dval = 0.0;
+    std::array<std::int64_t, 64> arr{};
+    SplitLock lk;
+    std::int64_t counter = 0;
+};
+
+TEST(SplitC, BlockingReadAndWrite)
+{
+    const int P = 4;
+    SplitCRuntime rt(P, baseline());
+    std::vector<NodeMem> mem(P);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        NodeId me = sc.myProc();
+        mem[me].value = 100 + me;
+        sc.barrier();
+        // Everyone reads the right neighbor's value.
+        NodeId r = (me + 1) % P;
+        std::int64_t v = sc.read(gptr(r, &mem[r].value));
+        EXPECT_EQ(v, 100 + r);
+        // Everyone writes to the left neighbor's dval.
+        NodeId l = (me + P - 1) % P;
+        sc.write(gptr(l, &mem[l].dval), 0.5 * me);
+        sc.barrier();
+        EXPECT_DOUBLE_EQ(mem[me].dval, 0.5 * r);
+    }));
+}
+
+TEST(SplitC, LocalOpsAreDirect)
+{
+    SplitCRuntime rt(2, baseline());
+    std::vector<NodeMem> mem(2);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        NodeId me = sc.myProc();
+        sc.write(gptr(me, &mem[me].value), std::int64_t{7});
+        EXPECT_EQ(sc.read(gptr(me, &mem[me].value)), 7);
+        sc.barrier();
+    }));
+    // Local ops send no messages; only the barrier communicates.
+    EXPECT_EQ(rt.cluster().node(0).counters().requests, 0u);
+}
+
+TEST(SplitC, SplitPhasePutGetSync)
+{
+    const int P = 4;
+    SplitCRuntime rt(P, baseline());
+    std::vector<NodeMem> mem(P);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        NodeId me = sc.myProc();
+        // Pipelined puts into every other node's arr[me].
+        for (int q = 0; q < P; ++q)
+            sc.put(gptr(q, &mem[q].arr[me]), std::int64_t(me * 10 + q));
+        sc.sync();
+        sc.barrier();
+        for (int q = 0; q < P; ++q)
+            EXPECT_EQ(mem[me].arr[q], q * 10 + me);
+        // Split-phase gets back.
+        std::array<std::int64_t, 4> got{};
+        for (int q = 0; q < P; ++q)
+            sc.get(gptr(q, &mem[q].arr[me]), &got[q]);
+        sc.sync();
+        for (int q = 0; q < P; ++q)
+            EXPECT_EQ(got[q], me * 10 + q);
+        sc.barrier();
+    }));
+}
+
+TEST(SplitC, BulkStoreAndReadBulk)
+{
+    const int P = 2;
+    SplitCRuntime rt(P, baseline());
+    std::vector<std::vector<std::int64_t>> buf(P,
+        std::vector<std::int64_t>(1000, 0));
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        if (sc.myProc() == 0) {
+            std::vector<std::int64_t> local(1000);
+            std::iota(local.begin(), local.end(), 5);
+            sc.storeArr(gptr(1, buf[1].data()), local.data(), 1000);
+            sc.storeSync();
+        }
+        sc.barrier();
+        if (sc.myProc() == 1) {
+            EXPECT_EQ(buf[1][0], 5);
+            EXPECT_EQ(buf[1][999], 1004);
+        }
+        // Node 1 reads it back from node 0's buffer after writing there.
+        if (sc.myProc() == 1) {
+            sc.storeArr(gptr(0, buf[0].data()), buf[1].data(), 1000);
+            sc.storeSync();
+        }
+        sc.barrier();
+        if (sc.myProc() == 0) {
+            std::vector<std::int64_t> back(1000, -1);
+            sc.readBulk(gptr(0, buf[0].data()), back.data(), 1000);
+            EXPECT_EQ(back[0], 5);
+        }
+        sc.barrier();
+    }));
+}
+
+TEST(SplitC, ReadBulkRemoteMovesData)
+{
+    const int P = 2;
+    SplitCRuntime rt(P, baseline());
+    std::vector<std::vector<std::int64_t>> buf(P);
+    buf[0].resize(5000);
+    std::iota(buf[0].begin(), buf[0].end(), 0);
+    buf[1].resize(5000, -1);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        if (sc.myProc() == 1) {
+            sc.readBulk(gptr(0, buf[0].data()), buf[1].data(), 5000);
+            for (int i = 0; i < 5000; i += 500)
+                ASSERT_EQ(buf[1][i], i);
+        }
+        sc.barrier();
+    }));
+    // Reads tagged on both sides: request at node 1, bulk reply at 0.
+    EXPECT_EQ(rt.cluster().node(1).counters().readMsgs, 1u);
+    EXPECT_EQ(rt.cluster().node(0).counters().readMsgs, 1u);
+}
+
+TEST(SplitC, BarrierSynchronizesPhases)
+{
+    const int P = 8;
+    SplitCRuntime rt(P, baseline());
+    std::vector<int> phase(P, 0);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        NodeId me = sc.myProc();
+        // Deterministic skew: each node computes a different time.
+        sc.compute(usec(100) * (me + 1));
+        phase[me] = 1;
+        sc.barrier();
+        // After the barrier, everyone must see all phases complete.
+        for (int q = 0; q < P; ++q)
+            EXPECT_EQ(phase[q], 1) << "proc " << me << " saw " << q;
+        sc.barrier();
+    }));
+    EXPECT_EQ(rt.cluster().node(0).counters().barriers, 2u);
+}
+
+TEST(SplitC, BarrierManyEpochsBackToBack)
+{
+    const int P = 5; // Non-power-of-two.
+    SplitCRuntime rt(P, baseline());
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        for (int i = 0; i < 50; ++i)
+            sc.barrier();
+    }));
+    EXPECT_EQ(rt.cluster().node(2).counters().barriers, 50u);
+}
+
+TEST(SplitC, AllReduceAddIntAndDouble)
+{
+    const int P = 7;
+    SplitCRuntime rt(P, baseline());
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        std::int64_t s = sc.allReduceAdd(std::int64_t(sc.myProc() + 1));
+        EXPECT_EQ(s, P * (P + 1) / 2);
+        double d = sc.allReduceAdd(0.5 * sc.myProc());
+        EXPECT_DOUBLE_EQ(d, 0.5 * (P * (P - 1) / 2));
+    }));
+}
+
+TEST(SplitC, AllReduceMinMax)
+{
+    const int P = 6;
+    SplitCRuntime rt(P, baseline());
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        std::int64_t mn = sc.allReduceMin(std::int64_t(10 - sc.myProc()));
+        std::int64_t mx = sc.allReduceMax(std::int64_t(10 - sc.myProc()));
+        EXPECT_EQ(mn, 10 - (P - 1));
+        EXPECT_EQ(mx, 10);
+        double dmn = sc.allReduceMin(1.0 + sc.myProc());
+        EXPECT_DOUBLE_EQ(dmn, 1.0);
+    }));
+}
+
+TEST(SplitC, BroadcastFromEveryRoot)
+{
+    const int P = 6;
+    SplitCRuntime rt(P, baseline());
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        for (int root = 0; root < P; ++root) {
+            std::int64_t v =
+                sc.myProc() == root ? 1000 + root : -1;
+            std::int64_t got = sc.bcast(v, root);
+            EXPECT_EQ(got, 1000 + root);
+        }
+    }));
+}
+
+TEST(SplitC, FetchAddSerializesGlobalCounter)
+{
+    const int P = 8;
+    SplitCRuntime rt(P, baseline());
+    std::vector<NodeMem> mem(P);
+    std::vector<std::int64_t> tickets(P, -1);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        // Everyone increments the counter on node 0 three times.
+        std::int64_t last = -1;
+        for (int i = 0; i < 3; ++i)
+            last = sc.fetchAdd(gptr(0, &mem[0].counter), 1);
+        tickets[sc.myProc()] = last;
+        sc.barrier();
+    }));
+    EXPECT_EQ(mem[0].counter, 3 * P);
+    // All final tickets are distinct.
+    std::sort(tickets.begin(), tickets.end());
+    EXPECT_EQ(std::unique(tickets.begin(), tickets.end()), tickets.end());
+}
+
+TEST(SplitC, LockMutualExclusion)
+{
+    const int P = 8;
+    SplitCRuntime rt(P, baseline());
+    std::vector<NodeMem> mem(P);
+    int in_section = 0;
+    int max_in_section = 0;
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        for (int i = 0; i < 5; ++i) {
+            sc.lock(gptr(3, &mem[3].lk));
+            ++in_section;
+            max_in_section = std::max(max_in_section, in_section);
+            // Unprotected increment is safe iff mutual exclusion holds.
+            std::int64_t v = sc.read(gptr(3, &mem[3].counter));
+            sc.compute(usec(5));
+            sc.write(gptr(3, &mem[3].counter), v + 1);
+            --in_section;
+            sc.unlock(gptr(3, &mem[3].lk));
+        }
+        sc.barrier();
+    }));
+    EXPECT_EQ(max_in_section, 1);
+    EXPECT_EQ(mem[3].counter, 5 * P);
+    // Contention must have produced failed attempts somewhere.
+    std::uint64_t failures = 0;
+    for (int i = 0; i < P; ++i)
+        failures += rt.cluster().node(i).counters().lockFailures;
+    EXPECT_GT(failures, 0u);
+}
+
+TEST(SplitC, LockOnOwnNodeInterleavesWithRemote)
+{
+    const int P = 2;
+    SplitCRuntime rt(P, baseline());
+    std::vector<NodeMem> mem(P);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        for (int i = 0; i < 10; ++i) {
+            sc.lock(gptr(0, &mem[0].lk)); // Local for proc 0.
+            std::int64_t v = sc.read(gptr(0, &mem[0].counter));
+            sc.write(gptr(0, &mem[0].counter), v + 1);
+            sc.unlock(gptr(0, &mem[0].lk));
+        }
+        sc.barrier();
+    }));
+    EXPECT_EQ(mem[0].counter, 20);
+}
+
+TEST(SplitC, RuntimeMatchesPaperCostModelForPut)
+{
+    // m pipelined puts add roughly 2*m*delta_o when overhead is raised:
+    // the sender pays oSend per put and oRecv per ack.
+    const int m = 200;
+    auto measure = [&](double o_us) {
+        auto p = baseline();
+        p.setDesiredOverheadUsec(o_us);
+        SplitCRuntime rt(2, p);
+        std::vector<std::int64_t> target(m);
+        Tick elapsed = 0;
+        rt.run([&](SplitC &sc) {
+            if (sc.myProc() == 0) {
+                Tick t0 = sc.now();
+                for (int i = 0; i < m; ++i)
+                    sc.put(gptr(1, &target[i]), std::int64_t(i));
+                sc.sync();
+                elapsed = sc.now() - t0;
+            }
+            // Proc 1 services the puts from inside the barrier wait.
+            sc.barrier();
+        });
+        return elapsed;
+    };
+    Tick base = measure(2.9);
+    Tick slow = measure(52.9);
+    double added_per_put =
+        toUsec(slow - base) / static_cast<double>(m);
+    // Model: 2 * delta_o = 100 us per put. The receiver also slows, so
+    // allow a tolerance band.
+    EXPECT_GT(added_per_put, 90.0);
+    EXPECT_LT(added_per_put, 130.0);
+}
+
+TEST(SplitC, DrainUnwindsBlockedCollectives)
+{
+    const int P = 4;
+    SplitCRuntime rt(P, baseline());
+    EXPECT_FALSE(rt.run([&](SplitC &sc) {
+        if (sc.myProc() == 0)
+            sc.compute(10 * kSec); // Blows the budget.
+        sc.barrier();
+        sc.allReduceAdd(std::int64_t{1});
+    }, kSec));
+    EXPECT_TRUE(rt.timedOut());
+}
+
+} // namespace
+} // namespace nowcluster
+
+// ----------------------------------------------------------------------
+// Edge cases and smaller properties.
+// ----------------------------------------------------------------------
+
+namespace nowcluster {
+namespace {
+
+TEST(SplitCEdge, SingleProcessorCollectivesAreLocal)
+{
+    SplitCRuntime rt(1, baseline());
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        sc.barrier();
+        EXPECT_EQ(sc.allReduceAdd(std::int64_t{41}), 41);
+        EXPECT_EQ(sc.bcast(std::int64_t{7}, 0), 7);
+        EXPECT_DOUBLE_EQ(sc.allReduceMax(2.5), 2.5);
+    }));
+    // No messages at all on one processor.
+    EXPECT_EQ(rt.cluster().node(0).counters().sent, 0u);
+}
+
+TEST(SplitCEdge, GlobalPtrArithmetic)
+{
+    std::array<std::int64_t, 8> arr{};
+    GlobalPtr<std::int64_t> p = gptr(3, arr.data());
+    GlobalPtr<std::int64_t> q = p + 5;
+    EXPECT_EQ(q.node, 3);
+    EXPECT_EQ(q.ptr, arr.data() + 5);
+    EXPECT_TRUE(q.valid());
+    EXPECT_FALSE(GlobalPtr<std::int64_t>().valid());
+}
+
+TEST(SplitCEdge, SixteenByteValuesTravelWhole)
+{
+    struct Pair
+    {
+        double a, b;
+    };
+    SplitCRuntime rt(2, baseline());
+    Pair cell{0, 0};
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        if (sc.myProc() == 0)
+            sc.write(gptr(1, &cell), Pair{1.5, -2.5});
+        sc.barrier();
+        if (sc.myProc() == 1) {
+            Pair got = sc.read(gptr(1, &cell));
+            EXPECT_DOUBLE_EQ(got.a, 1.5);
+            EXPECT_DOUBLE_EQ(got.b, -2.5);
+        }
+        sc.barrier();
+    }));
+}
+
+TEST(SplitCEdge, ZeroElementBulkOpsAreNoOps)
+{
+    SplitCRuntime rt(2, baseline());
+    std::array<std::int64_t, 4> buf{1, 2, 3, 4};
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        if (sc.myProc() == 0) {
+            sc.storeArr(gptr(1, buf.data()),
+                        static_cast<std::int64_t *>(nullptr), 0);
+            sc.storeSync();
+            std::int64_t sink[1];
+            sc.readBulk(gptr(1, buf.data()), sink, 0);
+        }
+        sc.barrier();
+    }));
+    EXPECT_EQ(buf[0], 1);
+}
+
+TEST(SplitCEdge, LocalBulkOpsBypassTheNetwork)
+{
+    SplitCRuntime rt(2, baseline());
+    std::vector<std::int64_t> a(100), b(100, -1);
+    std::iota(a.begin(), a.end(), 0);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        if (sc.myProc() == 0) {
+            sc.storeArr(gptr(0, b.data()), a.data(), 100);
+            std::vector<std::int64_t> c(100);
+            sc.readBulk(gptr(0, b.data()), c.data(), 100);
+            EXPECT_EQ(c[99], 99);
+        }
+        sc.barrier();
+    }));
+    EXPECT_EQ(rt.cluster().node(0).counters().bulkMsgs, 0u);
+}
+
+TEST(SplitCEdge, MixedPutsAndGetsSyncTogether)
+{
+    SplitCRuntime rt(2, baseline());
+    std::array<std::int64_t, 16> remote{};
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        if (sc.myProc() == 0) {
+            std::array<std::int64_t, 8> got{};
+            for (int i = 0; i < 8; ++i)
+                sc.put(gptr(1, &remote[i]), std::int64_t(i * 3));
+            sc.sync(); // Puts visible before the gets read them back.
+            for (int i = 0; i < 8; ++i)
+                sc.get(gptr(1, &remote[i]), &got[i]);
+            sc.sync();
+            for (int i = 0; i < 8; ++i)
+                EXPECT_EQ(got[i], i * 3);
+        }
+        sc.barrier();
+    }));
+}
+
+TEST(SplitCEdge, ReductionsInterleaveWithBarriers)
+{
+    const int P = 5;
+    SplitCRuntime rt(P, baseline());
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        for (int i = 0; i < 10; ++i) {
+            std::int64_t s = sc.allReduceAdd(std::int64_t{1});
+            EXPECT_EQ(s, P);
+            sc.barrier();
+            double m = sc.allReduceMin(
+                static_cast<double>(sc.myProc()) + i);
+            EXPECT_DOUBLE_EQ(m, i);
+        }
+    }));
+}
+
+TEST(SplitCEdge, SyncWithNothingOutstandingIsFree)
+{
+    SplitCRuntime rt(2, baseline());
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        Tick t0 = sc.now();
+        sc.sync();
+        sc.storeSync();
+        EXPECT_EQ(sc.now(), t0);
+        sc.barrier();
+    }));
+}
+
+TEST(SplitCEdge, WriteReadRoundTripTiming)
+{
+    // A blocking write is one full round trip; a blocking read too.
+    SplitCRuntime rt(2, baseline());
+    std::int64_t cell = 0;
+    Tick write_cost = 0, read_cost = 0;
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        if (sc.myProc() == 0) {
+            Tick t0 = sc.now();
+            sc.write(gptr(1, &cell), std::int64_t{5});
+            write_cost = sc.now() - t0;
+            t0 = sc.now();
+            sc.read(gptr(1, &cell));
+            read_cost = sc.now() - t0;
+        }
+        sc.barrier();
+    }));
+    Tick rtt = 2 * (usec(1.8) + usec(5.0) + usec(4.0));
+    EXPECT_EQ(write_cost, rtt);
+    EXPECT_EQ(read_cost, rtt);
+}
+
+} // namespace
+} // namespace nowcluster

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * nowlab: command-line front end to the laboratory.
+ *
+ *   nowlab list
+ *   nowlab calibrate [knobs]
+ *   nowlab run <app> [knobs] [--procs N] [--scale S] [--seed X]
+ *                    [--machine now|paragon|meiko] [--matrix]
+ *                    [--pgm FILE]
+ *   nowlab sweep <app> --knob K --values a,b,c [--procs N] [--scale S]
+ *
+ * Knobs (all optional): --overhead US --gap US --latency US --mbps B
+ *                       --occupancy US --window N
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "calib/microbench.hh"
+#include "harness/experiment.hh"
+#include "model/models.hh"
+#include "replay/replay.hh"
+
+using namespace nowcluster;
+
+namespace {
+
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> options;
+    std::map<std::string, bool> flags;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        std::string s = argv[i];
+        if (s.rfind("--", 0) == 0) {
+            std::string key = s.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                a.options[key] = argv[++i];
+            } else {
+                a.flags[key] = true;
+            }
+        } else {
+            a.positional.push_back(s);
+        }
+    }
+    return a;
+}
+
+double
+optDouble(const Args &a, const std::string &key, double fallback)
+{
+    auto it = a.options.find(key);
+    return it == a.options.end() ? fallback
+                                 : std::atof(it->second.c_str());
+}
+
+long
+optLong(const Args &a, const std::string &key, long fallback)
+{
+    auto it = a.options.find(key);
+    return it == a.options.end() ? fallback
+                                 : std::atol(it->second.c_str());
+}
+
+MachineConfig
+machineOf(const Args &a)
+{
+    auto it = a.options.find("machine");
+    std::string m = it == a.options.end() ? "now" : it->second;
+    if (m == "now")
+        return MachineConfig::berkeleyNow();
+    if (m == "paragon")
+        return MachineConfig::intelParagon();
+    if (m == "meiko")
+        return MachineConfig::meikoCs2();
+    fatal("unknown machine '%s' (now|paragon|meiko)", m.c_str());
+}
+
+Knobs
+knobsOf(const Args &a)
+{
+    Knobs k;
+    k.overheadUs = optDouble(a, "overhead", -1);
+    k.gapUs = optDouble(a, "gap", -1);
+    k.latencyUs = optDouble(a, "latency", -1);
+    k.bulkMBps = optDouble(a, "mbps", -1);
+    k.occupancyUs = optDouble(a, "occupancy", -1);
+    k.window = static_cast<int>(optLong(a, "window", -1));
+    return k;
+}
+
+RunConfig
+configOf(const Args &a)
+{
+    RunConfig c;
+    c.nprocs = static_cast<int>(optLong(a, "procs", 32));
+    c.scale = optDouble(a, "scale", 1.0);
+    c.seed = static_cast<std::uint64_t>(optLong(a, "seed", 1));
+    c.machine = machineOf(a);
+    c.knobs = knobsOf(a);
+    return c;
+}
+
+int
+cmdList()
+{
+    std::printf("applications:\n");
+    for (const auto &key : appKeys()) {
+        auto app = makeApp(key);
+        app->setup(32, 1.0, 1);
+        std::printf("  %-12s %-12s %s\n", key.c_str(),
+                    app->name().c_str(), app->inputDesc().c_str());
+    }
+    std::printf("machines: now paragon meiko\n");
+    return 0;
+}
+
+int
+cmdCalibrate(const Args &a)
+{
+    auto machine = machineOf(a);
+    LogGPParams params = machine.params;
+    knobsOf(a).applyTo(params);
+    std::printf("calibrating '%s'...\n", machine.name.c_str());
+    Microbench mb(params);
+    CalibratedParams c = mb.calibrate();
+    std::printf("o      = %6.1f us (oSend %.1f, oRecv %.1f)\n", c.oUs,
+                c.oSendUs, c.oRecvUs);
+    std::printf("g      = %6.1f us\n", c.gUs);
+    std::printf("L      = %6.1f us (RTT %.1f)\n", c.latencyUs, c.rttUs);
+    std::printf("1/G    = %6.1f MB/s\n", c.bulkMBps);
+    return 0;
+}
+
+int
+cmdRun(const Args &a)
+{
+    if (a.positional.size() < 2)
+        fatal("usage: nowlab run <app> [options]");
+    std::string key = a.positional[1];
+    RunConfig c = configOf(a);
+
+    MessageTrace trace;
+    auto trace_it = a.options.find("trace");
+    if (trace_it != a.options.end())
+        c.trace = &trace;
+
+    RunResult r = runApp(key, c);
+    const CommSummary &s = r.summary;
+    std::printf("%s on %d procs (%s), scale %.2f\n", s.app.c_str(),
+                c.nprocs, c.machine.name.c_str(), c.scale);
+    std::printf("  status        : %s%s\n",
+                r.ok ? "completed" : "TIMED OUT",
+                r.ok ? (r.validated ? ", output valid"
+                                    : ", OUTPUT INVALID")
+                     : "");
+    std::printf("  runtime       : %.3f ms\n", toMsec(r.runtime));
+    std::printf("  msgs/proc     : avg %llu, max %llu\n",
+                static_cast<unsigned long long>(s.avgMsgsPerProc),
+                static_cast<unsigned long long>(s.maxMsgsPerProc));
+    std::printf("  msg interval  : %.1f us   barrier interval: %.1f "
+                "ms\n",
+                s.msgIntervalUs, s.barrierIntervalMs);
+    std::printf("  %%bulk / %%read : %.1f / %.1f\n", s.pctBulk,
+                s.pctReads);
+    std::printf("  bandwidth     : bulk %.1f KB/s, small %.1f KB/s "
+                "per proc\n",
+                s.bulkKBps, s.smallKBps);
+    if (s.lockAcquires)
+        std::printf("  locks         : %llu acquires, %llu failed "
+                    "attempts\n",
+                    static_cast<unsigned long long>(s.lockAcquires),
+                    static_cast<unsigned long long>(s.lockFailures));
+    if (a.flags.count("matrix"))
+        std::fputs(r.matrix.ascii().c_str(), stdout);
+    if (trace_it != a.options.end()) {
+        if (trace.writeCsv(trace_it->second))
+            std::printf("  wrote %zu trace records to %s (mean flight "
+                        "%.1f us, burst fraction %.2f)\n",
+                        trace.size(), trace_it->second.c_str(),
+                        trace.meanFlightUs(),
+                        trace.burstFraction(usec(10)));
+        else
+            warn("could not write %s", trace_it->second.c_str());
+    }
+    auto pgm = a.options.find("pgm");
+    if (pgm != a.options.end()) {
+        if (r.matrix.writePgm(pgm->second))
+            std::printf("  wrote %s\n", pgm->second.c_str());
+        else
+            warn("could not write %s", pgm->second.c_str());
+    }
+    return r.ok && r.validated ? 0 : 1;
+}
+
+int
+cmdSweep(const Args &a)
+{
+    if (a.positional.size() < 2)
+        fatal("usage: nowlab sweep <app> --knob K --values a,b,c");
+    std::string key = a.positional[1];
+    auto knob_it = a.options.find("knob");
+    auto values_it = a.options.find("values");
+    fatal_if(knob_it == a.options.end() || values_it == a.options.end(),
+             "sweep needs --knob and --values");
+    std::string knob = knob_it->second;
+
+    std::vector<double> xs;
+    {
+        std::string v = values_it->second;
+        for (char &ch : v) {
+            if (ch == ',')
+                ch = ' ';
+        }
+        char *end = v.data();
+        while (*end) {
+            xs.push_back(std::strtod(end, &end));
+            while (*end == ' ')
+                ++end;
+        }
+    }
+    fatal_if(xs.empty(), "no sweep values given");
+
+    RunConfig base = configOf(a);
+    RunResult b = runApp(key, base);
+    std::printf("%s baseline: %.3f ms (m = %llu msgs/proc)\n",
+                b.summary.app.c_str(), toMsec(b.runtime),
+                static_cast<unsigned long long>(b.maxMsgsPerProc));
+
+    Table t;
+    t.row().cell(knob).cell("runtime (ms)").cell("slowdown");
+    for (double x : xs) {
+        RunConfig c = base;
+        if (knob == "overhead")
+            c.knobs.overheadUs = x;
+        else if (knob == "gap")
+            c.knobs.gapUs = x;
+        else if (knob == "latency")
+            c.knobs.latencyUs = x;
+        else if (knob == "bandwidth" || knob == "mbps")
+            c.knobs.bulkMBps = x;
+        else if (knob == "occupancy")
+            c.knobs.occupancyUs = x;
+        else if (knob == "window")
+            c.knobs.window = static_cast<int>(x);
+        else
+            fatal("unknown knob '%s'", knob.c_str());
+        c.validate = false;
+        c.maxTime = b.runtime * 200 + kSec;
+        RunResult r = runApp(key, c);
+        auto row = t.row();
+        row.cell(x, 1);
+        if (r.ok)
+            row.cell(toMsec(r.runtime), 2)
+                .cell(slowdown(r.runtime, b.runtime), 2);
+        else
+            row.cell(std::string("N/A")).cell(std::string("N/A"));
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdReplay(const Args &a)
+{
+    auto trace_it = a.options.find("trace");
+    fatal_if(trace_it == a.options.end(),
+             "usage: nowlab replay --trace FILE.csv [--procs N] "
+             "[knobs]");
+    MessageTrace trace;
+    fatal_if(!trace.readCsv(trace_it->second), "cannot read %s",
+             trace_it->second.c_str());
+
+    RunConfig c = configOf(a);
+    // Infer the processor count from the trace when not given.
+    int nprocs = static_cast<int>(optLong(a, "procs", 0));
+    if (nprocs <= 0) {
+        for (const TraceRecord &r : trace.records())
+            nprocs = std::max({nprocs, r.src + 1, r.dst + 1});
+    }
+    fatal_if(nprocs <= 0, "empty trace and no --procs given");
+
+    LogGPParams recorded = machineOf(a).params;
+    ReplaySchedule sched = extractSchedule(trace, nprocs, recorded);
+
+    LogGPParams target = recorded;
+    knobsOf(a).applyTo(target);
+    ReplayResult base = replaySchedule(sched, recorded);
+    ReplayResult what_if = replaySchedule(sched, target);
+
+    std::printf("replay of %zu records (%llu sends) on %d procs\n",
+                trace.size(),
+                static_cast<unsigned long long>(sched.totalSends()),
+                nprocs);
+    std::printf("  recorded machine : %.3f ms makespan\n",
+                toMsec(base.makespan));
+    std::printf("  with knobs       : %.3f ms makespan (%.2fx)\n",
+                toMsec(what_if.makespan),
+                slowdown(what_if.makespan, base.makespan));
+    return base.ok && what_if.ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parseArgs(argc, argv);
+    if (a.positional.empty()) {
+        std::printf(
+            "nowlab -- the LogGP cluster laboratory\n"
+            "usage:\n"
+            "  nowlab list\n"
+            "  nowlab calibrate [--machine M] [knobs]\n"
+            "  nowlab run <app> [--procs N] [--scale S] [--seed X]\n"
+            "             [--machine M] [knobs] [--matrix] [--pgm F]\n"
+            "             [--trace FILE.csv]\n"
+            "  nowlab sweep <app> --knob K --values a,b,c [...]\n"
+            "  nowlab replay --trace FILE.csv [--procs N] [knobs]\n"
+            "knobs: --overhead US --gap US --latency US --mbps B\n"
+            "       --occupancy US --window N\n");
+        return 0;
+    }
+    const std::string &cmd = a.positional[0];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "calibrate")
+        return cmdCalibrate(a);
+    if (cmd == "run")
+        return cmdRun(a);
+    if (cmd == "sweep")
+        return cmdSweep(a);
+    if (cmd == "replay")
+        return cmdReplay(a);
+    fatal("unknown command '%s'", cmd.c_str());
+}
