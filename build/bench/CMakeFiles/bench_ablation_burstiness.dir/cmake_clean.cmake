@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_burstiness.dir/bench_ablation_burstiness.cc.o"
+  "CMakeFiles/bench_ablation_burstiness.dir/bench_ablation_burstiness.cc.o.d"
+  "bench_ablation_burstiness"
+  "bench_ablation_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

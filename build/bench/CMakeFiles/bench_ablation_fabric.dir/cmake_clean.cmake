@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fabric.dir/bench_ablation_fabric.cc.o"
+  "CMakeFiles/bench_ablation_fabric.dir/bench_ablation_fabric.cc.o.d"
+  "bench_ablation_fabric"
+  "bench_ablation_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

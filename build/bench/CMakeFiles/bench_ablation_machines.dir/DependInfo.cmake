@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_machines.cc" "bench/CMakeFiles/bench_ablation_machines.dir/bench_ablation_machines.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_machines.dir/bench_ablation_machines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/now_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_mur.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

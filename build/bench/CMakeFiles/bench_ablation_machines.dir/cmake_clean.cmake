@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_machines.dir/bench_ablation_machines.cc.o"
+  "CMakeFiles/bench_ablation_machines.dir/bench_ablation_machines.cc.o.d"
+  "bench_ablation_machines"
+  "bench_ablation_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_signature.dir/bench_fig3_signature.cc.o"
+  "CMakeFiles/bench_fig3_signature.dir/bench_fig3_signature.cc.o.d"
+  "bench_fig3_signature"
+  "bench_fig3_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

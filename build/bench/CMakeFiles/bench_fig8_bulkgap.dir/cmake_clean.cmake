@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bulkgap.dir/bench_fig8_bulkgap.cc.o"
+  "CMakeFiles/bench_fig8_bulkgap.dir/bench_fig8_bulkgap.cc.o.d"
+  "bench_fig8_bulkgap"
+  "bench_fig8_bulkgap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bulkgap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_calibration.dir/bench_table2_calibration.cc.o"
+  "CMakeFiles/bench_table2_calibration.dir/bench_table2_calibration.cc.o.d"
+  "bench_table2_calibration"
+  "bench_table2_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_apps_baseline.dir/bench_table3_apps_baseline.cc.o"
+  "CMakeFiles/bench_table3_apps_baseline.dir/bench_table3_apps_baseline.cc.o.d"
+  "bench_table3_apps_baseline"
+  "bench_table3_apps_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_apps_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

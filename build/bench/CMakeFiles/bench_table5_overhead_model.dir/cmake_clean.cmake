@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_overhead_model.dir/bench_table5_overhead_model.cc.o"
+  "CMakeFiles/bench_table5_overhead_model.dir/bench_table5_overhead_model.cc.o.d"
+  "bench_table5_overhead_model"
+  "bench_table5_overhead_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_overhead_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

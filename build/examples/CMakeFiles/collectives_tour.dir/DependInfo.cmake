@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/collectives_tour.cpp" "examples/CMakeFiles/collectives_tour.dir/collectives_tour.cpp.o" "gcc" "examples/CMakeFiles/collectives_tour.dir/collectives_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/now_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

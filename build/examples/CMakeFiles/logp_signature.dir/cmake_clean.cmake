@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_signature.dir/logp_signature.cpp.o"
+  "CMakeFiles/logp_signature.dir/logp_signature.cpp.o.d"
+  "logp_signature"
+  "logp_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_am.dir/am/am_node.cc.o"
+  "CMakeFiles/now_am.dir/am/am_node.cc.o.d"
+  "CMakeFiles/now_am.dir/am/cluster.cc.o"
+  "CMakeFiles/now_am.dir/am/cluster.cc.o.d"
+  "libnow_am.a"
+  "libnow_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

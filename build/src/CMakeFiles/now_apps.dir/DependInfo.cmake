@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/CMakeFiles/now_apps.dir/apps/app.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/app.cc.o.d"
+  "/root/repo/src/apps/barnes.cc" "src/CMakeFiles/now_apps.dir/apps/barnes.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/barnes.cc.o.d"
+  "/root/repo/src/apps/connect.cc" "src/CMakeFiles/now_apps.dir/apps/connect.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/connect.cc.o.d"
+  "/root/repo/src/apps/em3d.cc" "src/CMakeFiles/now_apps.dir/apps/em3d.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/em3d.cc.o.d"
+  "/root/repo/src/apps/murphi.cc" "src/CMakeFiles/now_apps.dir/apps/murphi.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/murphi.cc.o.d"
+  "/root/repo/src/apps/nowsort.cc" "src/CMakeFiles/now_apps.dir/apps/nowsort.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/nowsort.cc.o.d"
+  "/root/repo/src/apps/pray.cc" "src/CMakeFiles/now_apps.dir/apps/pray.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/pray.cc.o.d"
+  "/root/repo/src/apps/radb.cc" "src/CMakeFiles/now_apps.dir/apps/radb.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/radb.cc.o.d"
+  "/root/repo/src/apps/radix.cc" "src/CMakeFiles/now_apps.dir/apps/radix.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/radix.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/CMakeFiles/now_apps.dir/apps/registry.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/registry.cc.o.d"
+  "/root/repo/src/apps/sample.cc" "src/CMakeFiles/now_apps.dir/apps/sample.cc.o" "gcc" "src/CMakeFiles/now_apps.dir/apps/sample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/now_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_mur.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

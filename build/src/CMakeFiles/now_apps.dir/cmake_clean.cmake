@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_apps.dir/apps/app.cc.o"
+  "CMakeFiles/now_apps.dir/apps/app.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/barnes.cc.o"
+  "CMakeFiles/now_apps.dir/apps/barnes.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/connect.cc.o"
+  "CMakeFiles/now_apps.dir/apps/connect.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/em3d.cc.o"
+  "CMakeFiles/now_apps.dir/apps/em3d.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/murphi.cc.o"
+  "CMakeFiles/now_apps.dir/apps/murphi.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/nowsort.cc.o"
+  "CMakeFiles/now_apps.dir/apps/nowsort.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/pray.cc.o"
+  "CMakeFiles/now_apps.dir/apps/pray.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/radb.cc.o"
+  "CMakeFiles/now_apps.dir/apps/radb.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/radix.cc.o"
+  "CMakeFiles/now_apps.dir/apps/radix.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/registry.cc.o"
+  "CMakeFiles/now_apps.dir/apps/registry.cc.o.d"
+  "CMakeFiles/now_apps.dir/apps/sample.cc.o"
+  "CMakeFiles/now_apps.dir/apps/sample.cc.o.d"
+  "libnow_apps.a"
+  "libnow_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_base.dir/base/logging.cc.o"
+  "CMakeFiles/now_base.dir/base/logging.cc.o.d"
+  "CMakeFiles/now_base.dir/base/table.cc.o"
+  "CMakeFiles/now_base.dir/base/table.cc.o.d"
+  "libnow_base.a"
+  "libnow_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

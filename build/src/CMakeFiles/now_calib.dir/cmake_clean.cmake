@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_calib.dir/calib/microbench.cc.o"
+  "CMakeFiles/now_calib.dir/calib/microbench.cc.o.d"
+  "libnow_calib.a"
+  "libnow_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_coll.dir/coll/collectives.cc.o"
+  "CMakeFiles/now_coll.dir/coll/collectives.cc.o.d"
+  "libnow_coll.a"
+  "libnow_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

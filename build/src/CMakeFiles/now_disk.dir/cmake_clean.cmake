@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_disk.dir/disk/disk.cc.o"
+  "CMakeFiles/now_disk.dir/disk/disk.cc.o.d"
+  "libnow_disk.a"
+  "libnow_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/now_harness.dir/harness/experiment.cc.o.d"
+  "libnow_harness.a"
+  "libnow_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_model.dir/model/models.cc.o"
+  "CMakeFiles/now_model.dir/model/models.cc.o.d"
+  "libnow_model.a"
+  "libnow_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_mur.dir/mur/checker.cc.o"
+  "CMakeFiles/now_mur.dir/mur/checker.cc.o.d"
+  "CMakeFiles/now_mur.dir/mur/peterson.cc.o"
+  "CMakeFiles/now_mur.dir/mur/peterson.cc.o.d"
+  "CMakeFiles/now_mur.dir/mur/sci.cc.o"
+  "CMakeFiles/now_mur.dir/mur/sci.cc.o.d"
+  "libnow_mur.a"
+  "libnow_mur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_mur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

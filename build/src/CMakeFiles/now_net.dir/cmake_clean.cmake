@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_net.dir/net/fabric.cc.o"
+  "CMakeFiles/now_net.dir/net/fabric.cc.o.d"
+  "CMakeFiles/now_net.dir/net/loggp.cc.o"
+  "CMakeFiles/now_net.dir/net/loggp.cc.o.d"
+  "CMakeFiles/now_net.dir/net/nic.cc.o"
+  "CMakeFiles/now_net.dir/net/nic.cc.o.d"
+  "libnow_net.a"
+  "libnow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_replay.dir/replay/replay.cc.o"
+  "CMakeFiles/now_replay.dir/replay/replay.cc.o.d"
+  "libnow_replay.a"
+  "libnow_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

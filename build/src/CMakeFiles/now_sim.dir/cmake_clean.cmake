@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_sim.dir/sim/fiber.cc.o"
+  "CMakeFiles/now_sim.dir/sim/fiber.cc.o.d"
+  "CMakeFiles/now_sim.dir/sim/proc.cc.o"
+  "CMakeFiles/now_sim.dir/sim/proc.cc.o.d"
+  "libnow_sim.a"
+  "libnow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

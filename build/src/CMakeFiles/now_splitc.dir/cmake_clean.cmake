@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_splitc.dir/splitc/splitc.cc.o"
+  "CMakeFiles/now_splitc.dir/splitc/splitc.cc.o.d"
+  "libnow_splitc.a"
+  "libnow_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

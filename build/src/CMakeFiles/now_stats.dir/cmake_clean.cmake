@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_stats.dir/stats/comm_stats.cc.o"
+  "CMakeFiles/now_stats.dir/stats/comm_stats.cc.o.d"
+  "CMakeFiles/now_stats.dir/stats/trace.cc.o"
+  "CMakeFiles/now_stats.dir/stats/trace.cc.o.d"
+  "libnow_stats.a"
+  "libnow_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

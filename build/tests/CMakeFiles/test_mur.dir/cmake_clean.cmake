@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mur.dir/test_mur.cc.o"
+  "CMakeFiles/test_mur.dir/test_mur.cc.o.d"
+  "test_mur"
+  "test_mur.pdb"
+  "test_mur[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

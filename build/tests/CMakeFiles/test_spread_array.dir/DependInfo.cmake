@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_spread_array.cc" "tests/CMakeFiles/test_spread_array.dir/test_spread_array.cc.o" "gcc" "tests/CMakeFiles/test_spread_array.dir/test_spread_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/now_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/now_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

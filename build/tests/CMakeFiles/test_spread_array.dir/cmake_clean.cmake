@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spread_array.dir/test_spread_array.cc.o"
+  "CMakeFiles/test_spread_array.dir/test_spread_array.cc.o.d"
+  "test_spread_array"
+  "test_spread_array.pdb"
+  "test_spread_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spread_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlab.dir/nowlab.cc.o"
+  "CMakeFiles/nowlab.dir/nowlab.cc.o.d"
+  "nowlab"
+  "nowlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(nowlab_help "/root/repo/build/tools/nowlab")
+set_tests_properties(nowlab_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(nowlab_list "/root/repo/build/tools/nowlab" "list")
+set_tests_properties(nowlab_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(nowlab_calibrate "/root/repo/build/tools/nowlab" "calibrate")
+set_tests_properties(nowlab_calibrate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(nowlab_run_small "/root/repo/build/tools/nowlab" "run" "radix" "--procs" "4" "--scale" "0.1")
+set_tests_properties(nowlab_run_small PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(nowlab_sweep_small "/root/repo/build/tools/nowlab" "sweep" "em3d-write" "--knob" "overhead" "--values" "2.9,22.9" "--procs" "4" "--scale" "0.1")
+set_tests_properties(nowlab_sweep_small PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
