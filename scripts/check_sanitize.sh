@@ -1,0 +1,19 @@
+#!/bin/sh
+# Build and run the tier-1 test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer. Usage: scripts/check_sanitize.sh [ctest args]
+#
+# Note: the fiber scheduler (src/sim/fiber.cc) swaps ucontext stacks;
+# ASan is told about each switch via the start/finish_switch_fiber
+# annotations, and LeakSanitizer is disabled because it cannot walk
+# stacks parked mid-swapcontext.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DNOWCLUSTER_SANITIZE=address;undefined"
+cmake --build build-asan -j "$(nproc)"
+
+ASAN_OPTIONS=detect_leaks=0 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure "$@"

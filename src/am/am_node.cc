@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "am/cluster.hh"
+#include "am/reliable.hh"
 #include "base/logging.hh"
 
 namespace nowcluster {
@@ -19,7 +20,11 @@ AmNode::AmNode(Cluster &cluster, NodeId id, std::uint64_t seed)
       nic_(cluster.params()), ctrs_(cluster.nprocs()),
       credits_(cluster.nprocs(), cluster.params().window)
 {
+    if (cluster.params().reliable)
+        rel_ = std::make_unique<ReliableEndpoint>(*this);
 }
+
+AmNode::~AmNode() = default;
 
 Tick
 AmNode::now() const
@@ -49,7 +54,7 @@ AmNode::acquireCredit(NodeId dst)
         return;
     }
     Tick t0 = now();
-    pollUntil([&] { return credits_[dst] > 0; });
+    pollUntil([&] { return credits_[dst] > 0; }, "credit wait");
     ctrs_.creditStall += now() - t0;
     if (credits_[dst] > 0)
         --credits_[dst];
@@ -79,8 +84,14 @@ AmNode::sendPacket(Packet &&pkt, bool pay_overhead)
     bool needs_nic_ack =
         pkt.kind == PacketKind::OneWay ||
         (pkt.kind == PacketKind::BulkFrag && !pkt.creditFree);
-    if (needs_nic_ack)
+    if (rel_) {
+        // Reliable mode: the credit rides the protocol ack, which can
+        // be lost and recovered, instead of a bare fire-and-forget
+        // event.
+        rel_->onSend(pkt, needs_nic_ack);
+    } else if (needs_nic_ack) {
         cluster_.scheduleCreditAck(id_, pkt.dst, physical);
+    }
 
     if (cluster_.traceHook()) {
         cluster_.traceHook()(
@@ -255,7 +266,8 @@ AmNode::replyStore(const Packet &cause, void *dst_addr, const void *src,
 void
 AmNode::storeSync()
 {
-    pollUntil([&] { return outstandingStores_ == 0; });
+    pollUntil([&] { return outstandingStores_ == 0; },
+              "bulk store-ack wait");
 }
 
 void
@@ -301,6 +313,16 @@ AmNode::poll()
 void
 AmNode::deliver(Packet &&pkt)
 {
+    if (rel_) {
+        rel_->onData(std::move(pkt));
+        return;
+    }
+    deliverNow(std::move(pkt));
+}
+
+void
+AmNode::deliverNow(Packet &&pkt)
+{
     if (pkt.kind == PacketKind::Reply && pkt.creditReply) {
         // Replies carry the request's flow-control credit back; the NIC
         // restores it on arrival, before the host polls the message.
@@ -338,6 +360,13 @@ AmNode::creditReturned(NodeId dst)
     panic_if(!draining() && credits_[dst] > cluster_.params().window,
              "node %d: credit overflow for dst %d", id_, dst);
     wakeIfBlocked();
+}
+
+void
+AmNode::reliableAckArrived(NodeId from, std::uint64_t cum_seq)
+{
+    if (rel_)
+        rel_->onAck(from, cum_seq);
 }
 
 void

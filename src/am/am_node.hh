@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "am/counters.hh"
@@ -25,6 +26,7 @@ namespace nowcluster {
 
 class Cluster;
 class AmNode;
+class ReliableEndpoint;
 
 /** An Active Message handler: runs on the receiving node's fiber. */
 using HandlerFn = std::function<void(AmNode &self, Packet &pkt)>;
@@ -37,6 +39,7 @@ class AmNode
 {
   public:
     AmNode(Cluster &cluster, NodeId id, std::uint64_t seed);
+    ~AmNode();
 
     AmNode(const AmNode &) = delete;
     AmNode &operator=(const AmNode &) = delete;
@@ -112,28 +115,65 @@ class AmNode
     /**
      * Poll until pred() holds, blocking between network events.
      * Returns immediately (pred unchecked) if the cluster is draining.
+     *
+     * @param what Optional label of what this wait is for; shown by the
+     *             cluster's timeout diagnostics when the run drains
+     *             while this node is still blocked here.
      */
     template <typename Pred>
     void
-    pollUntil(Pred pred)
+    pollUntil(Pred pred, const char *what = nullptr)
     {
+        const char *prev = blockedOn_;
+        if (what)
+            blockedOn_ = what;
         for (;;) {
             poll();
             if (pred() || draining())
-                return;
+                break;
             proc_->block();
         }
+        blockedOn_ = prev;
+    }
+
+    /** What this node is currently blocked on (timeout diagnostics). */
+    const char *
+    blockedOn() const
+    {
+        return blockedOn_ ? blockedOn_ : "unlabeled pollUntil";
     }
 
     // ------------------------------------------------------------------
     // Network-facing interface (called by Cluster/Network events)
     // ------------------------------------------------------------------
 
-    /** A packet's presence bit is set: enqueue / DMA it. */
+    /**
+     * A packet's presence bit is set. Routes through the reliability
+     * endpoint (duplicate suppression, reordering, acks) when enabled,
+     * else straight to deliverNow().
+     */
     void deliver(Packet &&pkt);
+
+    /**
+     * Unconditional delivery of an in-order, first-time packet:
+     * credit-reply handling, bulk DMA, receive-queue append. Called by
+     * deliver() or by the reliability endpoint once a packet clears
+     * the protocol.
+     */
+    void deliverNow(Packet &&pkt);
 
     /** A NIC-level ack returned one send credit for destination dst. */
     void creditReturned(NodeId dst);
+
+    /** A reliability-protocol ack from peer `from` arrived. */
+    void reliableAckArrived(NodeId from, std::uint64_t cum_seq);
+
+    /** The reliability endpoint, or nullptr when disabled. */
+    ReliableEndpoint *reliable() { return rel_.get(); }
+
+    /** Send credits currently available toward dst (window when all
+     *  NIC-level acks have come home -- the leak check). */
+    int credits(NodeId dst) const { return credits_[dst]; }
 
     /**
      * Occupancy extension: pass an arrival through the rx context.
@@ -165,6 +205,10 @@ class AmNode
     Rng rng_;
     NicTx nic_;
     AmCounters ctrs_;
+    /** Reliability protocol endpoint (null unless params().reliable). */
+    std::unique_ptr<ReliableEndpoint> rel_;
+    /** Label of the wait this node is blocked in, for diagnostics. */
+    const char *blockedOn_ = nullptr;
 
     std::deque<Packet> rxQueue_;
     std::vector<int> credits_;

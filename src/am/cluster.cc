@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
+#include "am/reliable.hh"
 #include "base/logging.hh"
 
 namespace nowcluster {
@@ -25,6 +27,13 @@ Cluster::Cluster(int nprocs, const LogGPParams &params, std::uint64_t seed)
         fc.hostsPerSwitch = params.fabricHostsPerSwitch;
         fc.linkMBps = params.fabricLinkMBps;
         fabric_ = std::make_unique<SwitchFabric>(nprocs, fc);
+    }
+
+    if (params.fault.enabled) {
+        fault_ = std::make_unique<FaultModel>(params.fault);
+        if (params.fault.anyRate() && !params.reliable)
+            inform("fault injection active without params.reliable: "
+                   "losses and duplicates have no recovery path");
     }
 
     nodes_.reserve(nprocs);
@@ -81,24 +90,64 @@ Cluster::run(std::function<void(AmNode &)> main, Tick max_time)
             // a communication deadlock. Drain so fibers unwind and the
             // caller sees a failed run instead of a hang.
             panic_if(draining_, "cluster failed to drain after deadlock");
-            warn("cluster deadlock at %.3f ms with %d/%d procs done; "
-                 "draining", toMsec(sim_.now()), doneCount_, nprocs_);
-            draining_ = true;
-            timedOut_ = true;
-            for (auto &n : nodes_)
-                n->wakeIfBlocked();
+            startDrain("deadlock");
             continue;
         }
         if (!draining_ && sim_.nextTime() > max_time) {
-            draining_ = true;
-            timedOut_ = true;
-            for (auto &n : nodes_)
-                n->wakeIfBlocked();
+            startDrain("time budget exhausted");
             continue;
         }
         sim_.step();
     }
     return !timedOut_;
+}
+
+void
+Cluster::startDrain(const char *why)
+{
+    // Record who was still blocked and on what before the wakeups
+    // destroy the evidence -- essential when debugging loss-induced
+    // hangs (lost credit vs. lost reply vs. barrier skew look
+    // identical from the outside).
+    stallReport_.clear();
+    int shown = 0, stalled = 0;
+    for (int i = 0; i < nprocs_; ++i) {
+        if (procs_[i]->done())
+            continue;
+        ++stalled;
+        if (shown >= 16)
+            continue;
+        ++shown;
+        stallReport_ += "\n  node ";
+        stallReport_ += std::to_string(i);
+        if (procs_[i]->state() == ProcState::Blocked) {
+            stallReport_ += ": blocked on ";
+            stallReport_ += nodes_[i]->blockedOn();
+        } else {
+            stallReport_ += ": runnable/computing";
+        }
+        if (nodes_[i]->reliable()) {
+            std::uint64_t unacked =
+                nodes_[i]->reliable()->unackedCount();
+            if (unacked) {
+                stallReport_ += " (";
+                stallReport_ += std::to_string(unacked);
+                stallReport_ += " unacked packets)";
+            }
+        }
+    }
+    if (stalled > shown) {
+        stallReport_ += "\n  ... and ";
+        stallReport_ += std::to_string(stalled - shown);
+        stallReport_ += " more";
+    }
+    warn("cluster %s at %.3f ms with %d/%d procs done; draining%s", why,
+         toMsec(sim_.now()), doneCount_, nprocs_, stallReport_.c_str());
+
+    draining_ = true;
+    timedOut_ = true;
+    for (auto &n : nodes_)
+        n->wakeIfBlocked();
 }
 
 void
@@ -111,6 +160,24 @@ Cluster::transmit(Packet &&pkt)
             pkt.src, pkt.dst, pkt.isBulk() ? pkt.bulk.size() : 0,
             pkt.readyAt);
     }
+    if (fault_) {
+        FaultDecision d = fault_->apply(pkt.src, pkt.dst,
+                                        PacketClass::Data, sim_.now());
+        if (d.drop)
+            return; // Lost on the wire (or discarded by the rx CRC).
+        if (d.duplicate) {
+            Packet copy = pkt;
+            copy.readyAt += d.dupDelay;
+            scheduleDelivery(std::move(copy));
+        }
+        pkt.readyAt += d.extraDelay;
+    }
+    scheduleDelivery(std::move(pkt));
+}
+
+void
+Cluster::scheduleDelivery(Packet &&pkt)
+{
     // Wrapped in shared_ptr because std::function requires a copyable
     // closure; the packet is only ever moved out once.
     auto p = std::make_shared<Packet>(std::move(pkt));
@@ -133,9 +200,68 @@ Cluster::transmit(Packet &&pkt)
 void
 Cluster::scheduleCreditAck(NodeId src, NodeId dst, Tick deliver_time)
 {
-    sim_.schedule(deliver_time + params_.latency, [this, src, dst] {
+    Tick when = deliver_time + params_.latency;
+    if (fault_) {
+        // The bare NIC ack travels dst -> src. A drop here leaks the
+        // credit for good -- exactly the failure mode the reliable
+        // layer exists to close. Duplicates are ignored (a doubled
+        // fire-and-forget ack would mint a phantom credit).
+        FaultDecision d =
+            fault_->apply(dst, src, PacketClass::Ack, sim_.now());
+        if (d.drop)
+            return;
+        when += d.extraDelay;
+    }
+    sim_.schedule(when, [this, src, dst] {
         nodes_[src]->creditReturned(dst);
     });
+}
+
+void
+Cluster::sendAck(NodeId from, NodeId to, std::uint64_t cum_seq)
+{
+    Tick when = sim_.now() + params_.latency;
+    if (fault_) {
+        FaultDecision d =
+            fault_->apply(from, to, PacketClass::Ack, sim_.now());
+        if (d.drop)
+            return; // Recovered by the sender's retransmission timer.
+        when += d.extraDelay;
+        if (d.duplicate) {
+            // Cumulative acks are idempotent, so duplicates are safe.
+            sim_.schedule(when + d.dupDelay, [this, from, to, cum_seq] {
+                nodes_[to]->reliableAckArrived(from, cum_seq);
+            });
+        }
+    }
+    sim_.schedule(when, [this, from, to, cum_seq] {
+        nodes_[to]->reliableAckArrived(from, cum_seq);
+    });
+}
+
+std::uint64_t
+Cluster::settle(std::uint64_t max_events)
+{
+    std::uint64_t n = sim_.run(max_events);
+    if (!sim_.idle())
+        warn("cluster did not settle within %llu events",
+             static_cast<unsigned long long>(max_events));
+    return n;
+}
+
+std::uint64_t
+Cluster::leakedCredits() const
+{
+    std::uint64_t leaked = 0;
+    for (const auto &n : nodes_) {
+        for (int dst = 0; dst < nprocs_; ++dst) {
+            int have = n->credits(dst);
+            if (have < params_.window)
+                leaked += static_cast<std::uint64_t>(params_.window -
+                                                     have);
+        }
+    }
+    return leaked;
 }
 
 std::uint64_t

@@ -9,10 +9,12 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "am/am_node.hh"
 #include "net/fabric.hh"
+#include "net/fault.hh"
 #include "net/loggp.hh"
 #include "sim/simulator.hh"
 
@@ -59,6 +61,14 @@ class Cluster
     /** True if the last run() hit its time budget. */
     bool timedOut() const { return timedOut_; }
 
+    /**
+     * When the last run() drained (timeout or deadlock), a human
+     * readable list of which nodes were still blocked and on what
+     * (credit wait vs. reply wait vs. barrier ...). Empty for clean
+     * runs.
+     */
+    const std::string &stallReport() const { return stallReport_; }
+
     int nprocs() const { return nprocs_; }
     AmNode &node(int i) { return *nodes_[i]; }
     Simulator &sim() { return sim_; }
@@ -74,11 +84,35 @@ class Cluster
     /** Schedule the NIC-level ack that returns a credit to src. */
     void scheduleCreditAck(NodeId src, NodeId dst, Tick deliver_time);
 
+    /**
+     * Reliability-protocol cumulative ack from node `from` to node
+     * `to`, subject to the fault model like any other wire event.
+     */
+    void sendAck(NodeId from, NodeId to, std::uint64_t cum_seq);
+
+    /**
+     * After run() completes, process leftover events (in-flight acks,
+     * retransmission timers) until the simulator goes idle, so credit
+     * accounting can be audited. @return events executed.
+     */
+    std::uint64_t settle(std::uint64_t max_events = 10'000'000);
+
+    /**
+     * Number of send credits not currently home across all (node, dst)
+     * pairs. Zero after run()+settle() on a correct protocol -- the
+     * "no leaked credits" acceptance check.
+     */
+    std::uint64_t leakedCredits() const;
+
     /** Aggregate messages sent across all nodes. */
     std::uint64_t totalMessages() const;
 
     /** The fabric model, if enabled (diagnostics). */
     const SwitchFabric *fabric() const { return fabric_.get(); }
+
+    /** The fault model, if enabled (scripting from tests, counters). */
+    FaultModel *faultModel() { return fault_.get(); }
+    const FaultModel *faultModel() const { return fault_.get(); }
 
     /** Per-packet trace callback: (issued, ready, src, dst, kind,
      *  payload bytes). Kept as a plain hook so the AM layer does not
@@ -91,6 +125,12 @@ class Cluster
 
   private:
     void noteProcDone(NodeId id);
+
+    /** Common delivery tail: rx occupancy + presence-bit event. */
+    void scheduleDelivery(Packet &&pkt);
+
+    /** Enter drain mode, recording who was blocked and why. */
+    void startDrain(const char *why);
 
     Simulator sim_;
     LogGPParams params_;
@@ -106,6 +146,8 @@ class Cluster
     bool started_ = false;
     TraceHook trace_;
     std::unique_ptr<SwitchFabric> fabric_;
+    std::unique_ptr<FaultModel> fault_;
+    std::string stallReport_;
 };
 
 } // namespace nowcluster

@@ -49,6 +49,18 @@ struct AmCounters
     /** Ticks this node spent stalled on a full NIC tx queue. */
     Tick txQueueStall = 0;
 
+    // Reliability protocol (am/reliable.hh; all zero when disabled).
+    /** Packets retransmitted after a timeout. */
+    std::uint64_t retransmits = 0;
+    /** Packets abandoned after retxMaxRetries (channel failure). */
+    std::uint64_t retxGiveUps = 0;
+    /** Received duplicates suppressed by sequence-number matching. */
+    std::uint64_t dupsSuppressed = 0;
+    /** Packets parked in the reorder buffer before in-order delivery. */
+    std::uint64_t outOfOrder = 0;
+    /** Protocol acks sent (one cumulative ack per received packet). */
+    std::uint64_t acksSent = 0;
+
     /** Per-destination message counts (Figure 4 density matrix row). */
     std::vector<std::uint64_t> sentTo;
 };

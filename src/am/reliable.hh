@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reliable-delivery protocol for the Active Message layer.
+ *
+ * The paper's Generic Active Messages ran on LANai firmware that
+ * implemented timeouts, retransmission, and duplicate suppression; the
+ * perfect-wire simulation never needed any of that. This endpoint adds
+ * the firmware protocol so the fabric can be made lossy (net/fault.hh):
+ *
+ *  - every data packet carries a per-(src,dst) sequence number,
+ *  - the sender keeps a copy of each unacked packet and retransmits on
+ *    timeout with exponential backoff, driven by the simulator's event
+ *    queue (retransmissions leave from NIC SRAM: no host overhead, no
+ *    tx-queue traversal),
+ *  - the receiver acks cumulatively, suppresses duplicates, and holds
+ *    out-of-order packets in a reorder buffer so upper layers always
+ *    observe per-link FIFO delivery (matching the perfect wire),
+ *  - flow-control credits for one-way and bulk packets ride the
+ *    protocol ack instead of the bare NIC ack, so a lost ack can delay
+ *    a credit but never leak it.
+ *
+ * Enabled by LogGPParams::reliable. When disabled, none of this code is
+ * on the packet path and the timestamp algebra is bit-identical to the
+ * perfect-wire simulator.
+ */
+
+#ifndef NOWCLUSTER_AM_RELIABLE_HH_
+#define NOWCLUSTER_AM_RELIABLE_HH_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/types.hh"
+#include "net/packet.hh"
+
+namespace nowcluster {
+
+class AmNode;
+class Cluster;
+
+/** One node's endpoint of the reliability protocol. */
+class ReliableEndpoint
+{
+  public:
+    explicit ReliableEndpoint(AmNode &node);
+
+    ReliableEndpoint(const ReliableEndpoint &) = delete;
+    ReliableEndpoint &operator=(const ReliableEndpoint &) = delete;
+
+    /**
+     * Sender side, called from AmNode::sendPacket once the packet's
+     * arrival time is known and before it is handed to the network.
+     * Assigns the sequence number, enqueues a retransmission copy, and
+     * arms the first timeout (relative to the expected arrival, so bulk
+     * fragments queued behind a busy NIC do not fire spuriously).
+     *
+     * @param credit_on_ack This packet's send credit is returned when
+     *                      its ack arrives (one-way and non-reply bulk).
+     */
+    void onSend(Packet &pkt, bool credit_on_ack);
+
+    /**
+     * Receiver side, called in place of direct delivery. Suppresses
+     * duplicates, reorders, delivers in sequence via
+     * AmNode::deliverNow, and sends a cumulative ack.
+     */
+    void onData(Packet &&pkt);
+
+    /** A cumulative ack from peer `from` covering seqs <= cum_seq. */
+    void onAck(NodeId from, std::uint64_t cum_seq);
+
+    /** Packets sent but not yet cumulatively acked (all peers). */
+    std::uint64_t unackedCount() const;
+
+  private:
+    struct TxEntry
+    {
+        Packet pkt;            ///< Retransmission copy (owns payload).
+        int retries = 0;
+        bool creditOnAck = false;
+        std::uint64_t gen = 0; ///< Matches the armed timer.
+    };
+
+    /** Per-peer protocol state (both directions of one link pair). */
+    struct Peer
+    {
+        // Transmit direction.
+        std::uint64_t nextSeq = 0; ///< Last assigned sequence number.
+        std::uint64_t maxAcked = 0;
+        std::map<std::uint64_t, TxEntry> unacked;
+        // Receive direction.
+        std::uint64_t expected = 1; ///< Next in-order seq to deliver.
+        std::map<std::uint64_t, Packet> pending; ///< Reorder buffer.
+    };
+
+    void armTimer(NodeId dst, std::uint64_t seq, std::uint64_t gen,
+                  Tick delay);
+    void onTimeout(NodeId dst, std::uint64_t seq, std::uint64_t gen);
+
+    /** Ack-return budget after a packet's arrival time. */
+    Tick rtoBase() const { return rtoBase_; }
+
+    AmNode &node_;
+    Cluster &cluster_;
+    std::vector<Peer> peers_;
+    Tick rtoBase_;
+    std::uint64_t genCounter_ = 0;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_AM_RELIABLE_HH_

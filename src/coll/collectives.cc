@@ -112,7 +112,8 @@ Collectives::broadcast(SplitC &sc, Word value, NodeId root, BcastAlg alg)
     };
     auto wait_value = [&]() {
         NodeState &mine = nodes_[me];
-        sc.am().pollUntil([&] { return mine.bcastSeen >= epoch; });
+        sc.am().pollUntil([&] { return mine.bcastSeen >= epoch; },
+                          "broadcast");
         return mine.bcastVal;
     };
 
@@ -180,7 +181,8 @@ Collectives::allGather(SplitC &sc, const Word *mine, std::size_t n,
     auto wait_block = [&](int src_block) {
         NodeState &m = nodes_[me];
         sc.am().pollUntil(
-            [&] { return m.boxSeen[src_block] >= epoch; });
+            [&] { return m.boxSeen[src_block] >= epoch; },
+            "exchange wait");
         std::copy(&m.box[static_cast<std::size_t>(src_block) *
                          maxElems_],
                   &m.box[static_cast<std::size_t>(src_block) *
@@ -241,7 +243,8 @@ Collectives::allToAll(SplitC &sc, const Word *send, std::size_t n,
         sc.put(gptr(dst, &d.boxSeen[me]), epoch);
         sc.sync();
         NodeState &m = nodes_[me];
-        sc.am().pollUntil([&] { return m.boxSeen[src] >= epoch; });
+        sc.am().pollUntil([&] { return m.boxSeen[src] >= epoch; },
+                          "exchange wait");
         std::copy(
             &m.box[static_cast<std::size_t>(src) * maxElems_],
             &m.box[static_cast<std::size_t>(src) * maxElems_] + n,
@@ -271,7 +274,8 @@ Collectives::scanAdd(SplitC &sc, std::int64_t value)
         if (me - d >= 0) {
             NodeState &mine = nodes_[me];
             sc.am().pollUntil(
-                [&] { return mine.scanSeen[level] >= epoch; });
+                [&] { return mine.scanSeen[level] >= epoch; },
+                "scan wait");
             partial += mine.scanVal[level];
         }
     }

@@ -30,6 +30,26 @@ Knobs::applyTo(LogGPParams &params) const
         if (fabricLinkMBps > 0)
             params.fabricLinkMBps = fabricLinkMBps;
     }
+    if (dropRate >= 0 || dupRate >= 0 || corruptRate >= 0 ||
+        reorderRate >= 0) {
+        params.fault.enabled = true;
+        if (dropRate >= 0)
+            params.fault.dropRate = dropRate;
+        if (dupRate >= 0)
+            params.fault.dupRate = dupRate;
+        if (corruptRate >= 0)
+            params.fault.corruptRate = corruptRate;
+        if (reorderRate >= 0)
+            params.fault.reorderRate = reorderRate;
+    }
+    if (reorderMaxDelayUs >= 0)
+        params.fault.reorderMaxDelay = usec(reorderMaxDelayUs);
+    if (faultSeed >= 0)
+        params.fault.seed = static_cast<std::uint64_t>(faultSeed);
+    if (reliable >= 0)
+        params.reliable = reliable != 0;
+    if (retxTimeoutUs > 0)
+        params.retxTimeout = usec(retxTimeoutUs);
 }
 
 RunResult

@@ -31,6 +31,18 @@ struct Knobs
     int fabricHosts = -1;
     double fabricLinkMBps = -1;
 
+    // Lossy-fabric laboratory (net/fault.hh). Setting any rate >= 0
+    // enables the fault model; `reliable` arms the retransmission
+    // protocol independently.
+    double dropRate = -1;    ///< P(wire event lost).
+    double dupRate = -1;     ///< P(wire event duplicated).
+    double corruptRate = -1; ///< P(payload corrupted -> CRC discard).
+    double reorderRate = -1; ///< P(wire event delayed for reordering).
+    double reorderMaxDelayUs = -1; ///< Bound on the reorder delay.
+    long faultSeed = -1;     ///< Fault-model PRNG seed (default: 1).
+    int reliable = -1;       ///< 1 = reliable delivery, 0 = force off.
+    double retxTimeoutUs = -1; ///< Retransmission timeout (0/-1 = auto).
+
     /** Apply to a parameter set. */
     void applyTo(LogGPParams &params) const;
 };

@@ -1,0 +1,72 @@
+#include "net/fault.hh"
+
+namespace nowcluster {
+
+bool
+FaultModel::scriptedDrop(NodeId src, NodeId dst, PacketClass cls,
+                         std::uint64_t count, Tick now)
+{
+    for (const Blackhole &b : blackholes_) {
+        bool link_match = (b.src < 0 || b.src == src) &&
+                          (b.dst < 0 || b.dst == dst);
+        if (link_match && now >= b.from && now < b.until)
+            return true;
+    }
+    for (auto it = scripted_.begin(); it != scripted_.end(); ++it) {
+        if (it->src == src && it->dst == dst && it->cls == cls &&
+            it->nth == count) {
+            scripted_.erase(it); // Each entry fires exactly once.
+            return true;
+        }
+    }
+    return false;
+}
+
+FaultDecision
+FaultModel::apply(NodeId src, NodeId dst, PacketClass cls, Tick now)
+{
+    const int ci = static_cast<int>(cls);
+    ++ctrs_.offered[ci];
+    std::uint64_t count = ++linkCount_[linkKey(src, dst, cls)];
+
+    FaultDecision d;
+    if (scriptedDrop(src, dst, cls, count, now)) {
+        d.drop = true;
+        ++ctrs_.dropped[ci];
+        return d;
+    }
+
+    // The dice are always rolled in the same order (drop, corrupt, dup,
+    // delay) so the random stream consumed per event is fixed and the
+    // pattern is reproducible even when rates change between runs of
+    // the same seed. Zero-rate classes consume no randomness.
+    if (config_.dropRate > 0 && rng_.chance(config_.dropRate)) {
+        d.drop = true;
+        ++ctrs_.dropped[ci];
+        return d;
+    }
+    if (config_.corruptRate > 0 && rng_.chance(config_.corruptRate)) {
+        // Corruption is detected by the receiving NIC's CRC and the
+        // packet discarded; in this model that is a drop with its own
+        // ledger line.
+        d.drop = true;
+        ++ctrs_.corrupted[ci];
+        return d;
+    }
+    if (config_.dupRate > 0 && rng_.chance(config_.dupRate)) {
+        d.duplicate = true;
+        ++ctrs_.duplicated[ci];
+        d.dupDelay = 1 + static_cast<Tick>(rng_.below(
+                             static_cast<std::uint64_t>(
+                                 config_.reorderMaxDelay)));
+    }
+    if (config_.reorderRate > 0 && rng_.chance(config_.reorderRate)) {
+        d.extraDelay = 1 + static_cast<Tick>(rng_.below(
+                               static_cast<std::uint64_t>(
+                                   config_.reorderMaxDelay)));
+        ++ctrs_.delayed[ci];
+    }
+    return d;
+}
+
+} // namespace nowcluster

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "base/types.hh"
+#include "net/fault.hh"
 
 namespace nowcluster {
 
@@ -75,6 +76,28 @@ struct LogGPParams
     bool fabric = false;
     int fabricHostsPerSwitch = 4;
     double fabricLinkMBps = 160.0;
+
+    /**
+     * Extension: lossy-fabric fault injection (net/fault.hh). When
+     * fault.enabled is false no FaultModel is constructed and the wire
+     * is perfect, exactly as before.
+     */
+    FaultConfig fault;
+
+    /**
+     * Extension: reliable-delivery protocol (am/reliable.hh) -- the
+     * LANai firmware's timeout/retransmit/dup-suppression layer. When
+     * false (default) the packet path is bit-identical to the
+     * perfect-wire simulator; turn it on together with fault.enabled
+     * to survive a lossy fabric.
+     */
+    bool reliable = false;
+    /** Ack-return retransmission budget; 0 derives it from L, g, the
+     *  rx occupancy, and the fault model's reorder bound. */
+    Tick retxTimeout = 0;
+    /** Retries (with exponential backoff) before a channel gives up on
+     *  a packet, restores its credit, and reports the failure. */
+    int retxMaxRetries = 12;
 
     /** Mean LogP overhead o = (oSend + oRecv) / 2 + addedO. */
     Tick

@@ -58,8 +58,16 @@ class NicTx
     Accept
     acceptBulk(Tick h, std::size_t size)
     {
-        Tick xfer = static_cast<Tick>(
-            static_cast<double>(size) * params_->gPerByte + 0.5);
+        // Converting a double >= 2^63 to Tick is undefined behaviour,
+        // so clamp size*G explicitly before rounding. kTickNever/4
+        // leaves headroom for the latency/occupancy additions layered
+        // on top of wireAt downstream.
+        constexpr double kMaxXfer =
+            static_cast<double>(kTickNever / 4);
+        double xfer_d =
+            static_cast<double>(size) * params_->gPerByte + 0.5;
+        Tick xfer = xfer_d >= kMaxXfer ? kTickNever / 4
+                                       : static_cast<Tick>(xfer_d);
         return accept(h, xfer + params_->gap, xfer);
     }
 

@@ -54,6 +54,12 @@ struct Packet
     /** Virtual time the presence bit is set at the receiver. */
     Tick readyAt = 0;
 
+    /** Reliability protocol sequence number, per (src, dst) pair,
+     *  starting at 1. 0 when the reliable layer is disabled. */
+    std::uint64_t seq = 0;
+    /** True on retransmitted copies (diagnostics/tracing only). */
+    bool retx = false;
+
     bool isBulk() const { return kind == PacketKind::BulkFrag; }
 };
 

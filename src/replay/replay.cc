@@ -114,13 +114,14 @@ replaySchedule(const ReplaySchedule &schedule, const LogGPParams &params)
         // stop so receivers keep polling until all traffic landed.
         if (me == 0) {
             ++finished;
-            n.pollUntil([&] { return finished == p; });
+            n.pollUntil([&] { return finished == p; },
+                        "replay completion wait");
             stop = true;
             for (int q = 1; q < p; ++q)
                 n.oneWay(q, h_stop);
         } else {
             n.oneWay(0, h_done);
-            n.pollUntil([&] { return stop; });
+            n.pollUntil([&] { return stop; }, "replay stop wait");
         }
     }, 3600 * kSec);
 

@@ -2,6 +2,22 @@
 
 #include "base/logging.hh"
 
+// AddressSanitizer must be told about every stack switch; without the
+// start/finish annotations it attributes fiber frames to the scheduler
+// stack and reports false stack-buffer-overflow / use-after-return
+// errors under scripts/check_sanitize.sh.
+#if defined(__SANITIZE_ADDRESS__)
+#define NOWCLUSTER_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NOWCLUSTER_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef NOWCLUSTER_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace nowcluster {
 
 namespace {
@@ -17,7 +33,8 @@ thread_local Fiber *starting_fiber = nullptr;
 } // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
-    : body_(std::move(body)), stack_(new char[stack_size])
+    : body_(std::move(body)), stack_(new char[stack_size]),
+      stackSize_(stack_size)
 {
     panic_if(stack_size < 16 * 1024, "fiber stack too small: %zu",
              stack_size);
@@ -43,9 +60,21 @@ Fiber::trampoline()
 {
     Fiber *self = starting_fiber;
     starting_fiber = nullptr;
+#ifdef NOWCLUSTER_ASAN_FIBERS
+    // Complete the switch begun in resume(), learning where the
+    // scheduler's stack lives so yield() can announce switches back.
+    __sanitizer_finish_switch_fiber(nullptr, &self->asanReturnStack_,
+                                    &self->asanReturnSize_);
+#endif
     self->body_();
     self->finished_ = true;
     current_fiber = nullptr;
+#ifdef NOWCLUSTER_ASAN_FIBERS
+    // This stack is dead after the uc_link switch: fake_stack_save of
+    // nullptr tells ASan to release its shadow.
+    __sanitizer_start_switch_fiber(nullptr, self->asanReturnStack_,
+                                   self->asanReturnSize_);
+#endif
     // Returning switches to uc_link (returnContext_).
 }
 
@@ -60,8 +89,15 @@ Fiber::resume()
         started_ = true;
         starting_fiber = this;
     }
+#ifdef NOWCLUSTER_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&asanMainFake_, stack_.get(),
+                                   stackSize_);
+#endif
     if (swapcontext(&returnContext_, &context_) != 0)
         panic("swapcontext into fiber failed");
+#ifdef NOWCLUSTER_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(asanMainFake_, nullptr, nullptr);
+#endif
     // We only get back here after the fiber yields or finishes.
     current_fiber = nullptr;
 }
@@ -72,8 +108,18 @@ Fiber::yield()
     Fiber *self = current_fiber;
     panic_if(self == nullptr, "Fiber::yield called outside a fiber");
     current_fiber = nullptr;
+#ifdef NOWCLUSTER_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&self->asanFiberFake_,
+                                   self->asanReturnStack_,
+                                   self->asanReturnSize_);
+#endif
     if (swapcontext(&self->context_, &self->returnContext_) != 0)
         panic("swapcontext out of fiber failed");
+#ifdef NOWCLUSTER_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(self->asanFiberFake_,
+                                    &self->asanReturnStack_,
+                                    &self->asanReturnSize_);
+#endif
     current_fiber = self;
 }
 

@@ -38,6 +38,9 @@ class Fiber
     explicit Fiber(std::function<void()> body,
                    std::size_t stack_size = 256 * 1024);
 
+    /** Stack size this fiber was created with. */
+    std::size_t stackSize() const { return stackSize_; }
+
     ~Fiber();
 
     Fiber(const Fiber &) = delete;
@@ -66,10 +69,20 @@ class Fiber
 
     std::function<void()> body_;
     std::unique_ptr<char[]> stack_;
+    std::size_t stackSize_;
     ucontext_t context_;
     ucontext_t returnContext_;
     bool started_ = false;
     bool finished_ = false;
+    /**
+     * AddressSanitizer fiber-switch bookkeeping (unused otherwise):
+     * ASan tracks a shadow stack per thread and must be told about every
+     * swapcontext, or it reports wild stack-use-after-return errors.
+     */
+    void *asanMainFake_ = nullptr;
+    void *asanFiberFake_ = nullptr;
+    const void *asanReturnStack_ = nullptr;
+    std::size_t asanReturnSize_ = 0;
 };
 
 } // namespace nowcluster

@@ -71,7 +71,8 @@ SplitC::barrier()
         for (int r = 0; (1 << r) < p; ++r) {
             NodeId partner = (myProc() + (1 << r)) % p;
             am_.oneWay(partner, hBarrier_, static_cast<Word>(r));
-            am_.pollUntil([&] { return barrierSeen_[r] >= target; });
+            am_.pollUntil([&] { return barrierSeen_[r] >= target; },
+                          "barrier");
         }
     }
     ++am_.counters().barriers;
@@ -92,7 +93,8 @@ SplitC::bcastWord(Word w, NodeId root)
     bool have = rel == 0;
     for (int k = levels - 1; k >= 0; --k) {
         if (!have && rel >= (1 << k) && rel < (1 << (k + 1))) {
-            am_.pollUntil([&] { return bcastVals_.count(target) > 0; });
+            am_.pollUntil([&] { return bcastVals_.count(target) > 0; },
+                          "broadcast");
             auto it = bcastVals_.find(target);
             if (it != bcastVals_.end()) {
                 w = it->second;
@@ -123,7 +125,8 @@ SplitC::reduceWord(Word w, int op, bool is_double)
         }
         int peer = me + (1 << k);
         if (peer < p) {
-            am_.pollUntil([&] { return reduceSeen_[k] >= target; });
+            am_.pollUntil([&] { return reduceSeen_[k] >= target; },
+                          "reduction");
             w = combineWords(w, reduceVal_[k], op, is_double);
         }
     }
@@ -183,7 +186,7 @@ SplitC::fetchAdd(GlobalPtr<std::int64_t> p, std::int64_t delta)
     ReadSlot slot;
     am_.request(p.node, hFetchAdd_, toWord(p.ptr),
                 static_cast<Word>(delta), toWord(&slot));
-    am_.pollUntil([&] { return slot.done; });
+    am_.pollUntil([&] { return slot.done; }, "fetch-add reply wait");
     std::int64_t old;
     std::memcpy(&old, slot.buf, sizeof(old));
     return old;
@@ -197,7 +200,7 @@ SplitC::lock(GlobalPtr<SplitLock> l)
             ++am_.counters().lockFailures;
             // The holder's unlock request executes on our fiber when we
             // poll, so waiting on the flag directly is correct.
-            am_.pollUntil([&] { return !l.ptr->held; });
+            am_.pollUntil([&] { return !l.ptr->held; }, "lock wait");
         }
         if (!draining())
             l.ptr->held = 1;
@@ -207,7 +210,7 @@ SplitC::lock(GlobalPtr<SplitLock> l)
     for (;;) {
         ReadSlot slot;
         am_.request(l.node, hTryLock_, toWord(l.ptr), toWord(&slot));
-        am_.pollUntil([&] { return slot.done; });
+        am_.pollUntil([&] { return slot.done; }, "lock wait");
         if (draining())
             return;
         if (slot.aux)
@@ -226,7 +229,7 @@ SplitC::unlock(GlobalPtr<SplitLock> l)
     }
     ReadSlot slot;
     am_.request(l.node, hUnlock_, toWord(l.ptr), toWord(&slot));
-    am_.pollUntil([&] { return slot.done; });
+    am_.pollUntil([&] { return slot.done; }, "unlock reply wait");
 }
 
 // ----------------------------------------------------------------------

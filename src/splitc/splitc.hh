@@ -104,13 +104,19 @@ class SplitC
     read(GlobalPtr<T> p)
     {
         checkWordType<T>();
-        if (p.node == myProc())
-            return *p.ptr;
+        if (p.node == myProc()) {
+            // memcpy, not a typed load: apps may alias byte buffers
+            // through GlobalPtr<T>, and the remote handlers copy at
+            // byte granularity, so the local fast path must too.
+            T v;
+            std::memcpy(&v, p.ptr, sizeof(T));
+            return v;
+        }
         am_.counters().readMsgs += 1; // The request is a read message.
         ReadSlot slot;
         am_.request(p.node, hRead_, toWord(p.ptr), sizeof(T),
                     toWord(&slot));
-        am_.pollUntil([&] { return slot.done; });
+        am_.pollUntil([&] { return slot.done; }, "read reply wait");
         T v;
         std::memcpy(&v, slot.buf, sizeof(T));
         return v;
@@ -123,7 +129,7 @@ class SplitC
     {
         checkWordType<T>();
         if (p.node == myProc()) {
-            *p.ptr = v;
+            std::memcpy(p.ptr, &v, sizeof(T));
             return;
         }
         Word w0, w1;
@@ -131,7 +137,7 @@ class SplitC
         ReadSlot slot;
         am_.request(p.node, hWrite_, toWord(p.ptr), sizeof(T),
                     toWord(&slot), w0, w1);
-        am_.pollUntil([&] { return slot.done; });
+        am_.pollUntil([&] { return slot.done; }, "write reply wait");
     }
 
     /**
@@ -143,7 +149,7 @@ class SplitC
     {
         checkWordType<T>();
         if (p.node == myProc()) {
-            *p.ptr = v;
+            std::memcpy(p.ptr, &v, sizeof(T));
             return;
         }
         Word w0, w1;
@@ -161,7 +167,7 @@ class SplitC
     {
         checkWordType<T>();
         if (p.node == myProc()) {
-            *local = *p.ptr;
+            std::memcpy(local, p.ptr, sizeof(T));
             return;
         }
         am_.counters().readMsgs += 1;
@@ -176,7 +182,7 @@ class SplitC
     {
         am_.pollUntil([&] {
             return outstandingPuts_ == 0 && outstandingGets_ == 0;
-        });
+        }, "split-phase sync");
     }
 
     // ------------------------------------------------------------------
@@ -215,7 +221,7 @@ class SplitC
         ReadSlot slot;
         am_.request(src.node, hGetBulk_, toWord(src.ptr), n * sizeof(T),
                     toWord(dst), toWord(&slot));
-        am_.pollUntil([&] { return slot.done; });
+        am_.pollUntil([&] { return slot.done; }, "bulk read reply wait");
     }
 
     // ------------------------------------------------------------------

@@ -35,6 +35,15 @@ summarizeComm(const Cluster &cluster_in, Tick runtime,
         small_bytes += c.shortBytesSent;
         s.lockFailures += c.lockFailures;
         s.lockAcquires += c.lockAcquires;
+        s.retransmits += c.retransmits;
+        s.dupsSuppressed += c.dupsSuppressed;
+        s.retxGiveUps += c.retxGiveUps;
+    }
+    if (const FaultModel *fm = cluster.faultModel()) {
+        const FaultCounters &fc = fm->counters();
+        s.faultDropped = fc.totalDropped();
+        s.faultDuplicated = fc.duplicated[0] + fc.duplicated[1];
+        s.faultDelayed = fc.delayed[0] + fc.delayed[1];
     }
 
     s.avgMsgsPerProc = total / static_cast<std::uint64_t>(p);

@@ -43,6 +43,15 @@ struct CommSummary
 
     std::uint64_t lockFailures = 0;
     std::uint64_t lockAcquires = 0;
+
+    // Reliability / fault-injection ledger. All zero on a perfect
+    // fabric with the protocol disabled.
+    std::uint64_t retransmits = 0;    ///< Timeout-driven resends.
+    std::uint64_t dupsSuppressed = 0; ///< Duplicates dropped at rx.
+    std::uint64_t retxGiveUps = 0;    ///< Packets abandoned (channel failure).
+    std::uint64_t faultDropped = 0;   ///< Wire events lost (incl. CRC discards).
+    std::uint64_t faultDuplicated = 0;
+    std::uint64_t faultDelayed = 0;
 };
 
 /** Build a Table-4 row from a finished cluster run. */

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * The lossy-fabric laboratory: unit tests of the deterministic
+ * FaultModel (scripted drops, blackholes, seeded reproducibility) and
+ * end-to-end tests of the reliable-delivery protocol recovering from
+ * scripted losses of exactly the packets the acceptance criteria name
+ * (a credit ack and a bulk fragment), plus the timeout diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "am/cluster.hh"
+#include "am/reliable.hh"
+#include "net/fault.hh"
+#include "net/loggp.hh"
+
+namespace nowcluster {
+namespace {
+
+LogGPParams
+baseline()
+{
+    return MachineConfig::berkeleyNow().params;
+}
+
+LogGPParams
+reliableParams()
+{
+    LogGPParams p = baseline();
+    p.fault.enabled = true; // Zero rates: scripted faults only.
+    p.reliable = true;
+    return p;
+}
+
+// ----------------------------------------------------------------------
+// FaultModel unit tests
+// ----------------------------------------------------------------------
+
+TEST(FaultModel, DropNthIsExactAndOneShot)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    FaultModel fm(cfg);
+    fm.dropNth(0, 1, PacketClass::Data, 2);
+
+    EXPECT_FALSE(fm.apply(0, 1, PacketClass::Data, 0).drop);
+    EXPECT_TRUE(fm.apply(0, 1, PacketClass::Data, 0).drop);
+    EXPECT_FALSE(fm.apply(0, 1, PacketClass::Data, 0).drop);
+    // One-shot: the 2nd event on a *different* link is untouched.
+    EXPECT_FALSE(fm.apply(1, 0, PacketClass::Data, 0).drop);
+    EXPECT_FALSE(fm.apply(1, 0, PacketClass::Data, 0).drop);
+
+    EXPECT_EQ(fm.counters().dropped[0], 1u);
+    EXPECT_EQ(fm.counters().offered[0], 5u);
+    EXPECT_EQ(fm.offeredOn(0, 1, PacketClass::Data), 3u);
+}
+
+TEST(FaultModel, ScriptedDropsDistinguishPacketClasses)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    FaultModel fm(cfg);
+    fm.dropNth(0, 1, PacketClass::Ack, 1);
+
+    EXPECT_FALSE(fm.apply(0, 1, PacketClass::Data, 0).drop);
+    EXPECT_TRUE(fm.apply(0, 1, PacketClass::Ack, 0).drop);
+    EXPECT_EQ(fm.counters().dropped[1], 1u);
+    EXPECT_EQ(fm.counters().dropped[0], 0u);
+}
+
+TEST(FaultModel, BlackholeDropsOnlyInsideWindow)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    FaultModel fm(cfg);
+    fm.blackhole(2, -1, usec(10), usec(20));
+
+    EXPECT_FALSE(fm.apply(2, 0, PacketClass::Data, usec(5)).drop);
+    EXPECT_TRUE(fm.apply(2, 0, PacketClass::Data, usec(10)).drop);
+    EXPECT_TRUE(fm.apply(2, 7, PacketClass::Ack, usec(15)).drop);
+    EXPECT_FALSE(fm.apply(2, 0, PacketClass::Data, usec(20)).drop);
+    // Other source nodes are unaffected.
+    EXPECT_FALSE(fm.apply(3, 0, PacketClass::Data, usec(15)).drop);
+}
+
+TEST(FaultModel, SameSeedSameDecisions)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.dropRate = 0.2;
+    cfg.dupRate = 0.1;
+    cfg.reorderRate = 0.3;
+    cfg.seed = 42;
+
+    FaultModel a(cfg), b(cfg);
+    for (int i = 0; i < 500; ++i) {
+        FaultDecision da = a.apply(0, 1, PacketClass::Data, i);
+        FaultDecision db = b.apply(0, 1, PacketClass::Data, i);
+        EXPECT_EQ(da.drop, db.drop);
+        EXPECT_EQ(da.duplicate, db.duplicate);
+        EXPECT_EQ(da.extraDelay, db.extraDelay);
+        EXPECT_EQ(da.dupDelay, db.dupDelay);
+    }
+    EXPECT_EQ(a.counters().dropped[0], b.counters().dropped[0]);
+    EXPECT_GT(a.counters().dropped[0], 0u);
+    EXPECT_GT(a.counters().duplicated[0], 0u);
+    EXPECT_GT(a.counters().delayed[0], 0u);
+}
+
+TEST(FaultModel, ZeroRatesNeverFault)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    FaultModel fm(cfg);
+    EXPECT_FALSE(cfg.anyRate());
+    for (int i = 0; i < 200; ++i) {
+        FaultDecision d = fm.apply(i % 4, (i + 1) % 4,
+                                   PacketClass::Data, i);
+        EXPECT_FALSE(d.drop);
+        EXPECT_FALSE(d.duplicate);
+        EXPECT_EQ(d.extraDelay, 0);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Reliable delivery end-to-end (scripted losses)
+// ----------------------------------------------------------------------
+
+TEST(Reliable, NoFaultsSameResultAsBaseline)
+{
+    // The protocol machinery (seq numbers, acks, timers) must not
+    // change *when* anything is delivered on a clean fabric: runtimes
+    // match the unreliable cluster exactly.
+    auto run_once = [](const LogGPParams &p) {
+        Cluster c(2, p);
+        bool got = false;
+        int done = c.registerHandler(
+            [&](AmNode &, Packet &) { got = true; });
+        int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+            self.reply(pkt, done);
+        });
+        bool stop = false;
+        EXPECT_TRUE(c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                for (int i = 0; i < 20; ++i) {
+                    got = false;
+                    n.request(1, echo);
+                    n.pollUntil([&] { return got; }, "reply wait");
+                }
+                stop = true;
+                n.oneWay(1, done);
+            } else {
+                n.pollUntil([&] { return stop; }, "server loop");
+            }
+        }));
+        return c.runtime();
+    };
+
+    Tick plain = run_once(baseline());
+    Tick rel = run_once(reliableParams());
+    EXPECT_EQ(plain, rel);
+}
+
+TEST(Reliable, ScriptedCreditAckLossIsRecovered)
+{
+    // Acceptance test 1: lose a protocol ack (the carrier of a one-way
+    // message's send credit). The sender must retransmit, the receiver
+    // must suppress the duplicate and re-ack, and the credit must come
+    // home -- no leak, no deadlock.
+    LogGPParams p = reliableParams();
+    Cluster c(2, p);
+    int counted = 0;
+    int count = c.registerHandler(
+        [&](AmNode &, Packet &) { ++counted; });
+
+    const int kMsgs = 2 * p.window + 4; // Forces credit reuse.
+
+    // Acks for traffic 0 -> 1 travel on link 1 -> 0. Lose the *last*
+    // one: every earlier loss would be healed for free by the next
+    // cumulative ack, but nothing follows the last -- only the
+    // retransmission path can bring that credit home.
+    c.faultModel()->dropNth(1, 0, PacketClass::Ack, kMsgs);
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            for (int i = 0; i < kMsgs; ++i)
+                n.oneWay(1, count);
+        } else {
+            n.pollUntil([&] { return counted == kMsgs; },
+                        "count wait");
+        }
+    }, 10 * kSec));
+
+    EXPECT_EQ(counted, kMsgs); // Exactly once each, despite the retx.
+    EXPECT_EQ(c.faultModel()->counters().dropped[1], 1u);
+
+    // The lost ack was the *last* one, so nothing later covers it
+    // cumulatively: recovery (timer -> retransmit -> dup-suppress ->
+    // re-ack -> credit home) plays out in the post-run settle.
+    c.settle();
+    EXPECT_GT(c.node(0).counters().retransmits, 0u);
+    EXPECT_GT(c.node(1).counters().dupsSuppressed, 0u);
+    EXPECT_EQ(c.leakedCredits(), 0u);
+    EXPECT_EQ(c.node(0).reliable()->unackedCount(), 0u);
+}
+
+TEST(Reliable, ScriptedBulkFragmentLossIsRecovered)
+{
+    // Acceptance test 2: lose a middle fragment of a bulk store. The
+    // reorder buffer must hold the later fragments, the retransmission
+    // must fill the gap, and the payload must arrive bit-exact.
+    LogGPParams p = reliableParams();
+    Cluster c(2, p);
+
+    const std::size_t len = 4 * p.maxFragment; // 4 fragments.
+    std::vector<std::uint8_t> src(len), dst(len, 0);
+    for (std::size_t i = 0; i < len; ++i)
+        src[i] = static_cast<std::uint8_t>(i * 31 + 7);
+
+    // Fragment 2 of the store is the 2nd data packet on link 0 -> 1.
+    c.faultModel()->dropNth(0, 1, PacketClass::Data, 2);
+
+    bool stop = false;
+    int done = c.registerHandler([&](AmNode &, Packet &) {});
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.store(1, dst.data(), src.data(), len, done);
+            n.storeSync();
+            stop = true;
+            n.oneWay(1, done);
+        } else {
+            n.pollUntil([&] { return stop; }, "server loop");
+        }
+    }, 10 * kSec));
+
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), len), 0);
+    EXPECT_GT(c.node(0).counters().retransmits, 0u);
+    EXPECT_GT(c.node(1).counters().outOfOrder, 0u);
+
+    c.settle();
+    EXPECT_EQ(c.leakedCredits(), 0u);
+}
+
+TEST(Reliable, RandomLossStormStillDeliversInOrder)
+{
+    // Statistical variant: heavy loss/dup/reorder on every wire event;
+    // a stream of sequenced one-ways must still arrive exactly once,
+    // in order.
+    LogGPParams p = reliableParams();
+    p.fault.dropRate = 0.05;
+    p.fault.dupRate = 0.05;
+    p.fault.reorderRate = 0.20;
+    p.fault.reorderMaxDelay = usec(30);
+    p.fault.seed = 9;
+    Cluster c(2, p);
+
+    std::vector<Word> seen;
+    int take = c.registerHandler([&](AmNode &, Packet &pkt) {
+        seen.push_back(pkt.args[0]);
+    });
+
+    const int kMsgs = 100;
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            for (int i = 0; i < kMsgs; ++i)
+                n.oneWay(1, take, static_cast<Word>(i));
+        } else {
+            n.pollUntil(
+                [&] { return seen.size() ==
+                             static_cast<std::size_t>(kMsgs); },
+                "stream wait");
+        }
+    }, 60 * kSec));
+
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(kMsgs));
+    for (int i = 0; i < kMsgs; ++i)
+        EXPECT_EQ(seen[static_cast<std::size_t>(i)],
+                  static_cast<Word>(i));
+    EXPECT_GT(c.faultModel()->counters().totalDropped(), 0u);
+
+    c.settle();
+    EXPECT_EQ(c.leakedCredits(), 0u);
+}
+
+TEST(Reliable, LossyRunsAreDeterministic)
+{
+    auto run_once = [] {
+        LogGPParams p = reliableParams();
+        p.fault.dropRate = 0.03;
+        p.fault.dupRate = 0.02;
+        p.fault.reorderRate = 0.10;
+        p.fault.seed = 5;
+        Cluster c(2, p);
+        int counted = 0;
+        int count = c.registerHandler(
+            [&](AmNode &, Packet &) { ++counted; });
+        EXPECT_TRUE(c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                for (int i = 0; i < 60; ++i)
+                    n.oneWay(1, count);
+            } else {
+                n.pollUntil([&] { return counted == 60; },
+                            "count wait");
+            }
+        }, 60 * kSec));
+        return std::make_pair(c.runtime(),
+                              c.node(0).counters().retransmits);
+    };
+
+    auto a = run_once();
+    auto b = run_once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+// ----------------------------------------------------------------------
+// Timeout diagnostics (stall report)
+// ----------------------------------------------------------------------
+
+TEST(StallReport, LostReplyNamesTheBlockedWait)
+{
+    // Unreliable cluster, scripted loss of the reply: node 0 waits
+    // forever, the run drains, and the report says exactly which node
+    // was blocked on what.
+    LogGPParams p = baseline();
+    p.fault.enabled = true;
+    Cluster c(2, p);
+    bool got = false;
+    int done = c.registerHandler(
+        [&](AmNode &, Packet &) { got = true; });
+    int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+        self.reply(pkt, done);
+    });
+
+    // The reply is the 1st data packet on link 1 -> 0.
+    c.faultModel()->dropNth(1, 0, PacketClass::Data, 1);
+
+    bool stop = false;
+    EXPECT_FALSE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.request(1, echo);
+            n.pollUntil([&] { return got; }, "reply wait");
+            stop = true;
+            n.oneWay(1, done);
+        } else {
+            n.pollUntil([&] { return stop; }, "server loop");
+        }
+    }, kSec));
+
+    EXPECT_TRUE(c.timedOut());
+    const std::string &report = c.stallReport();
+    EXPECT_NE(report.find("node 0"), std::string::npos) << report;
+    EXPECT_NE(report.find("reply wait"), std::string::npos) << report;
+}
+
+TEST(StallReport, CleanRunLeavesNoReport)
+{
+    Cluster c(2, baseline());
+    int done = c.registerHandler([](AmNode &, Packet &) {});
+    bool stop = false;
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            n.oneWay(1, done);
+            stop = true;
+        } else {
+            n.pollUntil([&] { return stop; }, "server loop");
+        }
+    }));
+    EXPECT_TRUE(c.stallReport().empty());
+}
+
+} // namespace
+} // namespace nowcluster

@@ -12,10 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "apps/app.hh"
 #include "base/random.hh"
+#include "harness/experiment.hh"
 #include "splitc/splitc.hh"
 
 namespace nowcluster {
@@ -240,6 +243,110 @@ TEST(Fuzz, LockProtectedCountersAreExact)
         total += mem.slots[p][0];
     EXPECT_EQ(total, static_cast<std::int64_t>(kProcs) * increments);
 }
+
+// ----------------------------------------------------------------------
+// Lossy-fabric fuzzing: the same random op streams, but every wire
+// event is subject to random drop / duplication / reordering and the
+// reliable-delivery protocol has to hide it. Results must still match
+// the serial reference exactly, and after the run settles every flow
+// control credit must be back home.
+// ----------------------------------------------------------------------
+
+class LossyFuzzCase
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, double, double, double>>
+{};
+
+TEST_P(LossyFuzzCase, RandomOpStreamsSurviveRandomFaults)
+{
+    auto [seed, drop, dup, reorder] = GetParam();
+
+    auto params = MachineConfig::berkeleyNow().params;
+    params.fault.enabled = true;
+    params.fault.dropRate = drop;
+    params.fault.dupRate = dup;
+    params.fault.reorderRate = reorder;
+    params.fault.reorderMaxDelay = usec(30);
+    params.fault.seed = seed;
+    params.reliable = true;
+
+    Mem mem, ref;
+    mem.slots.resize(kProcs);
+    ref.slots.resize(kProcs);
+    for (int p = 0; p < kProcs; ++p) {
+        mem.slots[p].fill(0);
+        ref.slots[p].fill(0);
+    }
+    mem.locks.resize(kProcs);
+
+    for (int round = 0; round < kRounds; ++round) {
+        for (int p = 0; p < kProcs; ++p)
+            applyToReference(ref, opStream(seed, p, round), p);
+    }
+
+    SplitCRuntime rt(kProcs, params);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        int me = sc.myProc();
+        for (int round = 0; round < kRounds; ++round) {
+            applyToRuntime(sc, mem, opStream(seed, me, round));
+            sc.barrier();
+        }
+    }, 600 * kSec)) << rt.cluster().stallReport();
+
+    int mismatches = 0;
+    for (int p = 0; p < kProcs; ++p) {
+        for (int s = 0; s < kSlotsPerNode; ++s) {
+            if (mem.slots[p][s] != ref.slots[p][s])
+                ++mismatches;
+        }
+    }
+    EXPECT_EQ(mismatches, 0);
+    EXPECT_EQ(mem.counter, ref.counter);
+
+    // Zero-leak audit: let in-flight acks and timers play out, then
+    // every (node, dst) credit window must be full again.
+    rt.cluster().settle();
+    EXPECT_EQ(rt.cluster().leakedCredits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossPatterns, LossyFuzzCase,
+    ::testing::Values(
+        std::make_tuple(611ull, 0.01, 0.0, 0.0),   // drops only
+        std::make_tuple(622ull, 0.0, 0.01, 0.0),   // dups only
+        std::make_tuple(633ull, 0.0, 0.0, 0.10),   // reordering only
+        std::make_tuple(644ull, 0.01, 0.01, 0.05), // everything
+        std::make_tuple(655ull, 0.03, 0.02, 0.10)));
+
+/** All ten applications at small scale on the lossy fabric. */
+class LossyApps : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(LossyApps, CompletesAndValidatesUnderLoss)
+{
+    RunConfig c;
+    c.nprocs = 8;
+    c.scale = 0.1;
+    c.seed = 3;
+    c.maxTime = 600 * kSec;
+    c.knobs.dropRate = 0.005;
+    c.knobs.dupRate = 0.005;
+    c.knobs.reorderRate = 0.02;
+    c.knobs.reorderMaxDelayUs = 30;
+    c.knobs.faultSeed = 11;
+    c.knobs.reliable = 1;
+
+    RunResult r = runApp(GetParam(), c);
+    EXPECT_TRUE(r.ok) << GetParam() << " deadlocked under loss";
+    EXPECT_TRUE(r.validated) << GetParam()
+                             << " produced wrong output under loss";
+    // The fabric really was lossy, and the protocol really worked.
+    EXPECT_GT(r.summary.faultDropped, 0u) << GetParam();
+    EXPECT_EQ(r.summary.retxGiveUps, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, LossyApps,
+                         ::testing::ValuesIn(appKeys()));
 
 } // namespace
 } // namespace nowcluster

@@ -11,6 +11,9 @@
  *
  * Knobs (all optional): --overhead US --gap US --latency US --mbps B
  *                       --occupancy US --window N
+ * Fault knobs:          --drop P --dup P --corrupt P --reorder P
+ *                       --reorder-delay US --fault-seed X
+ *                       --reliable 0|1 --rto US
  */
 
 #include <cstdio>
@@ -99,6 +102,14 @@ knobsOf(const Args &a)
     k.bulkMBps = optDouble(a, "mbps", -1);
     k.occupancyUs = optDouble(a, "occupancy", -1);
     k.window = static_cast<int>(optLong(a, "window", -1));
+    k.dropRate = optDouble(a, "drop", -1);
+    k.dupRate = optDouble(a, "dup", -1);
+    k.corruptRate = optDouble(a, "corrupt", -1);
+    k.reorderRate = optDouble(a, "reorder", -1);
+    k.reorderMaxDelayUs = optDouble(a, "reorder-delay", -1);
+    k.faultSeed = optLong(a, "fault-seed", -1);
+    k.reliable = static_cast<int>(optLong(a, "reliable", -1));
+    k.retxTimeoutUs = optDouble(a, "rto", -1);
     return k;
 }
 
@@ -184,6 +195,17 @@ cmdRun(const Args &a)
                     "attempts\n",
                     static_cast<unsigned long long>(s.lockAcquires),
                     static_cast<unsigned long long>(s.lockFailures));
+    if (s.faultDropped || s.faultDuplicated || s.faultDelayed ||
+        s.retransmits)
+        std::printf("  reliability   : %llu dropped, %llu duplicated, "
+                    "%llu delayed; %llu retransmits, %llu dups "
+                    "suppressed, %llu give-ups\n",
+                    static_cast<unsigned long long>(s.faultDropped),
+                    static_cast<unsigned long long>(s.faultDuplicated),
+                    static_cast<unsigned long long>(s.faultDelayed),
+                    static_cast<unsigned long long>(s.retransmits),
+                    static_cast<unsigned long long>(s.dupsSuppressed),
+                    static_cast<unsigned long long>(s.retxGiveUps));
     if (a.flags.count("matrix"))
         std::fputs(r.matrix.ascii().c_str(), stdout);
     if (trace_it != a.options.end()) {
@@ -256,13 +278,18 @@ cmdSweep(const Args &a)
             c.knobs.occupancyUs = x;
         else if (knob == "window")
             c.knobs.window = static_cast<int>(x);
-        else
+        else if (knob == "drop") {
+            c.knobs.dropRate = x;
+            if (c.knobs.reliable < 0)
+                c.knobs.reliable = 1; // Losses need a recovery path.
+        } else
             fatal("unknown knob '%s'", knob.c_str());
         c.validate = false;
         c.maxTime = b.runtime * 200 + kSec;
         RunResult r = runApp(key, c);
         auto row = t.row();
-        row.cell(x, 1);
+        // Probability knobs need more digits than microsecond knobs.
+        row.cell(x, knob == "drop" ? 3 : 1);
         if (r.ok)
             row.cell(toMsec(r.runtime), 2)
                 .cell(slowdown(r.runtime, b.runtime), 2);
@@ -331,7 +358,10 @@ main(int argc, char **argv)
             "  nowlab sweep <app> --knob K --values a,b,c [...]\n"
             "  nowlab replay --trace FILE.csv [--procs N] [knobs]\n"
             "knobs: --overhead US --gap US --latency US --mbps B\n"
-            "       --occupancy US --window N\n");
+            "       --occupancy US --window N\n"
+            "fault: --drop P --dup P --corrupt P --reorder P\n"
+            "       --reorder-delay US --fault-seed X --reliable 0|1\n"
+            "       --rto US\n");
         return 0;
     }
     const std::string &cmd = a.positional[0];
