@@ -17,9 +17,10 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    int jobs = jobsArg(argc, argv);
     std::printf("Ablation: switch-fabric contention (32 nodes, 4 "
                 "hosts/leaf switch, scale=%.2f)\n",
                 scale);
@@ -33,20 +34,33 @@ main()
         .cell("fabric 40 MB/s")
         .cell("fabric 10 MB/s");
 
-    for (const auto &key : appKeys()) {
-        RunConfig base = baseConfig(32, scale);
-        RunResult b = runApp(key, base);
+    const std::vector<double> link_mbps = {160.0, 40.0, 10.0};
+
+    std::vector<RunPoint> base_pts;
+    for (const auto &key : appKeys())
+        base_pts.push_back(RunPoint{key, baseConfig(32, scale)});
+    std::vector<RunResult> bases = runPoints(base_pts, jobs);
+
+    std::vector<RunPoint> pts;
+    for (std::size_t i = 0; i < base_pts.size(); ++i) {
+        for (double mbps : link_mbps) {
+            RunPoint p = base_pts[i];
+            p.config.knobs.fabricLinkMBps = mbps;
+            p.config.knobs.fabricHosts = 4;
+            p.config.validate = false;
+            p.config.maxTime = bases[i].runtime * 100 + kSec;
+            pts.push_back(std::move(p));
+        }
+    }
+    std::vector<RunResult> rs = runPoints(pts, jobs);
+
+    for (std::size_t i = 0; i < base_pts.size(); ++i) {
         auto row = t.row();
-        row.cell(displayName(key));
-        for (double mbps : {160.0, 40.0, 10.0}) {
-            RunConfig c = base;
-            c.knobs.fabricLinkMBps = mbps;
-            c.knobs.fabricHosts = 4;
-            c.validate = false;
-            c.maxTime = b.runtime * 100 + kSec;
-            RunResult r = runApp(key, c);
+        row.cell(displayName(base_pts[i].app));
+        for (std::size_t j = 0; j < link_mbps.size(); ++j) {
+            const RunResult &r = rs[i * link_mbps.size() + j];
             if (r.ok)
-                row.cell(slowdown(r.runtime, b.runtime), 3);
+                row.cell(slowdown(r.runtime, bases[i].runtime), 3);
             else
                 row.cell(std::string("N/A"));
         }

@@ -15,15 +15,15 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    int jobs = jobsArg(argc, argv);
     const std::vector<double> xs = {0, 2.5, 5, 10, 25, 50};
 
     auto set = [](Knobs &k, double x) { k.occupancyUs = x; };
-    std::vector<Series> series;
-    for (const auto &key : appKeys())
-        series.push_back(sweepApp(key, 32, scale, xs, set));
+    std::vector<Series> series =
+        sweepApps(appKeys(), 32, scale, xs, set, jobs);
     printSlowdownTable(
         "Ablation: slowdown vs rx occupancy, 32 nodes (scale=" +
             fmtDouble(scale, 2) + ")",

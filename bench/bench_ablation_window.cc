@@ -18,7 +18,7 @@ using namespace nowcluster::bench;
 namespace {
 
 void
-sweepWindows(double scale, double latency_us)
+sweepWindows(double scale, double latency_us, int jobs)
 {
     const std::vector<double> windows = {1, 2, 4, 8, 16, 32};
     auto set = [latency_us](Knobs &k, double w) {
@@ -26,11 +26,9 @@ sweepWindows(double scale, double latency_us)
         if (latency_us > 0)
             k.latencyUs = latency_us;
     };
-    std::vector<Series> series;
-    for (const std::string key :
-         {"radix", "em3d-write", "em3d-read", "sample", "nowsort"})
-        series.push_back(
-            sweepApp(key, 32, scale, windows, set));
+    std::vector<Series> series = sweepApps(
+        {"radix", "em3d-write", "em3d-read", "sample", "nowsort"}, 32,
+        scale, windows, set, jobs);
     // Normalize to the window-8 column (the default) instead of the
     // separate baseline run: rebase each series.
     for (auto &s : series) {
@@ -54,10 +52,11 @@ sweepWindows(double scale, double latency_us)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
-    sweepWindows(scale, -1);   // Baseline latency.
-    sweepWindows(scale, 55.0); // The Figure-7 regime.
+    int jobs = jobsArg(argc, argv);
+    sweepWindows(scale, -1, jobs);   // Baseline latency.
+    sweepWindows(scale, 55.0, jobs); // The Figure-7 regime.
     return 0;
 }

@@ -14,16 +14,16 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    int jobs = jobsArg(argc, argv);
     auto set = [](Knobs &k, double x) { k.overheadUs = x; };
 
     for (int nprocs : {16, 32}) {
-        std::vector<Series> series;
-        for (const auto &key : appKeys())
-            series.push_back(
-                sweepApp(key, nprocs, scale, overheadSweep(), set));
+        std::vector<Series> series =
+            sweepApps(appKeys(), nprocs, scale, overheadSweep(), set,
+                      jobs);
         printSlowdownTable(
             "Figure 5" + std::string(nprocs == 16 ? "a" : "b") +
                 ": slowdown vs overhead, " + std::to_string(nprocs) +

@@ -11,13 +11,12 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
     auto set = [](Knobs &k, double x) { k.gapUs = x; };
-    std::vector<Series> series;
-    for (const auto &key : appKeys())
-        series.push_back(sweepApp(key, 32, scale, gapSweep(), set));
+    std::vector<Series> series = sweepApps(
+        appKeys(), 32, scale, gapSweep(), set, jobsArg(argc, argv));
     printSlowdownTable("Figure 6: slowdown vs gap, 32 nodes (scale=" +
                            fmtDouble(scale, 2) + ")",
                        "g(us)", gapSweep(), series);

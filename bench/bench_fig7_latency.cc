@@ -12,13 +12,12 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
     auto set = [](Knobs &k, double x) { k.latencyUs = x; };
-    std::vector<Series> series;
-    for (const auto &key : appKeys())
-        series.push_back(sweepApp(key, 32, scale, latencySweep(), set));
+    std::vector<Series> series = sweepApps(
+        appKeys(), 32, scale, latencySweep(), set, jobsArg(argc, argv));
     printSlowdownTable(
         "Figure 7: slowdown vs latency, 32 nodes (scale=" +
             fmtDouble(scale, 2) + ")",

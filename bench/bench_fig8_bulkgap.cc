@@ -12,13 +12,13 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
     auto set = [](Knobs &k, double x) { k.bulkMBps = x; };
-    std::vector<Series> series;
-    for (const auto &key : appKeys())
-        series.push_back(sweepApp(key, 32, scale, bandwidthSweep(), set));
+    std::vector<Series> series =
+        sweepApps(appKeys(), 32, scale, bandwidthSweep(), set,
+                  jobsArg(argc, argv));
     printSlowdownTable(
         "Figure 8: slowdown vs bulk bandwidth, 32 nodes (scale=" +
             fmtDouble(scale, 2) + ")",

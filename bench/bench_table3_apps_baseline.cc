@@ -13,7 +13,7 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
     std::printf("Table 3: Applications, data sets, and baseline run "
@@ -28,12 +28,21 @@ main()
         .cell("Speedup 16->32")
         .cell("Valid");
 
+    // All twenty runs (ten apps at two sizes) are independent points.
+    std::vector<RunPoint> pts;
+    for (const auto &key : appKeys()) {
+        pts.push_back(RunPoint{key, baseConfig(16, scale)});
+        pts.push_back(RunPoint{key, baseConfig(32, scale)});
+    }
+    std::vector<RunResult> rs = runPoints(pts, jobsArg(argc, argv));
+
+    std::size_t i = 0;
     for (const auto &key : appKeys()) {
         auto desc_app = makeApp(key);
         desc_app->setup(32, scale, 1);
 
-        RunResult r16 = runApp(key, baseConfig(16, scale));
-        RunResult r32 = runApp(key, baseConfig(32, scale));
+        const RunResult &r16 = rs[i++];
+        const RunResult &r32 = rs[i++];
         t.row()
             .cell(desc_app->name())
             .cell(desc_app->inputDesc())

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -17,9 +18,26 @@
 #include "apps/app.hh"
 #include "base/table.hh"
 #include "harness/experiment.hh"
+#include "harness/runner.hh"
 #include "model/models.hh"
 
 namespace nowcluster::bench {
+
+/**
+ * Worker count for a bench binary: `--jobs N` on the command line wins,
+ * else NOW_JOBS, else one worker per hardware thread. Every bench
+ * binary fans its independent simulation points out over this many
+ * threads; results are identical at any setting (tests/test_runner.cc).
+ */
+inline int
+jobsArg(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            return std::atoi(argv[i + 1]);
+    }
+    return 0; // runPoints resolves 0 to NOW_JOBS / hardware.
+}
 
 /** Paper display names, keyed like the registry. */
 inline std::string
@@ -125,32 +143,67 @@ struct Series
 };
 
 /**
- * Run `key` over a sweep of one knob.
+ * Run several applications over a sweep of one knob, fanning every
+ * independent simulation point out across `jobs` workers (0 = auto).
+ * Two parallel phases: all baselines first (each sweep point's time
+ * budget derives from its app's baseline), then every (app, x) point
+ * in one batch. Results are assembled in submission order, so the
+ * output is byte-identical for any jobs value.
  * @param set_knob Writes the x-value into a Knobs struct.
+ */
+template <typename SetKnob>
+std::vector<Series>
+sweepApps(const std::vector<std::string> &keys, int nprocs, double scale,
+          const std::vector<double> &xs, SetKnob &&set_knob, int jobs = 0)
+{
+    std::vector<RunPoint> base_pts;
+    base_pts.reserve(keys.size());
+    for (const auto &key : keys)
+        base_pts.push_back(RunPoint{key, baseConfig(nprocs, scale)});
+    std::vector<RunResult> bases = runPoints(base_pts, jobs);
+
+    std::vector<RunPoint> pts;
+    pts.reserve(keys.size() * xs.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        for (double x : xs) {
+            RunPoint p{keys[i], base_pts[i].config};
+            set_knob(p.config.knobs, x);
+            p.config.maxTime = budgetFor(bases[i], p.config.knobs);
+            p.config.validate = false; // Sweeps measure time.
+            pts.push_back(std::move(p));
+        }
+    }
+    std::vector<RunResult> rs = runPoints(pts, jobs);
+
+    std::vector<Series> series;
+    series.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        Series s;
+        s.key = keys[i];
+        s.name = displayName(keys[i]);
+        s.baseline = bases[i].runtime;
+        for (std::size_t j = 0; j < xs.size(); ++j) {
+            const RunResult &r = rs[i * xs.size() + j];
+            s.runtime.push_back(r.runtime);
+            s.slowdown.push_back(
+                r.ok ? slowdown(r.runtime, s.baseline) : -1.0);
+        }
+        series.push_back(std::move(s));
+    }
+    return series;
+}
+
+/**
+ * Run `key` over a sweep of one knob (single-app convenience wrapper
+ * around sweepApps; still fans the points out unless jobs == 1).
  */
 template <typename SetKnob>
 Series
 sweepApp(const std::string &key, int nprocs, double scale,
-         const std::vector<double> &xs, SetKnob &&set_knob)
+         const std::vector<double> &xs, SetKnob &&set_knob, int jobs = 0)
 {
-    Series s;
-    s.key = key;
-    s.name = displayName(key);
-
-    RunConfig base = baseConfig(nprocs, scale);
-    RunResult b = runApp(key, base);
-    s.baseline = b.runtime;
-    for (double x : xs) {
-        RunConfig c = base;
-        set_knob(c.knobs, x);
-        c.maxTime = budgetFor(b, c.knobs);
-        c.validate = false; // Sweeps measure time; tests check output.
-        RunResult r = runApp(key, c);
-        s.runtime.push_back(r.runtime);
-        s.slowdown.push_back(r.ok ? slowdown(r.runtime, b.runtime)
-                                  : -1.0);
-    }
-    return s;
+    return sweepApps(std::vector<std::string>{key}, nprocs, scale, xs,
+                     std::forward<SetKnob>(set_knob), jobs)[0];
 }
 
 /** Print a figure-style table: rows = x values, one column per app. */
@@ -180,15 +233,13 @@ printSlowdownTable(const std::string &title, const std::string &x_label,
     t.print();
 }
 
-/** Scale from NOW_SCALE with a bench-specific default. */
+/** Scale from NOW_SCALE with a bench-specific default (cached env
+ *  snapshot; see envConfig() for the thread-safety rationale). */
 inline double
 scaleOr(double fallback)
 {
-    const char *s = std::getenv("NOW_SCALE");
-    if (!s)
-        return fallback;
-    double v = std::atof(s);
-    return v > 0 ? v : fallback;
+    const EnvConfig &env = envConfig();
+    return env.scaleSet ? env.scale : fallback;
 }
 
 } // namespace nowcluster::bench

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A frozen copy of the pre-fast-path event queue, kept ONLY as the
+ * baseline side of A/B performance measurements (bench_engine_micro and
+ * `nowlab perf`). This is the std::priority_queue + std::function
+ * implementation the simulator shipped with: every schedule() of a
+ * closure larger than std::function's small-object buffer (16 bytes in
+ * libstdc++) heap-allocates, and pop() must const_cast around
+ * priority_queue's const top(). Do not use outside benchmarks.
+ */
+
+#ifndef NOWCLUSTER_BENCH_LEGACY_EVENT_QUEUE_HH_
+#define NOWCLUSTER_BENCH_LEGACY_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace nowcluster::bench {
+
+/** The old heap: (when, seq, std::function) in a std::priority_queue. */
+class LegacyEventQueue
+{
+  public:
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    std::pair<Tick, std::function<void()>>
+    pop()
+    {
+        Entry &top = const_cast<Entry &>(heap_.top());
+        auto result = std::make_pair(top.when, std::move(top.fn));
+        heap_.pop();
+        return result;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace nowcluster::bench
+
+#endif // NOWCLUSTER_BENCH_LEGACY_EVENT_QUEUE_HH_

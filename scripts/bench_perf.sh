@@ -1,0 +1,19 @@
+#!/bin/sh
+# Measure the experiment engine itself and record the result as
+# BENCH_engine.json: event-loop throughput through the fast-path queue
+# vs the frozen legacy queue, pooled fiber stand-up cost, and wall-clock
+# for a canonical sweep run serially vs fanned out across --jobs
+# workers (verifying the two produce byte-identical results).
+#
+# Usage: scripts/bench_perf.sh [out.json] [extra `nowlab perf` args]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_engine.json}
+[ $# -gt 0 ] && shift
+
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-perf -j "$(nproc)" --target nowlab
+
+./build-perf/tools/nowlab perf --out "$OUT" "$@"
+echo "engine numbers written to $OUT"

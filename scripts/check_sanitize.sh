@@ -1,19 +1,40 @@
 #!/bin/sh
-# Build and run the tier-1 test suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer. Usage: scripts/check_sanitize.sh [ctest args]
+# Build and run the tier-1 test suite under sanitizers.
+# Usage: scripts/check_sanitize.sh [ctest args]
+#
+#   NOWCLUSTER_SANITIZE=address;undefined   (default) ASan + UBSan
+#   NOWCLUSTER_SANITIZE=thread              TSan: exercises the parallel
+#       experiment runner's threading (harness/runner.cc) and the fiber
+#       switch annotations.
 #
 # Note: the fiber scheduler (src/sim/fiber.cc) swaps ucontext stacks;
 # ASan is told about each switch via the start/finish_switch_fiber
-# annotations, and LeakSanitizer is disabled because it cannot walk
-# stacks parked mid-swapcontext.
+# annotations and TSan via __tsan_switch_to_fiber. LeakSanitizer is
+# disabled because it cannot walk stacks parked mid-swapcontext.
 set -eu
 cd "$(dirname "$0")/.."
 
-cmake -B build-asan -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    "-DNOWCLUSTER_SANITIZE=address;undefined"
-cmake --build build-asan -j "$(nproc)"
+SAN=${NOWCLUSTER_SANITIZE:-"address;undefined"}
+case "$SAN" in
+thread)
+    DIR=build-tsan
+    ;;
+*)
+    DIR=build-asan
+    ;;
+esac
 
-ASAN_OPTIONS=detect_leaks=0 \
-UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
-    ctest --test-dir build-asan --output-on-failure "$@"
+cmake -B "$DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DNOWCLUSTER_SANITIZE=$SAN"
+cmake --build "$DIR" -j "$(nproc)"
+
+if [ "$SAN" = thread ]; then
+    # history_size: fiber switches inflate TSan's per-thread history.
+    TSAN_OPTIONS=halt_on_error=1:history_size=7 \
+        ctest --test-dir "$DIR" --output-on-failure "$@"
+else
+    ASAN_OPTIONS=detect_leaks=0 \
+    UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+        ctest --test-dir "$DIR" --output-on-failure "$@"
+fi

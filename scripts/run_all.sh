@@ -4,7 +4,13 @@
 set -e
 BUILD=${1:-build}
 mkdir -p results
-ctest --test-dir "$BUILD" 2>&1 | tee results/test_output.txt
+
+# Run the suite twice -- fully serial and fully fanned out -- so any
+# parallel-runner nondeterminism fails loudly here, not in a paper run.
+NOW_JOBS=1 ctest --test-dir "$BUILD" 2>&1 | tee results/test_output.txt
+NOW_JOBS=$(nproc) ctest --test-dir "$BUILD" 2>&1 \
+    | tee results/test_output_jobs.txt
+
 for b in "$BUILD"/bench/*; do
     name=$(basename "$b")
     echo "== $name =="

@@ -83,18 +83,49 @@ runApp(const std::string &app_key, const RunConfig &config)
     return r;
 }
 
+EnvConfig
+parseEnvConfig()
+{
+    EnvConfig c;
+    if (const char *s = std::getenv("NOW_SCALE")) {
+        double v = std::atof(s);
+        if (v > 0) {
+            c.scaleSet = true;
+            c.scale = v;
+        } else {
+            warn("ignoring invalid NOW_SCALE='%s'", s);
+        }
+    }
+    if (const char *s = std::getenv("NOW_JOBS")) {
+        long v = std::atol(s);
+        if (v >= 0)
+            c.jobs = static_cast<int>(v);
+        else
+            warn("ignoring invalid NOW_JOBS='%s'", s);
+    }
+    return c;
+}
+
+const EnvConfig &
+envConfig()
+{
+    // Magic-static init: the first caller (always single-threaded; the
+    // runner reads this before spawning workers) does the getenv calls,
+    // everyone after reads the immutable cache.
+    static const EnvConfig cfg = parseEnvConfig();
+    return cfg;
+}
+
 double
 envScale()
 {
-    const char *s = std::getenv("NOW_SCALE");
-    if (!s)
-        return 1.0;
-    double v = std::atof(s);
-    if (v <= 0) {
-        warn("ignoring invalid NOW_SCALE='%s'", s);
-        return 1.0;
-    }
-    return v;
+    return envConfig().scale;
+}
+
+int
+envJobs()
+{
+    return envConfig().jobs;
 }
 
 } // namespace nowcluster

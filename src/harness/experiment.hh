@@ -78,8 +78,33 @@ struct RunResult
 /** Run one application under the given configuration. */
 RunResult runApp(const std::string &app_key, const RunConfig &config);
 
+/**
+ * Environment-derived configuration, read exactly once (first use) and
+ * cached. Worker threads of the parallel runner must never call
+ * getenv() themselves — getenv is not guaranteed thread-safe against a
+ * host process mutating the environment — so everything env-derived is
+ * funneled through here and then passed by value through RunConfig.
+ */
+struct EnvConfig
+{
+    bool scaleSet = false; ///< NOW_SCALE was present and valid.
+    double scale = 1.0;    ///< NOW_SCALE value (1.0 if unset).
+    int jobs = 0;          ///< NOW_JOBS value (0 = auto-detect).
+};
+
+/** Parse the environment right now (testing; most code wants the
+ *  cached envConfig()). */
+EnvConfig parseEnvConfig();
+
+/** The cached process-wide environment configuration (first-use read;
+ *  later environment changes are deliberately invisible). */
+const EnvConfig &envConfig();
+
 /** Environment-variable scale override (NOW_SCALE), default 1.0. */
 double envScale();
+
+/** Environment-variable worker-count override (NOW_JOBS), 0 = auto. */
+int envJobs();
 
 } // namespace nowcluster
 

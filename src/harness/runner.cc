@@ -1,0 +1,139 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstddef>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+int
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? static_cast<int>(n) : 1;
+}
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    int env = envJobs();
+    return env > 0 ? env : hardwareJobs();
+}
+
+namespace {
+
+/** Run one point, containing any failure to its own result slot. */
+RunResult
+runPointGuarded(const RunPoint &pt)
+{
+    try {
+        return runApp(pt.app, pt.config);
+    } catch (const std::exception &e) {
+        warn("point '%s' failed: %s", pt.app.c_str(), e.what());
+    } catch (...) {
+        warn("point '%s' failed with unknown exception", pt.app.c_str());
+    }
+    return RunResult{}; // ok=false, validated=false.
+}
+
+} // namespace
+
+std::vector<RunResult>
+runPoints(const std::vector<RunPoint> &points, int jobs)
+{
+    // Force the one-time getenv pass before any worker exists.
+    (void)envConfig();
+
+    const std::size_t n = points.size();
+    std::vector<RunResult> results(n);
+    jobs = resolveJobs(jobs);
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(n, jobs));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            results[i] = runPointGuarded(points[i]);
+        return results;
+    }
+
+    // Workers claim indices from one shared counter; each result lands
+    // in its submission slot, so completion order never shows.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                results[i] = runPointGuarded(points[i]);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    return results;
+}
+
+namespace {
+
+void
+appendF(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+fingerprint(const RunResult &r)
+{
+    std::string out;
+    out.reserve(1024);
+    appendF(out, "ok=%d validated=%d runtime=%lld\n", r.ok ? 1 : 0,
+            r.validated ? 1 : 0, static_cast<long long>(r.runtime));
+    const CommSummary &s = r.summary;
+    appendF(out, "app=%s nprocs=%d runtime=%lld\n", s.app.c_str(),
+            s.nprocs, static_cast<long long>(s.runtime));
+    appendF(out,
+            "msgs avg=%llu max=%llu perMs=%.17g intervalUs=%.17g "
+            "barrierMs=%.17g\n",
+            static_cast<unsigned long long>(s.avgMsgsPerProc),
+            static_cast<unsigned long long>(s.maxMsgsPerProc),
+            s.msgsPerProcPerMs, s.msgIntervalUs, s.barrierIntervalMs);
+    appendF(out, "pctBulk=%.17g pctReads=%.17g bulk=%.17g small=%.17g\n",
+            s.pctBulk, s.pctReads, s.bulkKBps, s.smallKBps);
+    appendF(out, "locks fail=%llu acq=%llu\n",
+            static_cast<unsigned long long>(s.lockFailures),
+            static_cast<unsigned long long>(s.lockAcquires));
+    appendF(out,
+            "rel retx=%llu dup=%llu giveup=%llu drop=%llu fdup=%llu "
+            "delay=%llu\n",
+            static_cast<unsigned long long>(s.retransmits),
+            static_cast<unsigned long long>(s.dupsSuppressed),
+            static_cast<unsigned long long>(s.retxGiveUps),
+            static_cast<unsigned long long>(s.faultDropped),
+            static_cast<unsigned long long>(s.faultDuplicated),
+            static_cast<unsigned long long>(s.faultDelayed));
+    appendF(out, "matrix %d:", r.matrix.nprocs);
+    for (std::uint64_t c : r.matrix.counts)
+        appendF(out, " %llu", static_cast<unsigned long long>(c));
+    out += "\n";
+    return out;
+}
+
+} // namespace nowcluster

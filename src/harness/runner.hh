@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * Every figure and table in the paper is a sweep: many independent
+ * (app, knob-point) simulations. Each simulation is a fully
+ * self-contained deterministic world (its own Cluster, Simulator,
+ * PRNG streams, and fibers; the fiber scheduler is thread_local), so
+ * points fan out across OS threads with no shared mutable state and no
+ * change in results: a sweep run with jobs=1 and jobs=8 is
+ * byte-identical per point, enforced by tests/test_runner.cc.
+ *
+ * Design: deliberately no work stealing. Workers pull point indices
+ * from one atomic counter (each point runs on exactly one thread at a
+ * time) and write results into a pre-sized vector, so results come back
+ * in submission order regardless of completion order.
+ */
+
+#ifndef NOWCLUSTER_HARNESS_RUNNER_HH_
+#define NOWCLUSTER_HARNESS_RUNNER_HH_
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace nowcluster {
+
+/** One experiment point: an application under a configuration. */
+struct RunPoint
+{
+    std::string app;
+    RunConfig config;
+};
+
+/** Worker threads the machine supports (hardware_concurrency, >= 1). */
+int hardwareJobs();
+
+/**
+ * Resolve a user-facing --jobs value: positive means itself; zero or
+ * negative means "auto" (NOW_JOBS if set, else hardwareJobs()).
+ */
+int resolveJobs(int jobs);
+
+/**
+ * Run every point, fanning out across min(jobs, points) threads, and
+ * return results in submission order. jobs <= 0 selects resolveJobs's
+ * auto default. A point that times out, fails validation, or throws
+ * only fails itself: its slot reports ok=false and every other point
+ * still runs.
+ *
+ * @note Points must not share a RunConfig::trace sink: the trace hook
+ *       would be written from multiple workers at once.
+ */
+std::vector<RunResult> runPoints(const std::vector<RunPoint> &points,
+                                 int jobs = 0);
+
+/**
+ * Canonical byte-exact rendering of everything a run measured (status,
+ * runtime ticks, full comm summary with %.17g doubles, comm matrix).
+ * Two runs are byte-identical iff their fingerprints compare equal;
+ * this is the string the determinism test and `nowlab perf` diff
+ * between --jobs 1 and --jobs N.
+ */
+std::string fingerprint(const RunResult &r);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_HARNESS_RUNNER_HH_

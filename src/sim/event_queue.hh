@@ -4,17 +4,26 @@
  *
  * Events are (when, sequence, closure) triples ordered by time and, for
  * equal times, by insertion order, which makes every run deterministic.
+ *
+ * Layout: the heap itself is an explicit binary heap over 24-byte POD
+ * nodes (time, sequence, pool slot); the closures live in a separate
+ * slot pool with a freelist. Sift operations therefore move trivially
+ * copyable nodes only — never a closure — and pop() moves the closure
+ * out of its slot directly, with no const_cast (std::priority_queue
+ * exposes only a const top(), which forced the old implementation to
+ * cast away constness to move the closure out). Freed slots are reused,
+ * so a steady-state simulation stops allocating entirely.
  */
 
 #ifndef NOWCLUSTER_SIM_EVENT_QUEUE_HH_
 #define NOWCLUSTER_SIM_EVENT_QUEUE_HH_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
+#include "sim/inline_fn.hh"
 
 namespace nowcluster {
 
@@ -24,9 +33,19 @@ class EventQueue
   public:
     /** Schedule fn to run at absolute time when. */
     void
-    schedule(Tick when, std::function<void()> fn)
+    schedule(Tick when, InlineFn fn)
     {
-        heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+        std::uint32_t slot;
+        if (free_.empty()) {
+            slot = static_cast<std::uint32_t>(pool_.size());
+            pool_.push_back(std::move(fn));
+        } else {
+            slot = free_.back();
+            free_.pop_back();
+            pool_[slot] = std::move(fn);
+        }
+        heap_.push_back(Node{when, nextSeq_++, slot});
+        siftUp(heap_.size() - 1);
     }
 
     bool empty() const { return heap_.empty(); }
@@ -36,45 +55,81 @@ class EventQueue
     Tick
     nextTime() const
     {
-        return heap_.empty() ? kTickNever : heap_.top().when;
+        return heap_.empty() ? kTickNever : heap_.front().when;
     }
 
     /**
      * Pop and return the earliest event.
      * @pre !empty()
      */
-    std::pair<Tick, std::function<void()>>
+    std::pair<Tick, InlineFn>
     pop()
     {
-        // std::priority_queue::top() is const; the closure must be moved
-        // out, so we const_cast the known-mutable entry. This is the
-        // standard workaround and is safe because pop() follows at once.
-        Entry &top = const_cast<Entry &>(heap_.top());
-        auto result = std::make_pair(top.when, std::move(top.fn));
-        heap_.pop();
-        return result;
+        const Node top = heap_.front();
+        InlineFn fn = std::move(pool_[top.slot]);
+        free_.push_back(top.slot);
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+        return {top.when, std::move(fn)};
     }
 
+    /** Slots ever allocated (tests: steady state must not grow this). */
+    std::size_t poolCapacity() const { return pool_.size(); }
+
   private:
-    struct Entry
+    struct Node
     {
         Tick when;
         std::uint64_t seq;
-        std::function<void()> fn;
+        std::uint32_t slot;
     };
 
-    struct Later
+    static bool
+    earlier(const Node &a, const Node &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    void
+    siftUp(std::size_t i)
+    {
+        Node n = heap_[i];
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!earlier(n, heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = n;
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        Node v = heap_[i];
+        for (;;) {
+            std::size_t kid = 2 * i + 1;
+            if (kid >= n)
+                break;
+            if (kid + 1 < n && earlier(heap_[kid + 1], heap_[kid]))
+                ++kid;
+            if (!earlier(heap_[kid], v))
+                break;
+            heap_[i] = heap_[kid];
+            i = kid;
+        }
+        heap_[i] = v;
+    }
+
+    std::vector<Node> heap_;
+    std::vector<InlineFn> pool_; ///< Closure storage, indexed by slot.
+    std::vector<std::uint32_t> free_; ///< Recyclable pool slots.
     std::uint64_t nextSeq_ = 0;
 };
 

@@ -14,16 +14,33 @@
 #endif
 #endif
 
+// ThreadSanitizer likewise models each ucontext as a fiber; the
+// create/switch/destroy annotations keep it from reporting false races
+// between frames that alternate on the same OS thread
+// (NOWCLUSTER_SANITIZE=thread; scripts/check_sanitize.sh thread).
+#if defined(__SANITIZE_THREAD__)
+#define NOWCLUSTER_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NOWCLUSTER_TSAN_FIBERS 1
+#endif
+#endif
+
 #ifdef NOWCLUSTER_ASAN_FIBERS
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef NOWCLUSTER_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
 #endif
 
 namespace nowcluster {
 
 namespace {
 
-// The fiber currently executing on this thread. The simulator is single
-// threaded; thread_local keeps tests that spawn threads safe anyway.
+// The fiber currently executing on this thread. One simulation runs
+// entirely on one thread; thread_local keeps the parallel experiment
+// runner (and tests that spawn threads) safe.
 thread_local Fiber *current_fiber = nullptr;
 
 // Handoff slot for the trampoline: makecontext() can only pass ints
@@ -32,19 +49,86 @@ thread_local Fiber *starting_fiber = nullptr;
 
 } // namespace
 
+// ----------------------------------------------------------------------
+// FiberStackPool
+// ----------------------------------------------------------------------
+
+FiberStackPool &
+FiberStackPool::local()
+{
+    thread_local FiberStackPool pool;
+    return pool;
+}
+
+char *
+FiberStackPool::acquire(std::size_t size)
+{
+    // Newest-first: the most recently released stack is the most likely
+    // to still be warm in cache, and sizes are uniform in practice.
+    for (std::size_t i = pooled_.size(); i-- > 0;) {
+        if (pooled_[i].size == size) {
+            char *stack = pooled_[i].stack;
+            pooled_.erase(pooled_.begin() + static_cast<long>(i));
+            ++hits_;
+#ifdef NOWCLUSTER_ASAN_FIBERS
+            // Clear any shadow poison left by the previous occupant's
+            // dead frames before handing the memory to a new fiber.
+            __asan_unpoison_memory_region(stack, size);
+#endif
+            return stack;
+        }
+    }
+    ++misses_;
+    return new char[size];
+}
+
+void
+FiberStackPool::release(char *stack, std::size_t size)
+{
+    if (pooled_.size() >= kMaxPooled) {
+        delete[] stack;
+        return;
+    }
+#ifdef NOWCLUSTER_ASAN_FIBERS
+    __asan_unpoison_memory_region(stack, size);
+#endif
+    pooled_.push_back(PooledStack{stack, size});
+}
+
+void
+FiberStackPool::clear()
+{
+    for (PooledStack &p : pooled_)
+        delete[] p.stack;
+    pooled_.clear();
+}
+
+FiberStackPool::~FiberStackPool()
+{
+    clear();
+}
+
+// ----------------------------------------------------------------------
+// Fiber
+// ----------------------------------------------------------------------
+
 Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
-    : body_(std::move(body)), stack_(new char[stack_size]),
+    : body_(std::move(body)),
+      stack_(FiberStackPool::local().acquire(stack_size)),
       stackSize_(stack_size)
 {
     panic_if(stack_size < 16 * 1024, "fiber stack too small: %zu",
              stack_size);
     if (getcontext(&context_) != 0)
         panic("getcontext failed");
-    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_sp = stack_;
     context_.uc_stack.ss_size = stack_size;
     context_.uc_link = &returnContext_;
     makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
                 0);
+#ifdef NOWCLUSTER_TSAN_FIBERS
+    tsanFiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber()
@@ -53,6 +137,11 @@ Fiber::~Fiber()
     // resources held by frames on its stack; warn so tests notice.
     if (started_ && !finished_)
         warn("destroying unfinished fiber");
+#ifdef NOWCLUSTER_TSAN_FIBERS
+    if (tsanFiber_)
+        __tsan_destroy_fiber(tsanFiber_);
+#endif
+    FiberStackPool::local().release(stack_, stackSize_);
 }
 
 void
@@ -75,7 +164,16 @@ Fiber::trampoline()
     __sanitizer_start_switch_fiber(nullptr, self->asanReturnStack_,
                                    self->asanReturnSize_);
 #endif
-    // Returning switches to uc_link (returnContext_).
+#ifdef NOWCLUSTER_TSAN_FIBERS
+    __tsan_switch_to_fiber(self->tsanReturn_, 0);
+#endif
+    // Exit with an explicit swapcontext rather than returning into the
+    // uc_link setcontext: libtsan intercepts swapcontext but not the
+    // uc_link path, and a __tsan_switch_to_fiber left unpaired with an
+    // intercepted switch corrupts TSan's shadow stack (observed as
+    // delayed SEGVs inside the runtime under GCC 12). uc_link stays
+    // set as a backstop; this swap never returns.
+    swapcontext(&self->context_, &self->returnContext_);
 }
 
 void
@@ -90,8 +188,11 @@ Fiber::resume()
         starting_fiber = this;
     }
 #ifdef NOWCLUSTER_ASAN_FIBERS
-    __sanitizer_start_switch_fiber(&asanMainFake_, stack_.get(),
-                                   stackSize_);
+    __sanitizer_start_switch_fiber(&asanMainFake_, stack_, stackSize_);
+#endif
+#ifdef NOWCLUSTER_TSAN_FIBERS
+    tsanReturn_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsanFiber_, 0);
 #endif
     if (swapcontext(&returnContext_, &context_) != 0)
         panic("swapcontext into fiber failed");
@@ -112,6 +213,9 @@ Fiber::yield()
     __sanitizer_start_switch_fiber(&self->asanFiberFake_,
                                    self->asanReturnStack_,
                                    self->asanReturnSize_);
+#endif
+#ifdef NOWCLUSTER_TSAN_FIBERS
+    __tsan_switch_to_fiber(self->tsanReturn_, 0);
 #endif
     if (swapcontext(&self->context_, &self->returnContext_) != 0)
         panic("swapcontext out of fiber failed");

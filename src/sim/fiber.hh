@@ -7,6 +7,13 @@
  * arbitrarily nested calls (reads, locks, barriers) exactly like a real
  * Split-C program would, while the event-driven kernel advances virtual
  * time underneath.
+ *
+ * Stacks come from a thread-local pool (FiberStackPool): a sweep creates
+ * and destroys one fiber per node per simulation point, and recycling
+ * the 256 KiB stacks instead of re-new-ing them removes the dominant
+ * allocation cost of standing up each point. The pool is thread-local so
+ * parallel experiment workers (harness/runner.hh) never contend or share
+ * stack memory across threads.
  */
 
 #ifndef NOWCLUSTER_SIM_FIBER_HH_
@@ -15,10 +22,52 @@
 #include <ucontext.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <memory>
+#include <vector>
 
 namespace nowcluster {
+
+/**
+ * Thread-local recycler of fiber stacks. acquire() prefers a pooled
+ * stack of the exact requested size; release() keeps up to kMaxPooled
+ * stacks for reuse and frees the rest.
+ */
+class FiberStackPool
+{
+  public:
+    /** Stacks retained per thread; covers a 64-node simulation point. */
+    static constexpr std::size_t kMaxPooled = 64;
+
+    /** The calling thread's pool. */
+    static FiberStackPool &local();
+
+    /** Get a stack of exactly `size` bytes (pooled or freshly made). */
+    char *acquire(std::size_t size);
+
+    /** Return a stack obtained from acquire(). */
+    void release(char *stack, std::size_t size);
+
+    /** Free every pooled stack (tests; worker shutdown is automatic). */
+    void clear();
+
+    std::size_t pooledCount() const { return pooled_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    ~FiberStackPool();
+
+  private:
+    struct PooledStack
+    {
+        char *stack;
+        std::size_t size;
+    };
+
+    std::vector<PooledStack> pooled_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
 
 /**
  * A cooperatively scheduled execution context with its own stack.
@@ -68,7 +117,7 @@ class Fiber
     static void trampoline();
 
     std::function<void()> body_;
-    std::unique_ptr<char[]> stack_;
+    char *stack_; ///< Owned; returned to FiberStackPool::local().
     std::size_t stackSize_;
     ucontext_t context_;
     ucontext_t returnContext_;
@@ -83,6 +132,13 @@ class Fiber
     void *asanFiberFake_ = nullptr;
     const void *asanReturnStack_ = nullptr;
     std::size_t asanReturnSize_ = 0;
+    /**
+     * ThreadSanitizer equivalent: TSan models each ucontext as a
+     * "fiber" and must be told about every switch, or it reports
+     * false races between frames that merely share the OS thread.
+     */
+    void *tsanFiber_ = nullptr;
+    void *tsanReturn_ = nullptr;
 };
 
 } // namespace nowcluster

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * InlineFn: a move-only, small-buffer-only callable for the event loop.
+ *
+ * Every simulated event used to carry a std::function<void()>, whose
+ * small-object buffer (16 bytes in libstdc++) is smaller than almost
+ * every closure the simulator schedules, so each event paid a heap
+ * allocation. InlineFn stores the closure inline in a 64-byte buffer
+ * and refuses (at compile time) anything larger: the event loop can
+ * never silently regress back to malloc-per-event. Larger state must be
+ * boxed explicitly (e.g. the shared_ptr<Packet> in Cluster's delivery
+ * path), which keeps the cost visible at the call site.
+ */
+
+#ifndef NOWCLUSTER_SIM_INLINE_FN_HH_
+#define NOWCLUSTER_SIM_INLINE_FN_HH_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nowcluster {
+
+/** Move-only void() callable with guaranteed-inline closure storage. */
+class InlineFn
+{
+  public:
+    /** Closure capacity; fits every event lambda in the simulator. */
+    static constexpr std::size_t kCapacity = 64;
+
+    InlineFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn>>>
+    InlineFn(F &&f) // NOLINT: implicit, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kCapacity,
+                      "event closure too large for InlineFn; shrink the "
+                      "capture or box it (shared_ptr) explicitly");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned event closure");
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "InlineFn requires a void() callable");
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+        ops_ = &opsFor<Fn>;
+    }
+
+    InlineFn(InlineFn &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineFn &
+    operator=(InlineFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_) {
+                ops_->relocate(buf_, other.buf_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    /** Invoke the stored callable. @pre bool(*this) */
+    void operator()() { ops_->invoke(buf_); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Destroy the stored callable, leaving the InlineFn empty. */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops opsFor = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) noexcept {
+            auto *s = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) noexcept { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[kCapacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_SIM_INLINE_FN_HH_

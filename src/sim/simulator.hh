@@ -7,11 +7,11 @@
 #define NOWCLUSTER_SIM_SIMULATOR_HH_
 
 #include <cstdint>
-#include <functional>
 
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_fn.hh"
 
 namespace nowcluster {
 
@@ -27,7 +27,7 @@ class Simulator
 
     /** Schedule fn at absolute virtual time when (must be >= now()). */
     void
-    schedule(Tick when, std::function<void()> fn)
+    schedule(Tick when, InlineFn fn)
     {
         panic_if(when < now_, "scheduling event in the past (%lld < %lld)",
                  static_cast<long long>(when),
@@ -37,7 +37,7 @@ class Simulator
 
     /** Schedule fn delta ticks from now. */
     void
-    scheduleIn(Tick delta, std::function<void()> fn)
+    scheduleIn(Tick delta, InlineFn fn)
     {
         schedule(now_ + delta, std::move(fn));
     }

@@ -52,16 +52,49 @@ TEST(Knobs, EveryKnobLandsInItsField)
     EXPECT_DOUBLE_EQ(p.fabricLinkMBps, 80.0);
 }
 
-TEST(Harness, EnvScaleParsesAndRejectsGarbage)
+TEST(Harness, EnvConfigParsesAndRejectsGarbage)
 {
     ::setenv("NOW_SCALE", "2.5", 1);
-    EXPECT_DOUBLE_EQ(envScale(), 2.5);
+    ::setenv("NOW_JOBS", "4", 1);
+    EnvConfig c = parseEnvConfig();
+    EXPECT_TRUE(c.scaleSet);
+    EXPECT_DOUBLE_EQ(c.scale, 2.5);
+    EXPECT_EQ(c.jobs, 4);
+
     ::setenv("NOW_SCALE", "-3", 1);
-    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+    ::setenv("NOW_JOBS", "-2", 1);
+    c = parseEnvConfig();
+    EXPECT_FALSE(c.scaleSet);
+    EXPECT_DOUBLE_EQ(c.scale, 1.0);
+    EXPECT_EQ(c.jobs, 0);
+
     ::setenv("NOW_SCALE", "bogus", 1);
-    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+    c = parseEnvConfig();
+    EXPECT_FALSE(c.scaleSet);
+    EXPECT_DOUBLE_EQ(c.scale, 1.0);
+
     ::unsetenv("NOW_SCALE");
-    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+    ::unsetenv("NOW_JOBS");
+    c = parseEnvConfig();
+    EXPECT_FALSE(c.scaleSet);
+    EXPECT_DOUBLE_EQ(c.scale, 1.0);
+    EXPECT_EQ(c.jobs, 0);
+}
+
+TEST(Harness, EnvConfigIsReadOnceAndCached)
+{
+    // Worker threads must never race on getenv: the cached snapshot is
+    // taken on first use and later environment changes are invisible.
+    const EnvConfig &first = envConfig();
+    double scale0 = envScale();
+    int jobs0 = envJobs();
+    ::setenv("NOW_SCALE", "7.5", 1);
+    ::setenv("NOW_JOBS", "99", 1);
+    EXPECT_DOUBLE_EQ(envScale(), scale0);
+    EXPECT_EQ(envJobs(), jobs0);
+    EXPECT_EQ(&envConfig(), &first);
+    ::unsetenv("NOW_SCALE");
+    ::unsetenv("NOW_JOBS");
 }
 
 TEST(Harness, RunResultCarriesEverything)

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests of the parallel experiment engine (harness/runner.hh) and the
+ * event-loop fast path underneath it: the --jobs 1 vs --jobs N
+ * byte-identity guarantee, submission-order results, failure isolation,
+ * event-queue slot recycling, and fiber-stack pooling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+
+namespace nowcluster {
+namespace {
+
+RunConfig
+smallConfig(int nprocs = 4, double scale = 0.05)
+{
+    RunConfig c;
+    c.nprocs = nprocs;
+    c.scale = scale;
+    return c;
+}
+
+TEST(Runner, ResolveJobsPositivePassesThrough)
+{
+    EXPECT_EQ(resolveJobs(1), 1);
+    EXPECT_EQ(resolveJobs(7), 7);
+}
+
+TEST(Runner, ResolveJobsAutoIsAtLeastOne)
+{
+    EXPECT_GE(resolveJobs(0), 1);
+    EXPECT_GE(resolveJobs(-5), 1);
+}
+
+// The load-bearing guarantee: a sweep fanned out across threads is
+// byte-identical, point for point, with the same sweep run serially.
+// Three very different worlds: a bulk-heavy sort, a fine-grained
+// graph app, and a lossy fabric with the reliable-delivery protocol
+// armed (PRNG-driven drops + retransmission timers).
+TEST(Runner, ParallelResultsAreByteIdenticalToSerial)
+{
+    std::vector<RunPoint> pts;
+    pts.push_back(RunPoint{"radix", smallConfig()});
+    pts.push_back(RunPoint{"em3d-write", smallConfig()});
+    RunPoint lossy{"sample", smallConfig()};
+    lossy.config.knobs.dropRate = 0.05;
+    lossy.config.knobs.reliable = 1;
+    pts.push_back(lossy);
+
+    std::vector<RunResult> serial = runPoints(pts, 1);
+    std::vector<RunResult> parallel = runPoints(pts, 8);
+
+    ASSERT_EQ(serial.size(), pts.size());
+    ASSERT_EQ(parallel.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_TRUE(serial[i].ok) << pts[i].app;
+        EXPECT_EQ(fingerprint(serial[i]), fingerprint(parallel[i]))
+            << pts[i].app;
+    }
+}
+
+// Results land in submission slots, never completion order: point i's
+// result must describe point i's app and processor count even when
+// workers finish out of order.
+TEST(Runner, ResultsComeBackInSubmissionOrder)
+{
+    std::vector<RunPoint> pts;
+    // Mixed sizes so completion order differs from submission order.
+    pts.push_back(RunPoint{"em3d-write", smallConfig(8, 0.1)});
+    pts.push_back(RunPoint{"radix", smallConfig(4, 0.05)});
+    pts.push_back(RunPoint{"sample", smallConfig(4, 0.05)});
+    pts.push_back(RunPoint{"radix", smallConfig(8, 0.05)});
+
+    std::vector<RunResult> rs = runPoints(pts, 4);
+    ASSERT_EQ(rs.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_TRUE(rs[i].ok);
+        EXPECT_EQ(rs[i].summary.app,
+                  runApp(pts[i].app, pts[i].config).summary.app);
+        EXPECT_EQ(rs[i].summary.nprocs, pts[i].config.nprocs);
+    }
+}
+
+// A point that blows its virtual-time budget reports ok=false in its
+// own slot and leaves every other point untouched.
+TEST(Runner, FailedPointDoesNotPoisonOthers)
+{
+    std::vector<RunPoint> pts;
+    pts.push_back(RunPoint{"radix", smallConfig()});
+    RunPoint doomed{"em3d-write", smallConfig()};
+    doomed.config.maxTime = 1; // One tick: guaranteed budget failure.
+    doomed.config.validate = false;
+    pts.push_back(doomed);
+    pts.push_back(RunPoint{"sample", smallConfig()});
+
+    std::vector<RunResult> rs = runPoints(pts, 3);
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_TRUE(rs[0].ok);
+    EXPECT_FALSE(rs[1].ok);
+    EXPECT_TRUE(rs[2].ok);
+    // The survivors match their solo runs exactly.
+    EXPECT_EQ(fingerprint(rs[0]),
+              fingerprint(runApp(pts[0].app, pts[0].config)));
+    EXPECT_EQ(fingerprint(rs[2]),
+              fingerprint(runApp(pts[2].app, pts[2].config)));
+}
+
+// FIFO tie-breaking must survive the explicit-heap rewrite, including
+// under churn where pops interleave with same-time schedules.
+TEST(EventQueueFastPath, FifoTieBreakSurvivesChurn)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    // Drain half, then add more events at the same tick: later
+    // schedules must still run after every earlier same-time event.
+    for (int i = 0; i < 8; ++i)
+        q.pop().second();
+    for (int i = 16; i < 24; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop().second();
+    ASSERT_EQ(order.size(), 24u);
+    for (int i = 0; i < 24; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+// Steady-state schedule/pop traffic recycles closure slots through the
+// freelist instead of growing the pool.
+TEST(EventQueueFastPath, PoolSlotsAreRecycled)
+{
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 32; ++i)
+        q.schedule(i, [&sink] { ++sink; });
+    const std::size_t peak = q.poolCapacity();
+    // Many rounds of drain-one/schedule-one churn at the peak size.
+    for (int round = 0; round < 1000; ++round) {
+        q.pop().second();
+        q.schedule(round + 32, [&sink] { ++sink; });
+    }
+    EXPECT_EQ(q.poolCapacity(), peak);
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(sink, 1032);
+    EXPECT_EQ(q.poolCapacity(), peak);
+}
+
+// Destroying a fiber parks its stack in the thread-local pool, and the
+// next fiber of the same size takes it back instead of allocating.
+TEST(FiberStackPool, RecyclesStacksAcrossFibers)
+{
+    FiberStackPool &pool = FiberStackPool::local();
+    pool.clear();
+    const std::uint64_t hits0 = pool.hits();
+    {
+        Fiber f([] {});
+        f.resume();
+    }
+    EXPECT_EQ(pool.pooledCount(), 1u);
+    {
+        Fiber f([] {});
+        f.resume();
+    }
+    EXPECT_EQ(pool.pooledCount(), 1u);
+    EXPECT_EQ(pool.hits(), hits0 + 1);
+    // Different size: no match, so the pool must allocate fresh.
+    const std::uint64_t misses0 = pool.misses();
+    {
+        Fiber f([] {}, 128 * 1024);
+        f.resume();
+    }
+    EXPECT_EQ(pool.misses(), misses0 + 1);
+    EXPECT_EQ(pool.pooledCount(), 2u);
+    pool.clear();
+    EXPECT_EQ(pool.pooledCount(), 0u);
+}
+
+} // namespace
+} // namespace nowcluster

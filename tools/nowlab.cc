@@ -8,6 +8,9 @@
  *                    [--machine now|paragon|meiko] [--matrix]
  *                    [--pgm FILE]
  *   nowlab sweep <app> --knob K --values a,b,c [--procs N] [--scale S]
+ *                [--jobs J]
+ *   nowlab perf [--app A] [--points K] [--jobs J] [--events N]
+ *               [--out FILE]
  *
  * Knobs (all optional): --overhead US --gap US --latency US --mbps B
  *                       --occupancy US --window N
@@ -16,6 +19,7 @@
  *                       --reliable 0|1 --rto US
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,8 +32,12 @@
 #include "base/table.hh"
 #include "calib/microbench.hh"
 #include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "legacy_event_queue.hh"
 #include "model/models.hh"
 #include "replay/replay.hh"
+#include "sim/fiber.hh"
+#include "sim/simulator.hh"
 
 using namespace nowcluster;
 
@@ -262,8 +270,9 @@ cmdSweep(const Args &a)
                 b.summary.app.c_str(), toMsec(b.runtime),
                 static_cast<unsigned long long>(b.maxMsgsPerProc));
 
-    Table t;
-    t.row().cell(knob).cell("runtime (ms)").cell("slowdown");
+    // Every point is an independent simulation: fan them out.
+    std::vector<RunPoint> points;
+    points.reserve(xs.size());
     for (double x : xs) {
         RunConfig c = base;
         if (knob == "overhead")
@@ -286,10 +295,18 @@ cmdSweep(const Args &a)
             fatal("unknown knob '%s'", knob.c_str());
         c.validate = false;
         c.maxTime = b.runtime * 200 + kSec;
-        RunResult r = runApp(key, c);
+        points.push_back(RunPoint{key, c});
+    }
+    std::vector<RunResult> rs =
+        runPoints(points, static_cast<int>(optLong(a, "jobs", 0)));
+
+    Table t;
+    t.row().cell(knob).cell("runtime (ms)").cell("slowdown");
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const RunResult &r = rs[i];
         auto row = t.row();
         // Probability knobs need more digits than microsecond knobs.
-        row.cell(x, knob == "drop" ? 3 : 1);
+        row.cell(xs[i], knob == "drop" ? 3 : 1);
         if (r.ok)
             row.cell(toMsec(r.runtime), 2)
                 .cell(slowdown(r.runtime, b.runtime), 2);
@@ -298,6 +315,165 @@ cmdSweep(const Args &a)
     }
     t.print();
     return 0;
+}
+
+/**
+ * `nowlab perf`: the perf-trajectory benchmark behind
+ * scripts/bench_perf.sh and BENCH_engine.json.
+ *
+ * Measures (1) raw event-loop throughput through the new pooled
+ * explicit-heap queue vs the frozen legacy std::function queue
+ * (bench/legacy_event_queue.hh), (2) pooled fiber stand-up cost, and
+ * (3) wall-clock for a canonical knob sweep run serially vs fanned out
+ * with the parallel runner -- verifying on the way that both produce
+ * byte-identical per-point results.
+ */
+int
+cmdPerf(const Args &a)
+{
+    using Clock = std::chrono::steady_clock;
+    auto seconds_since = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
+    const std::string app = a.options.count("app")
+                                ? a.options.at("app")
+                                : std::string("radix");
+    const long events = optLong(a, "events", 2'000'000);
+    const int jobs = resolveJobs(static_cast<int>(optLong(a, "jobs", 0)));
+    const int npoints = static_cast<int>(optLong(a, "points", 8));
+
+    // --- (1) event-loop throughput, new vs legacy ---------------------
+    // Identical workloads: batches of 1000 events with a 24-byte
+    // capture (bigger than std::function's 16-byte SBO, like nearly
+    // every real event closure), drained in order.
+    struct Cap
+    {
+        std::uint64_t *sink;
+        std::uint64_t a, b;
+    };
+    std::uint64_t sink = 0;
+    Cap cap{&sink, 1, 2};
+
+    double new_eps = 0, legacy_eps = 0;
+    {
+        EventQueue q;
+        auto t0 = Clock::now();
+        for (long done = 0; done < events; done += 1000) {
+            for (int i = 0; i < 1000; ++i)
+                q.schedule(i, [cap] { *cap.sink += cap.a; });
+            while (!q.empty())
+                q.pop().second();
+        }
+        new_eps = static_cast<double>(events) / seconds_since(t0);
+    }
+    {
+        bench::LegacyEventQueue q;
+        auto t0 = Clock::now();
+        for (long done = 0; done < events; done += 1000) {
+            for (int i = 0; i < 1000; ++i)
+                q.schedule(i, [cap] { *cap.sink += cap.a; });
+            while (!q.empty())
+                q.pop().second();
+        }
+        legacy_eps = static_cast<double>(events) / seconds_since(t0);
+    }
+    std::printf("event loop : %.2f Mev/s new, %.2f Mev/s legacy "
+                "(%.2fx)\n",
+                new_eps / 1e6, legacy_eps / 1e6, new_eps / legacy_eps);
+
+    // --- (2) pooled fiber stand-up ------------------------------------
+    const int kFibers = 2000;
+    double fiber_us = 0;
+    {
+        auto t0 = Clock::now();
+        for (int i = 0; i < kFibers; ++i) {
+            Fiber f([] {});
+            f.resume();
+        }
+        fiber_us = seconds_since(t0) / kFibers * 1e6;
+    }
+    const FiberStackPool &pool = FiberStackPool::local();
+    std::printf("fiber pool : %.2f us per create+run+destroy "
+                "(%llu hits / %llu misses)\n",
+                fiber_us, static_cast<unsigned long long>(pool.hits()),
+                static_cast<unsigned long long>(pool.misses()));
+
+    // --- (3) canonical sweep, serial vs parallel ----------------------
+    RunConfig base = configOf(a);
+    std::vector<RunPoint> points;
+    for (int i = 0; i < npoints; ++i) {
+        RunPoint p{app, base};
+        // The Figure-5 regime: overhead from 2.9 us up in 10 us steps.
+        p.config.knobs.overheadUs = 2.9 + 10.0 * i;
+        p.config.validate = false;
+        points.push_back(std::move(p));
+    }
+
+    auto t0 = Clock::now();
+    std::vector<RunResult> serial = runPoints(points, 1);
+    double serial_s = seconds_since(t0);
+
+    t0 = Clock::now();
+    std::vector<RunResult> parallel = runPoints(points, jobs);
+    double parallel_s = seconds_since(t0);
+
+    bool identical = true;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (fingerprint(serial[i]) != fingerprint(parallel[i]))
+            identical = false;
+    }
+    std::printf("sweep      : %d x %s, %.2fs serial, %.2fs at --jobs %d "
+                "(%.2fx), results %s\n",
+                npoints, app.c_str(), serial_s, parallel_s, jobs,
+                serial_s / parallel_s,
+                identical ? "byte-identical" : "DIVERGENT");
+
+    if (a.options.count("out")) {
+        const std::string &path = a.options.at("out");
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            warn("cannot write %s", path.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"engine\",\n"
+            "  \"hw_concurrency\": %d,\n"
+            "  \"event_loop\": {\n"
+            "    \"events\": %ld,\n"
+            "    \"new_events_per_sec\": %.0f,\n"
+            "    \"legacy_events_per_sec\": %.0f,\n"
+            "    \"fast_path_speedup\": %.3f\n"
+            "  },\n"
+            "  \"fiber\": {\n"
+            "    \"create_run_destroy_us\": %.3f,\n"
+            "    \"stack_pool_hits\": %llu,\n"
+            "    \"stack_pool_misses\": %llu\n"
+            "  },\n"
+            "  \"sweep\": {\n"
+            "    \"app\": \"%s\",\n"
+            "    \"points\": %d,\n"
+            "    \"nprocs\": %d,\n"
+            "    \"scale\": %g,\n"
+            "    \"serial_seconds\": %.3f,\n"
+            "    \"jobs\": %d,\n"
+            "    \"parallel_seconds\": %.3f,\n"
+            "    \"parallel_speedup\": %.3f,\n"
+            "    \"results_byte_identical\": %s\n"
+            "  }\n"
+            "}\n",
+            hardwareJobs(), events, new_eps, legacy_eps,
+            new_eps / legacy_eps, fiber_us,
+            static_cast<unsigned long long>(pool.hits()),
+            static_cast<unsigned long long>(pool.misses()), app.c_str(),
+            npoints, base.nprocs, base.scale, serial_s, jobs, parallel_s,
+            serial_s / parallel_s, identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return identical ? 0 : 1;
 }
 
 int
@@ -355,7 +531,10 @@ main(int argc, char **argv)
             "  nowlab run <app> [--procs N] [--scale S] [--seed X]\n"
             "             [--machine M] [knobs] [--matrix] [--pgm F]\n"
             "             [--trace FILE.csv]\n"
-            "  nowlab sweep <app> --knob K --values a,b,c [...]\n"
+            "  nowlab sweep <app> --knob K --values a,b,c [--jobs J]\n"
+            "             [...]\n"
+            "  nowlab perf [--app A] [--points K] [--jobs J]\n"
+            "             [--events N] [--out FILE]\n"
             "  nowlab replay --trace FILE.csv [--procs N] [knobs]\n"
             "knobs: --overhead US --gap US --latency US --mbps B\n"
             "       --occupancy US --window N\n"
@@ -373,6 +552,8 @@ main(int argc, char **argv)
         return cmdRun(a);
     if (cmd == "sweep")
         return cmdSweep(a);
+    if (cmd == "perf")
+        return cmdPerf(a);
     if (cmd == "replay")
         return cmdReplay(a);
     fatal("unknown command '%s'", cmd.c_str());
