@@ -19,9 +19,10 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    traceOutIfRequested(argc, argv, "radix", 32, scale);
     std::printf("Burstiness of application communication, 32 nodes "
                 "(scale=%.2f)\n",
                 scale);

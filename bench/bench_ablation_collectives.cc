@@ -65,9 +65,10 @@ timeAllGather(const LogGPParams &params, int p, GatherAlg alg,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const int p = 32;
+    traceOutIfRequested(argc, argv, "radix", p, scaleOr(1.0));
     std::printf("Collective algorithms under the LogGP knobs, %d "
                 "nodes\n(broadcast columns: span from root start to "
                 "last arrival, us)\n",

@@ -21,6 +21,7 @@ main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
     int jobs = jobsArg(argc, argv);
+    traceOutIfRequested(argc, argv, "radix", 32, scale);
     std::printf("Ablation: switch-fabric contention (32 nodes, 4 "
                 "hosts/leaf switch, scale=%.2f)\n",
                 scale);

@@ -8,8 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "am/cluster.hh"
 #include "legacy_event_queue.hh"
+#include "obs/export.hh"
+#include "obs/tracer.hh"
 #include "sim/event_queue.hh"
 #include "sim/fiber.hh"
 #include "sim/simulator.hh"
@@ -122,14 +126,21 @@ BM_ProcComputeEvent(benchmark::State &state)
 }
 BENCHMARK(BM_ProcComputeEvent);
 
+// Shared body for the tracing A/B pair below: request/reply round
+// trips over whole two-node cluster runs, with or without a span
+// tracer attached. Comparing the two bounds the wall-clock cost of
+// observability; with `tracer == nullptr` every obs hook reduces to a
+// null-pointer test, so the pair should differ by well under 2%.
 void
-BM_AmRoundTrip(benchmark::State &state)
+amRoundTripRuns(benchmark::State &state, SpanTracer *tracer)
 {
-    // Wall-clock cost of simulating request/reply round trips,
-    // measured over whole two-node cluster runs.
     const int kMsgs = 2000;
     for (auto _ : state) {
+        if (tracer)
+            tracer->clear();
         Cluster c(2, MachineConfig::berkeleyNow().params);
+        if (tracer)
+            c.setTracer(tracer);
         int done = c.registerHandler([](AmNode &, Packet &) {});
         int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
             self.reply(pkt, done);
@@ -151,7 +162,23 @@ BM_AmRoundTrip(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * kMsgs);
 }
+
+void
+BM_AmRoundTrip(benchmark::State &state)
+{
+    // Wall-clock cost of simulating request/reply round trips,
+    // measured over whole two-node cluster runs.
+    amRoundTripRuns(state, nullptr);
+}
 BENCHMARK(BM_AmRoundTrip);
+
+void
+BM_AmRoundTripTraced(benchmark::State &state)
+{
+    SpanTracer tracer;
+    amRoundTripRuns(state, &tracer);
+}
+BENCHMARK(BM_AmRoundTripTraced);
 
 void
 BM_BulkStoreMB(benchmark::State &state)
@@ -180,4 +207,57 @@ BENCHMARK(BM_BulkStoreMB);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects
+// unknown flags, so `--trace-out FILE` (the bench-wide convention) is
+// handled and stripped here. It writes a Perfetto trace of one traced
+// round-trip cluster run.
+int
+main(int argc, char **argv)
+{
+    const char *trace_path = nullptr;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+            trace_path = argv[i + 1];
+            ++i;
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    if (trace_path) {
+        SpanTracer tracer;
+        Cluster c(2, MachineConfig::berkeleyNow().params);
+        c.setTracer(&tracer);
+        int done = c.registerHandler([](AmNode &, Packet &) {});
+        int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+            self.reply(pkt, done);
+        });
+        bool stop = false;
+        c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                for (int i = 0; i < 200; ++i)
+                    n.request(1, echo);
+                n.pollUntil(
+                    [&] { return n.counters().received >= 200; });
+                stop = true;
+                n.oneWay(1, done);
+            } else {
+                n.pollUntil([&] { return stop; });
+            }
+        });
+        if (writePerfettoJson(tracer, trace_path))
+            std::printf("trace-out: round-trip microbench -> %s "
+                        "(%zu spans)\n",
+                        trace_path, tracer.spans().size());
+        else
+            std::fprintf(stderr, "trace-out: cannot write %s\n",
+                         trace_path);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -17,8 +17,10 @@
 using namespace nowcluster;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::traceOutIfRequested(argc, argv, "radix", 32,
+                               bench::scaleOr(1.0));
     auto params = MachineConfig::berkeleyNow().params;
     params.setDesiredGapUsec(14.0);
     Microbench mb(params);

@@ -15,9 +15,10 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    traceOutIfRequested(argc, argv, "radix", 32, scale);
     ::mkdir("fig4", 0755);
     std::printf("Figure 4: Communication balance matrices, 32 nodes "
                 "(scale=%.2f)\n", scale);

@@ -18,6 +18,7 @@ main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
     int jobs = jobsArg(argc, argv);
+    traceOutIfRequested(argc, argv, "radix", 32, scale);
     auto set = [](Knobs &k, double x) { k.overheadUs = x; };
 
     for (int nprocs : {16, 32}) {

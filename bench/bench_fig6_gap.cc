@@ -14,6 +14,7 @@ int
 main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    traceOutIfRequested(argc, argv, "radix", 32, scale);
     auto set = [](Knobs &k, double x) { k.gapUs = x; };
     std::vector<Series> series = sweepApps(
         appKeys(), 32, scale, gapSweep(), set, jobsArg(argc, argv));

@@ -15,6 +15,7 @@ int
 main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    traceOutIfRequested(argc, argv, "nowsort", 32, scale);
     auto set = [](Knobs &k, double x) { k.bulkMBps = x; };
     std::vector<Series> series =
         sweepApps(appKeys(), 32, scale, bandwidthSweep(), set,

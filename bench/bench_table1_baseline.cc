@@ -8,13 +8,16 @@
 #include <cstdio>
 
 #include "base/table.hh"
+#include "bench_util.hh"
 #include "calib/microbench.hh"
 
 using namespace nowcluster;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::traceOutIfRequested(argc, argv, "radix", 32,
+                               bench::scaleOr(1.0));
     std::printf("Table 1: Baseline LogGP parameters "
                 "(microbenchmark-calibrated)\n");
     std::printf("Paper:  NOW o=2.9 g=5.8 L=5.0 38 MB/s | Paragon o=1.8 "

@@ -44,8 +44,10 @@ sweep(const char *title, const char *knob,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::traceOutIfRequested(argc, argv, "radix", 32,
+                               bench::scaleOr(1.0));
     std::printf("Table 2: Calibration summary (desired vs observed, "
                 "and independence of the knobs)\n");
 

@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    traceOutIfRequested(argc, argv, "radix", 32, scale);
     std::printf("Table 3: Applications, data sets, and baseline run "
                 "times (scale=%.2f)\n\n", scale);
 

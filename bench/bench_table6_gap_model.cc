@@ -14,9 +14,10 @@ using namespace nowcluster;
 using namespace nowcluster::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     double scale = scaleOr(1.0);
+    traceOutIfRequested(argc, argv, "radix", 32, scale);
     std::printf("Table 6: predicted vs measured run times (ms) varying "
                 "gap, 32 nodes (scale=%.2f)\n",
                 scale);

@@ -20,6 +20,8 @@
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
 #include "model/models.hh"
+#include "obs/export.hh"
+#include "obs/tracer.hh"
 
 namespace nowcluster::bench {
 
@@ -37,6 +39,42 @@ jobsArg(int argc, char **argv)
             return std::atoi(argv[i + 1]);
     }
     return 0; // runPoints resolves 0 to NOW_JOBS / hardware.
+}
+
+/**
+ * `--trace-out FILE` on any bench binary: run one extra traced
+ * baseline of `key` (the binary's representative app) and write the
+ * span timeline as Perfetto JSON. The traced run is separate from the
+ * sweep itself, so tables and fingerprints are untouched whether or
+ * not the flag is given. Returns true if a trace was written.
+ */
+inline bool
+traceOutIfRequested(int argc, char **argv, const std::string &key,
+                    int nprocs, double scale)
+{
+    const char *path = nullptr;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0)
+            path = argv[i + 1];
+    }
+    if (!path)
+        return false;
+    SpanTracer tracer;
+    RunConfig c;
+    c.nprocs = nprocs;
+    c.scale = scale;
+    c.seed = 1;
+    c.obs = &tracer;
+    RunResult r = runApp(key, c);
+    if (!writePerfettoJson(tracer, path)) {
+        std::fprintf(stderr, "trace-out: cannot write %s\n", path);
+        return false;
+    }
+    std::printf("trace-out: %s baseline (%d procs, scale %g) -> %s "
+                "(%zu spans, %zu messages)%s\n",
+                key.c_str(), nprocs, scale, path, tracer.spans().size(),
+                tracer.messages().size(), r.ok ? "" : " [run not ok]");
+    return true;
 }
 
 /** Paper display names, keyed like the registry. */

@@ -16,4 +16,14 @@ for b in "$BUILD"/bench/*; do
     echo "== $name =="
     "$b" 2>&1 | tee "results/$name.txt"
 done
+
+# Traced smoke run: capture a span trace of one baseline run and make
+# sure the Perfetto export is valid JSON (loadable in ui.perfetto.dev).
+echo "== traced smoke run =="
+"$BUILD"/tools/nowlab trace radix --procs 4 --scale 0.1 \
+    --out results/radix_trace.json --bin results/radix_trace.obs \
+    2>&1 | tee results/nowlab_trace.txt
+python3 -m json.tool results/radix_trace.json > /dev/null \
+    && echo "results/radix_trace.json: valid JSON"
+
 echo "All outputs in results/ (Figure 4 images in fig4/)"

@@ -15,9 +15,34 @@ constexpr std::uint64_t kShortMsgBytes = 28;
 
 } // namespace
 
+AmCounters::AmCounters(MetricsRegistry &reg, int nprocs)
+    : sentTo(nprocs, 0)
+{
+    reg.probe("am.sent", &sent);
+    reg.probe("am.received", &received);
+    reg.probe("am.requests", &requests);
+    reg.probe("am.replies", &replies);
+    reg.probe("am.oneWays", &oneWays);
+    reg.probe("am.bulkMsgs", &bulkMsgs);
+    reg.probe("am.bulkFrags", &bulkFrags);
+    reg.probe("am.bulkBytesSent", &bulkBytesSent);
+    reg.probe("am.shortBytesSent", &shortBytesSent);
+    reg.probe("am.readMsgs", &readMsgs);
+    reg.probe("am.barriers", &barriers);
+    reg.probe("am.lockFailures", &lockFailures);
+    reg.probe("am.lockAcquires", &lockAcquires);
+    reg.probe("am.creditStallTicks", &creditStall);
+    reg.probe("am.txQueueStallTicks", &txQueueStall);
+    reg.probe("rel.retransmits", &retransmits);
+    reg.probe("rel.giveUps", &retxGiveUps);
+    reg.probe("rel.dupsSuppressed", &dupsSuppressed);
+    reg.probe("rel.outOfOrder", &outOfOrder);
+    reg.probe("rel.acksSent", &acksSent);
+}
+
 AmNode::AmNode(Cluster &cluster, NodeId id, std::uint64_t seed)
     : cluster_(cluster), id_(id), rng_(seed, static_cast<std::uint64_t>(id)),
-      nic_(cluster.params()), ctrs_(cluster.nprocs()),
+      nic_(cluster.params()), ctrs_(cluster.metrics(), cluster.nprocs()),
       credits_(cluster.nprocs(), cluster.params().window)
 {
     if (cluster.params().reliable)
@@ -56,6 +81,8 @@ AmNode::acquireCredit(NodeId dst)
     Tick t0 = now();
     pollUntil([&] { return credits_[dst] > 0; }, "credit wait");
     ctrs_.creditStall += now() - t0;
+    if (obs_)
+        obs_->containerSpan(id_, SpanCat::GapStall, t0, now());
     if (credits_[dst] > 0)
         --credits_[dst];
 }
@@ -64,15 +91,18 @@ void
 AmNode::sendPacket(Packet &&pkt, bool pay_overhead)
 {
     const LogGPParams &p = cluster_.params();
+    if (obs_)
+        pkt.obsMsg = obs_->newMsgId();
     if (pay_overhead)
-        proc_->compute(p.sendOverhead());
+        proc_->compute(p.sendOverhead(), SpanCat::OSend, pkt.obsMsg);
 
     Tick h = now();
-    NicTx::Accept a = pkt.isBulk() ? nic_.acceptBulk(h, pkt.bulk.size())
-                                   : nic_.acceptShort(h);
+    NicTx::Accept a =
+        pkt.isBulk() ? nic_.acceptBulk(h, pkt.bulk.size(), pkt.obsMsg)
+                     : nic_.acceptShort(h, pkt.obsMsg);
     if (a.hostFreeAt > h) {
         ctrs_.txQueueStall += a.hostFreeAt - h;
-        proc_->compute(a.hostFreeAt - h);
+        proc_->compute(a.hostFreeAt - h, SpanCat::GapStall, pkt.obsMsg);
     }
 
     // Physical arrival at the destination NIC; the latency knob defers
@@ -98,6 +128,23 @@ AmNode::sendPacket(Packet &&pkt, bool pay_overhead)
             now(), pkt.readyAt, id_, pkt.dst, pkt.kind,
             static_cast<std::uint32_t>(pkt.isBulk() ? pkt.bulk.size()
                                                     : 0));
+    }
+
+    if (obs_) {
+        ObsMessage m;
+        m.id = pkt.obsMsg;
+        m.src = id_;
+        m.dst = pkt.dst;
+        m.issued = h;
+        m.inject = a.injectStart;
+        m.wire = a.wireAt;
+        m.ready = pkt.readyAt; // Refined by the network (fabric/fault).
+        m.wireLatency = p.totalLatency();
+        m.kind = static_cast<std::uint8_t>(pkt.kind);
+        m.retx = pkt.retx;
+        m.bytes = static_cast<std::uint32_t>(
+            pkt.isBulk() ? pkt.bulk.size() : kShortMsgBytes);
+        obs_->message(m);
     }
 
     cluster_.transmit(std::move(pkt));
@@ -293,7 +340,7 @@ AmNode::poll()
     while (!rxQueue_.empty()) {
         Packet pkt = std::move(rxQueue_.front());
         rxQueue_.pop_front();
-        proc_->compute(p.recvOverhead());
+        proc_->compute(p.recvOverhead(), SpanCat::ORecv, pkt.obsMsg);
         ++ctrs_.received;
         if (pkt.handler >= 0) {
             inHandler_ = true;
@@ -350,6 +397,9 @@ AmNode::rxOccupy(Tick arrival)
 {
     Tick start = std::max(arrival, rxBusyUntil_);
     rxBusyUntil_ = start + cluster_.params().occupancy;
+    if (obs_)
+        obs_->span(id_, TrackKind::NicRx, SpanCat::GapStall, start,
+                   rxBusyUntil_);
     return rxBusyUntil_;
 }
 

@@ -15,11 +15,11 @@
 #include <memory>
 #include <vector>
 
-#include "am/counters.hh"
 #include "base/random.hh"
 #include "base/types.hh"
 #include "net/nic.hh"
 #include "net/packet.hh"
+#include "obs/metrics.hh"
 #include "sim/proc.hh"
 
 namespace nowcluster {
@@ -30,6 +30,66 @@ class ReliableEndpoint;
 
 /** An Active Message handler: runs on the receiving node's fiber. */
 using HandlerFn = std::function<void(AmNode &self, Packet &pkt)>;
+
+/**
+ * Message and synchronization counters for one node, sufficient to
+ * regenerate the paper's Table 4 and Figure 4.
+ *
+ * The fields are plain integers that hot paths increment directly; the
+ * constructor registers each one as a probe in the cluster's metrics
+ * registry (obs/metrics.hh), so a single registry snapshot yields every
+ * counter summed across nodes -- the aggregation the stats layer and
+ * Cluster::totalMessages() used to hand-roll per consumer.
+ */
+struct AmCounters
+{
+    AmCounters(MetricsRegistry &reg, int nprocs);
+
+    /** Total messages sent (requests + replies + one-ways + bulk ops). */
+    std::uint64_t sent = 0;
+    /** Total messages received (processed by poll). */
+    std::uint64_t received = 0;
+
+    std::uint64_t requests = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t oneWays = 0;
+    /** Bulk operations (a multi-fragment store counts once). */
+    std::uint64_t bulkMsgs = 0;
+    std::uint64_t bulkFrags = 0;
+    std::uint64_t bulkBytesSent = 0;
+    /** Bytes sent in short messages (4 words + header, as in GAM). */
+    std::uint64_t shortBytesSent = 0;
+
+    /** Messages that are read requests or read replies (Split-C tags). */
+    std::uint64_t readMsgs = 0;
+
+    /** Barriers this node has completed. */
+    std::uint64_t barriers = 0;
+    /** Failed lock acquisition attempts (Barnes livelock metric). */
+    std::uint64_t lockFailures = 0;
+    /** Successful lock acquisitions. */
+    std::uint64_t lockAcquires = 0;
+
+    /** Ticks this node spent stalled waiting for send credits. */
+    Tick creditStall = 0;
+    /** Ticks this node spent stalled on a full NIC tx queue. */
+    Tick txQueueStall = 0;
+
+    // Reliability protocol (am/reliable.hh; all zero when disabled).
+    /** Packets retransmitted after a timeout. */
+    std::uint64_t retransmits = 0;
+    /** Packets abandoned after retxMaxRetries (channel failure). */
+    std::uint64_t retxGiveUps = 0;
+    /** Received duplicates suppressed by sequence-number matching. */
+    std::uint64_t dupsSuppressed = 0;
+    /** Packets parked in the reorder buffer before in-order delivery. */
+    std::uint64_t outOfOrder = 0;
+    /** Protocol acks sent (one cumulative ack per received packet). */
+    std::uint64_t acksSent = 0;
+
+    /** Per-destination message counts (Figure 4 density matrix row). */
+    std::vector<std::uint64_t> sentTo;
+};
 
 /**
  * Per-node Active Message endpoint. All methods that send or wait must
@@ -50,6 +110,9 @@ class AmNode
     Cluster &cluster() { return cluster_; }
     AmCounters &counters() { return ctrs_; }
     const AmCounters &counters() const { return ctrs_; }
+
+    /** The attached span tracer, or nullptr (set via Cluster). */
+    SpanTracer *obs() const { return obs_; }
 
     /** Current virtual time. */
     Tick now() const;
@@ -205,6 +268,7 @@ class AmNode
     Rng rng_;
     NicTx nic_;
     AmCounters ctrs_;
+    SpanTracer *obs_ = nullptr;
     /** Reliability protocol endpoint (null unless params().reliable). */
     std::unique_ptr<ReliableEndpoint> rel_;
     /** Label of the wait this node is blocked in, for diagnostics. */

@@ -34,6 +34,17 @@ Cluster::Cluster(int nprocs, const LogGPParams &params, std::uint64_t seed)
         if (params.fault.anyRate() && !params.reliable)
             inform("fault injection active without params.reliable: "
                    "losses and duplicates have no recovery path");
+        const FaultCounters &fc = fault_->counters();
+        metrics_.probe("fault.offered.data", &fc.offered[0]);
+        metrics_.probe("fault.offered.ack", &fc.offered[1]);
+        metrics_.probe("fault.dropped.data", &fc.dropped[0]);
+        metrics_.probe("fault.dropped.ack", &fc.dropped[1]);
+        metrics_.probe("fault.corrupted.data", &fc.corrupted[0]);
+        metrics_.probe("fault.corrupted.ack", &fc.corrupted[1]);
+        metrics_.probe("fault.duplicated.data", &fc.duplicated[0]);
+        metrics_.probe("fault.duplicated.ack", &fc.duplicated[1]);
+        metrics_.probe("fault.delayed.data", &fc.delayed[0]);
+        metrics_.probe("fault.delayed.ack", &fc.delayed[1]);
     }
 
     nodes_.reserve(nprocs);
@@ -81,6 +92,7 @@ Cluster::run(std::function<void(AmNode &)> main, Tick max_time)
                 noteProcDone(i);
             }));
         nodes_[i]->proc_ = procs_[i].get();
+        procs_[i]->attachObs(tracer_);
         procs_[i]->start(0);
     }
 
@@ -176,8 +188,30 @@ Cluster::transmit(Packet &&pkt)
 }
 
 void
+Cluster::setTracer(SpanTracer *tracer)
+{
+    panic_if(started_, "setTracer() must be called before run()");
+    tracer_ = tracer;
+    for (auto &n : nodes_) {
+        n->obs_ = tracer;
+        n->nic_.attachObs(tracer, n->id());
+    }
+}
+
+void
 Cluster::scheduleDelivery(Packet &&pkt)
 {
+    if (tracer_ && pkt.obsMsg) {
+        // The wire leg: everything between leaving the tx context and
+        // the presence bit, on the destination's rx track. Fabric
+        // contention, fault delays, and retransmissions all land here,
+        // which is why the span is emitted at this final hand-off and
+        // the message's ready time is refined to match.
+        tracer_->span(pkt.dst, TrackKind::NicRx, SpanCat::LWire,
+                      pkt.readyAt - params_.totalLatency(), pkt.readyAt,
+                      pkt.obsMsg);
+        tracer_->updateMessageReady(pkt.obsMsg, pkt.readyAt);
+    }
     // Wrapped in shared_ptr because std::function requires a copyable
     // closure; the packet is only ever moved out once.
     auto p = std::make_shared<Packet>(std::move(pkt));
@@ -267,10 +301,7 @@ Cluster::leakedCredits() const
 std::uint64_t
 Cluster::totalMessages() const
 {
-    std::uint64_t total = 0;
-    for (const auto &n : nodes_)
-        total += n->counters().sent;
-    return total;
+    return metrics_.snapshot().counterOr("am.sent");
 }
 
 } // namespace nowcluster

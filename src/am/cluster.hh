@@ -16,6 +16,8 @@
 #include "net/fabric.hh"
 #include "net/fault.hh"
 #include "net/loggp.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "sim/simulator.hh"
 
 namespace nowcluster {
@@ -107,6 +109,20 @@ class Cluster
     /** Aggregate messages sent across all nodes. */
     std::uint64_t totalMessages() const;
 
+    /** The cluster's metrics registry: every node's counters, the
+     *  fault model, and any component-owned metrics report here. */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Attach a span tracer to every node (CPU fiber, NIC tx context,
+     * NIC rx context) and the network. Must be called before run();
+     * pass nullptr to detach. Tracing is passive -- virtual time and
+     * all results are identical with and without a tracer.
+     */
+    void setTracer(SpanTracer *tracer);
+    SpanTracer *tracer() const { return tracer_; }
+
     /** The fabric model, if enabled (diagnostics). */
     const SwitchFabric *fabric() const { return fabric_.get(); }
 
@@ -134,6 +150,8 @@ class Cluster
 
     Simulator sim_;
     LogGPParams params_;
+    MetricsRegistry metrics_;
+    SpanTracer *tracer_ = nullptr;
     int nprocs_;
     std::uint64_t seed_;
     std::vector<HandlerFn> handlers_;

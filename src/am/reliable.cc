@@ -93,6 +93,14 @@ ReliableEndpoint::onTimeout(NodeId dst, std::uint64_t seq,
     // Firmware retransmission: straight from NIC SRAM onto the wire.
     copy.readyAt = cluster_.sim().now() + p.totalLatency();
 
+    if (node_.obs()) {
+        // Instant marker on the tx track; the copy keeps the original
+        // send's message id, so its new wire leg joins that flight.
+        Tick t = cluster_.sim().now();
+        node_.obs()->span(node_.id(), TrackKind::NicTx,
+                          SpanCat::Retransmit, t, t, copy.obsMsg);
+    }
+
     e.gen = ++genCounter_;
     Tick backoff = rtoBase_ << std::min(e.retries, 6);
     armTimer(dst, seq, e.gen, p.totalLatency() + backoff);

@@ -112,8 +112,13 @@ Collectives::broadcast(SplitC &sc, Word value, NodeId root, BcastAlg alg)
     };
     auto wait_value = [&]() {
         NodeState &mine = nodes_[me];
+        const Tick t0 = sc.am().now();
         sc.am().pollUntil([&] { return mine.bcastSeen >= epoch; },
                           "broadcast");
+        if (sc.am().obs())
+            sc.am().obs()->containerSpan(sc.am().id(),
+                                         SpanCat::BarrierWait, t0,
+                                         sc.am().now());
         return mine.bcastVal;
     };
 
@@ -180,9 +185,14 @@ Collectives::allGather(SplitC &sc, const Word *mine, std::size_t n,
     };
     auto wait_block = [&](int src_block) {
         NodeState &m = nodes_[me];
+        const Tick t0 = sc.am().now();
         sc.am().pollUntil(
             [&] { return m.boxSeen[src_block] >= epoch; },
             "exchange wait");
+        if (sc.am().obs())
+            sc.am().obs()->containerSpan(sc.am().id(),
+                                         SpanCat::BarrierWait, t0,
+                                         sc.am().now());
         std::copy(&m.box[static_cast<std::size_t>(src_block) *
                          maxElems_],
                   &m.box[static_cast<std::size_t>(src_block) *

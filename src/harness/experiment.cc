@@ -63,6 +63,8 @@ runApp(const std::string &app_key, const RunConfig &config)
 
     SplitCRuntime rt(config.nprocs, params, config.seed);
     app->prepare(rt);
+    if (config.obs)
+        rt.cluster().setTracer(config.obs);
     if (config.trace) {
         rt.cluster().setTraceHook(
             [trace = config.trace](Tick issued, Tick ready, NodeId src,
@@ -79,6 +81,7 @@ runApp(const std::string &app_key, const RunConfig &config)
     r.matrix = commMatrix(rt.cluster());
     r.maxMsgsPerProc = r.summary.maxMsgsPerProc;
     r.lockFailures = r.summary.lockFailures;
+    r.metrics = rt.cluster().metrics().snapshot();
     r.validated = r.ok && (!config.validate || app->validate());
     return r;
 }

@@ -12,6 +12,8 @@
 #include <string>
 
 #include "net/loggp.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "stats/comm_stats.hh"
 #include "stats/trace.hh"
 
@@ -61,6 +63,9 @@ struct RunConfig
     bool validate = true;
     /** Optional message trace sink (not owned). */
     MessageTrace *trace = nullptr;
+    /** Optional span tracer (not owned): records per-track timelines
+     *  for the Perfetto exporter and the critical-path analyzer. */
+    SpanTracer *obs = nullptr;
 };
 
 /** Everything measured from one run. */
@@ -73,6 +78,8 @@ struct RunResult
     CommMatrix matrix;
     std::uint64_t maxMsgsPerProc = 0;
     std::uint64_t lockFailures = 0;
+    /** Snapshot of the cluster's metrics registry at run end. */
+    MetricsSnapshot metrics;
 };
 
 /** Run one application under the given configuration. */

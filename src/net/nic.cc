@@ -7,7 +7,7 @@
 namespace nowcluster {
 
 NicTx::Accept
-NicTx::accept(Tick h, Tick occupancy, Tick transfer)
+NicTx::accept(Tick h, Tick occupancy, Tick transfer, std::uint64_t msg)
 {
     // Free slots whose descriptors have already entered the tx context.
     while (!slotRelease_.empty() && slotRelease_.front() <= h)
@@ -31,6 +31,13 @@ NicTx::accept(Tick h, Tick occupancy, Tick transfer)
     busyUntil_ = a.injectStart + occupancy;
     // A descriptor occupies its FIFO slot until fully processed.
     slotRelease_.push_back(busyUntil_);
+    if (obs_) {
+        // DMA transfer (size*G), then the injection-loop stall (g).
+        obs_->span(node_, TrackKind::NicTx, SpanCat::GStall,
+                   a.injectStart, a.wireAt, msg);
+        obs_->span(node_, TrackKind::NicTx, SpanCat::GapStall, a.wireAt,
+                   busyUntil_, msg);
+    }
     return a;
 }
 

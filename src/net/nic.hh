@@ -20,6 +20,7 @@
 
 #include "base/types.hh"
 #include "net/loggp.hh"
+#include "obs/tracer.hh"
 
 namespace nowcluster {
 
@@ -46,9 +47,9 @@ class NicTx
      * Occupies the tx context for g after injection.
      */
     Accept
-    acceptShort(Tick h)
+    acceptShort(Tick h, std::uint64_t msg = 0)
     {
-        return accept(h, params_->gap, 0);
+        return accept(h, params_->gap, 0, msg);
     }
 
     /**
@@ -56,7 +57,7 @@ class NicTx
      * The DMA transfer takes size*G; the injection-loop stall g follows.
      */
     Accept
-    acceptBulk(Tick h, std::size_t size)
+    acceptBulk(Tick h, std::size_t size, std::uint64_t msg = 0)
     {
         // Converting a double >= 2^63 to Tick is undefined behaviour,
         // so clamp size*G explicitly before rounding. kTickNever/4
@@ -68,16 +69,27 @@ class NicTx
             static_cast<double>(size) * params_->gPerByte + 0.5;
         Tick xfer = xfer_d >= kMaxXfer ? kTickNever / 4
                                        : static_cast<Tick>(xfer_d);
-        return accept(h, xfer + params_->gap, xfer);
+        return accept(h, xfer + params_->gap, xfer, msg);
     }
 
     /** Time the tx context becomes idle after everything accepted. */
     Tick busyUntil() const { return busyUntil_; }
 
+    /** Attach a span tracer; spans land on `node`'s nic-tx track. */
+    void
+    attachObs(SpanTracer *obs, NodeId node)
+    {
+        obs_ = obs;
+        node_ = node;
+    }
+
   private:
-    Accept accept(Tick h, Tick occupancy, Tick transfer);
+    Accept accept(Tick h, Tick occupancy, Tick transfer,
+                  std::uint64_t msg);
 
     const LogGPParams *params_;
+    SpanTracer *obs_ = nullptr;
+    NodeId node_ = -1;
     Tick busyUntil_ = 0;
     /** injectStart of descriptors still logically queued; a slot frees
      *  when its descriptor enters the tx context. */

@@ -60,6 +60,9 @@ struct Packet
     /** True on retransmitted copies (diagnostics/tracing only). */
     bool retx = false;
 
+    /** Observability message id (0 unless a span tracer is attached). */
+    std::uint64_t obsMsg = 0;
+
     bool isBulk() const { return kind == PacketKind::BulkFrag; }
 };
 

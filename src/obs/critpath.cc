@@ -1,0 +1,184 @@
+#include "obs/critpath.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace nowcluster {
+
+namespace {
+
+/** Per-node timeline index built once per analysis. */
+struct Timeline
+{
+    /** Leaf CPU spans sorted by end time. */
+    std::vector<const Span *> cpu;
+    /** Container spans sorted by begin time. */
+    std::vector<const Span *> containers;
+};
+
+/** Attribute an unexplained wait [a, b) on `node`: charge it to the
+ *  innermost container span covering it, else to waitOther. */
+void
+labelGap(CritPathReport &r, const Timeline &tl, Tick a, Tick b)
+{
+    if (b <= a)
+        return;
+    const Span *best = nullptr;
+    for (const Span *c : tl.containers) {
+        if (c->begin > a)
+            break;
+        if (c->end >= b &&
+            (!best || c->begin >= best->begin))
+            best = c;
+    }
+    if (best)
+        r.perCat[static_cast<int>(best->cat)] += b - a;
+    else
+        r.waitOther += b - a;
+}
+
+} // namespace
+
+CritPathReport
+analyzeCriticalPath(const SpanTracer &tracer)
+{
+    CritPathReport r;
+
+    std::map<NodeId, Timeline> timelines;
+    for (const Span &s : tracer.spans()) {
+        if (s.container)
+            timelines[s.node].containers.push_back(&s);
+        else if (s.track == TrackKind::Cpu && s.end > s.begin)
+            timelines[s.node].cpu.push_back(&s);
+    }
+    for (auto &[node, tl] : timelines) {
+        std::sort(tl.cpu.begin(), tl.cpu.end(),
+                  [](const Span *a, const Span *b) {
+                      return a->end != b->end ? a->end < b->end
+                                              : a->begin < b->begin;
+                  });
+        std::sort(tl.containers.begin(), tl.containers.end(),
+                  [](const Span *a, const Span *b) {
+                      return a->begin < b->begin;
+                  });
+    }
+
+    std::unordered_map<std::uint64_t, const ObsMessage *> msgById;
+    msgById.reserve(tracer.messages().size());
+    for (const ObsMessage &m : tracer.messages())
+        msgById.emplace(m.id, &m);
+
+    // Start from the globally last-ending CPU span.
+    NodeId node = -1;
+    Tick cursor = 0;
+    for (const auto &[n, tl] : timelines) {
+        if (!tl.cpu.empty() && tl.cpu.back()->end > cursor) {
+            cursor = tl.cpu.back()->end;
+            node = n;
+        }
+    }
+    if (node < 0)
+        return r;
+    r.endTick = cursor;
+    r.ok = true;
+
+    // Each step either consumes one span or hops one message, so the
+    // walk is bounded; the guard only protects against malformed input
+    // (e.g., a hand-edited binary trace with a timestamp cycle).
+    std::size_t guard =
+        tracer.spans().size() + tracer.messages().size() + 16;
+
+    while (cursor > 0 && guard-- > 0) {
+        const Timeline &tl = timelines[node];
+        // Last CPU span ending at or before the cursor.
+        auto it = std::upper_bound(
+            tl.cpu.begin(), tl.cpu.end(), cursor,
+            [](Tick t, const Span *s) { return t < s->end; });
+        if (it == tl.cpu.begin()) {
+            // Nothing earlier on this node: idle back to t=0.
+            labelGap(r, tl, 0, cursor);
+            break;
+        }
+        const Span *s = *(it - 1);
+        labelGap(r, tl, s->end, cursor);
+        r.perCat[static_cast<int>(s->cat)] += s->end - s->begin;
+        ++r.segments;
+        if (s->cat == SpanCat::OSend)
+            ++r.oSendSpans;
+
+        const Tick prevEnd =
+            it - 1 == tl.cpu.begin() ? 0 : (*(it - 2))->end;
+
+        if (s->cat == SpanCat::ORecv) {
+            ++r.oRecvSpans;
+            auto mi = s->msg ? msgById.find(s->msg) : msgById.end();
+            // The arrival was binding iff the presence bit was set at
+            // or after the previous local span finished -- the CPU was
+            // waiting on the wire, so the path hops to the sender.
+            if (mi != msgById.end() && mi->second->ready >= prevEnd &&
+                mi->second->issued < cursor) {
+                const ObsMessage &m = *mi->second;
+                labelGap(r, tl, m.ready, s->begin);
+                r.perCat[static_cast<int>(SpanCat::LWire)] +=
+                    m.wireLatency;
+                if (m.wire > m.inject)
+                    r.perCat[static_cast<int>(SpanCat::GStall)] +=
+                        m.wire - m.inject;
+                if (m.inject > m.issued)
+                    r.perCat[static_cast<int>(SpanCat::GapStall)] +=
+                        m.inject - m.issued;
+                ++r.lCrossings;
+                node = m.src;
+                cursor = m.issued;
+                continue;
+            }
+        }
+        cursor = s->begin;
+    }
+    return r;
+}
+
+std::string
+CritPathReport::render() const
+{
+    std::string out;
+    char buf[160];
+    if (!ok)
+        return "critical path: no CPU spans recorded\n";
+    std::snprintf(buf, sizeof(buf),
+                  "critical path: %.3f us end-to-end, %llu segments, "
+                  "%llu wire crossings\n",
+                  static_cast<double>(endTick) / 1e3,
+                  static_cast<unsigned long long>(segments),
+                  static_cast<unsigned long long>(lCrossings));
+    out += buf;
+    Tick attributed = waitOther;
+    for (int c = 0; c < kNumSpanCats; ++c)
+        attributed += perCat[c];
+    const double denom =
+        attributed > 0 ? static_cast<double>(attributed) : 1.0;
+    for (int c = 0; c < kNumSpanCats; ++c) {
+        std::snprintf(buf, sizeof(buf), "  %-14s %12.3f us  %5.1f%%\n",
+                      spanCatName(static_cast<SpanCat>(c)),
+                      static_cast<double>(perCat[c]) / 1e3,
+                      100.0 * static_cast<double>(perCat[c]) / denom);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-14s %12.3f us  %5.1f%%\n",
+                  "other-wait", static_cast<double>(waitOther) / 1e3,
+                  100.0 * static_cast<double>(waitOther) / denom);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "predicted sensitivity: dT/dL ~= %.0f crossings, "
+                  "dT/do ~= %.0f overhead spans (%llu send + %llu recv)\n",
+                  predictedDTdL(), predictedDTdO(),
+                  static_cast<unsigned long long>(oSendSpans),
+                  static_cast<unsigned long long>(oRecvSpans));
+    out += buf;
+    return out;
+}
+
+} // namespace nowcluster

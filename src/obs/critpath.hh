@@ -1,0 +1,70 @@
+/**
+ * @file
+ * LogGP critical-path analysis over a recorded span trace.
+ *
+ * The analyzer walks backward from the last CPU activity in the run,
+ * following the chain of binding constraints: while the processor was
+ * the constraint it walks the node's own CPU timeline; when a receive
+ * overhead span was bound by message arrival (the presence bit was set
+ * at or after the previous local span ended), it hops the wire to the
+ * sender and continues from the instant the message was issued. The
+ * resulting path decomposes end-to-end time into the paper's LogGP
+ * vocabulary (sum-of-L, sum-of-o, g stalls, G transfer, compute) plus
+ * residual waiting labeled by the container span (barrier round,
+ * credit stall) it occurred inside.
+ *
+ * The per-parameter sensitivity predictions fall out directly: each
+ * wire crossing on the path contributes one L to total time, so
+ * dT/dL ~= the number of crossings, and analogously dT/do ~= the number
+ * of overhead spans on the path. tests/test_obs.cc cross-checks the
+ * sign and app ordering of dT/dL against measured latency-sweep slopes
+ * (the Figure 5 experiment).
+ */
+
+#ifndef NOWCLUSTER_OBS_CRITPATH_HH_
+#define NOWCLUSTER_OBS_CRITPATH_HH_
+
+#include <string>
+
+#include "obs/tracer.hh"
+
+namespace nowcluster {
+
+/** The longest dependency path, decomposed into LogGP terms. */
+struct CritPathReport
+{
+    /** End of the walk (last CPU activity in the run). */
+    Tick endTick = 0;
+    /** Virtual time attributed to each category along the path. */
+    Tick perCat[kNumSpanCats] = {};
+    /** Waiting not covered by any container span. */
+    Tick waitOther = 0;
+    /** Wire crossings on the path -- the predicted dT/dL. */
+    std::uint64_t lCrossings = 0;
+    /** Overhead spans on the path -- the predicted dT/do. */
+    std::uint64_t oSendSpans = 0;
+    std::uint64_t oRecvSpans = 0;
+    /** CPU segments visited (path length in spans). */
+    std::uint64_t segments = 0;
+    bool ok = false;
+
+    /** Ticks of extra end-to-end time per extra tick of L. */
+    double predictedDTdL() const
+    {
+        return static_cast<double>(lCrossings);
+    }
+    /** Ticks of extra end-to-end time per extra tick of o. */
+    double predictedDTdO() const
+    {
+        return static_cast<double>(oSendSpans + oRecvSpans);
+    }
+
+    std::string render() const;
+};
+
+/** Walk the message-dependency graph recorded in `tracer`. */
+CritPathReport analyzeCriticalPath(const SpanTracer &tracer);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_OBS_CRITPATH_HH_

@@ -1,0 +1,174 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+Histogram::Histogram(std::vector<Tick> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0)
+{
+    panic_if(!std::is_sorted(bounds_.begin(), bounds_.end()),
+             "histogram bounds must be ascending");
+}
+
+void
+Histogram::observe(Tick v)
+{
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += v;
+}
+
+void
+Histogram::mergeFrom(const Histogram &other)
+{
+    panic_if(other.bounds_ != bounds_,
+             "merging histograms with different bucket bounds");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+MetricsSnapshot::mergeFrom(const MetricsSnapshot &other)
+{
+    for (const auto &[name, v] : other.counters)
+        counters[name] += v;
+    for (const auto &[name, v] : other.gauges)
+        gauges[name] += v;
+    for (const auto &[name, h] : other.histograms) {
+        auto it = histograms.find(name);
+        if (it == histograms.end())
+            histograms.emplace(name, h);
+        else
+            it->second.mergeFrom(h);
+    }
+}
+
+std::uint64_t
+MetricsSnapshot::counterOr(const std::string &name,
+                           std::uint64_t fallback) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second;
+}
+
+std::string
+MetricsSnapshot::render() const
+{
+    std::string out;
+    char buf[192];
+    for (const auto &[name, v] : counters) {
+        std::snprintf(buf, sizeof(buf), "%-28s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(v));
+        out += buf;
+    }
+    for (const auto &[name, v] : gauges) {
+        std::snprintf(buf, sizeof(buf), "%-28s %.6g\n", name.c_str(), v);
+        out += buf;
+    }
+    for (const auto &[name, h] : histograms) {
+        std::snprintf(buf, sizeof(buf), "%-28s n=%llu sum=%lld [",
+                      name.c_str(),
+                      static_cast<unsigned long long>(h.count()),
+                      static_cast<long long>(h.sum()));
+        out += buf;
+        for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%s%llu", i ? " " : "",
+                          static_cast<unsigned long long>(
+                              h.buckets()[i]));
+            out += buf;
+        }
+        out += "]\n";
+    }
+    return out;
+}
+
+std::uint64_t &
+MetricsRegistry::counter(const std::string &name)
+{
+    auto it = counterIndex_.find(name);
+    if (it != counterIndex_.end())
+        return counters_[it->second].second;
+    counterIndex_.emplace(name, counters_.size());
+    counters_.emplace_back(name, 0);
+    return counters_.back().second;
+}
+
+double &
+MetricsRegistry::gauge(const std::string &name)
+{
+    auto it = gaugeIndex_.find(name);
+    if (it != gaugeIndex_.end())
+        return gauges_[it->second].second;
+    gaugeIndex_.emplace(name, gauges_.size());
+    gauges_.emplace_back(name, 0.0);
+    return gauges_.back().second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<Tick> bounds)
+{
+    auto it = histogramIndex_.find(name);
+    if (it != histogramIndex_.end()) {
+        Histogram &h = histograms_[it->second].second;
+        panic_if(h.bounds() != bounds,
+                 "histogram '%s' re-registered with different bounds",
+                 name.c_str());
+        return h;
+    }
+    histogramIndex_.emplace(name, histograms_.size());
+    histograms_.emplace_back(name, Histogram(std::move(bounds)));
+    return histograms_.back().second;
+}
+
+void
+MetricsRegistry::probe(const std::string &name, const std::uint64_t *src)
+{
+    probesU64_.emplace_back(name, src);
+}
+
+void
+MetricsRegistry::probe(const std::string &name, const Tick *src)
+{
+    probesTick_.emplace_back(name, src);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot s;
+    for (const auto &[name, v] : counters_)
+        s.counters[name] += v;
+    for (const auto &[name, src] : probesU64_)
+        s.counters[name] += *src;
+    for (const auto &[name, src] : probesTick_)
+        s.counters[name] += static_cast<std::uint64_t>(*src);
+    for (const auto &[name, v] : gauges_)
+        s.gauges[name] += v;
+    for (const auto &[name, h] : histograms_) {
+        auto it = s.histograms.find(name);
+        if (it == s.histograms.end())
+            s.histograms.emplace(name, h);
+        else
+            it->second.mergeFrom(h);
+    }
+    return s;
+}
+
+MetricsSnapshot
+mergeSnapshots(const std::vector<MetricsSnapshot> &parts)
+{
+    MetricsSnapshot out;
+    for (const MetricsSnapshot &p : parts)
+        out.mergeFrom(p);
+    return out;
+}
+
+} // namespace nowcluster

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges, and fixed-bucket
+ * histograms behind one snapshot-able interface.
+ *
+ * Two registration styles:
+ *
+ *  - owned metrics (`counter()`, `gauge()`, `histogram()`): the
+ *    registry allocates the storage and returns a stable reference the
+ *    caller increments directly -- hot paths pay a plain integer add,
+ *    never a name lookup;
+ *
+ *  - probes (`probe()`): an existing live location (an AmCounters or
+ *    FaultCounters field) is registered by pointer, so legacy counter
+ *    structs join the registry without changing their hot paths at all.
+ *
+ * Multiple registrations under one name (e.g., "am.sent" probed from
+ * every node) are summed at snapshot time, which is exactly the
+ * cluster-wide aggregation the old hand-written loops performed.
+ *
+ * Threading: a registry belongs to one Cluster and is only touched from
+ * that cluster's simulation thread. Under the parallel experiment
+ * runner each point owns a private registry; RunResult carries the
+ * point's snapshot and `mergeSnapshots` combines them in submission
+ * order, so sweep output is byte-identical at any --jobs value.
+ */
+
+#ifndef NOWCLUSTER_OBS_METRICS_HH_
+#define NOWCLUSTER_OBS_METRICS_HH_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace nowcluster {
+
+/** A fixed-bucket histogram of Tick-valued observations. */
+class Histogram
+{
+  public:
+    /** @param bounds Ascending inclusive upper bounds; observations
+     *  above the last bound land in the overflow bucket. */
+    explicit Histogram(std::vector<Tick> bounds);
+
+    void observe(Tick v);
+
+    const std::vector<Tick> &bounds() const { return bounds_; }
+    /** bounds().size() + 1 entries; the last is the overflow bucket. */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t count() const { return count_; }
+    Tick sum() const { return sum_; }
+
+    /** Merge another histogram with identical bounds (bucket-wise add). */
+    void mergeFrom(const Histogram &other);
+
+  private:
+    std::vector<Tick> bounds_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    Tick sum_ = 0;
+};
+
+/** Point-in-time copy of everything a registry knows. */
+struct MetricsSnapshot
+{
+    /** Counters and probes, summed per name. */
+    std::map<std::string, std::uint64_t> counters;
+    /** Gauges, last-write per registration, summed per name. */
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> histograms;
+
+    /** Accumulate another snapshot (counter/bucket sums). */
+    void mergeFrom(const MetricsSnapshot &other);
+
+    /** Counter value by name (0 when absent). */
+    std::uint64_t counterOr(const std::string &name,
+                            std::uint64_t fallback = 0) const;
+
+    /** Aligned human-readable rendering, one metric per line. */
+    std::string render() const;
+};
+
+/**
+ * The registry. Registration order is deterministic (driven by the
+ * deterministic simulation setup); snapshots are keyed by name, so
+ * their rendering is stable regardless of registration order.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** An owned counter; same name returns the same storage. */
+    std::uint64_t &counter(const std::string &name);
+
+    /** An owned gauge; same name returns the same storage. */
+    double &gauge(const std::string &name);
+
+    /** An owned histogram; same name returns the same storage (bounds
+     *  must match on re-registration). */
+    Histogram &histogram(const std::string &name,
+                         std::vector<Tick> bounds);
+
+    /** Register live external locations; snapshot() reads them fresh.
+     *  Many probes may share one name -- they are summed. */
+    void probe(const std::string &name, const std::uint64_t *src);
+    void probe(const std::string &name, const Tick *src);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    // deques: stable addresses for handed-out references.
+    std::deque<std::pair<std::string, std::uint64_t>> counters_;
+    std::deque<std::pair<std::string, double>> gauges_;
+    std::deque<std::pair<std::string, Histogram>> histograms_;
+    std::map<std::string, std::size_t> counterIndex_;
+    std::map<std::string, std::size_t> gaugeIndex_;
+    std::map<std::string, std::size_t> histogramIndex_;
+    std::vector<std::pair<std::string, const std::uint64_t *>> probesU64_;
+    std::vector<std::pair<std::string, const Tick *>> probesTick_;
+};
+
+/** Merge per-point snapshots in submission order (determinism under
+ *  the parallel runner). */
+MetricsSnapshot mergeSnapshots(const std::vector<MetricsSnapshot> &parts);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_OBS_METRICS_HH_

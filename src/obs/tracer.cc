@@ -1,0 +1,43 @@
+#include "obs/tracer.hh"
+
+namespace nowcluster {
+
+const char *
+spanCatName(SpanCat cat)
+{
+    switch (cat) {
+      case SpanCat::Compute:
+        return "compute";
+      case SpanCat::OSend:
+        return "o_send";
+      case SpanCat::ORecv:
+        return "o_recv";
+      case SpanCat::LWire:
+        return "L-wire";
+      case SpanCat::GapStall:
+        return "g-stall";
+      case SpanCat::GStall:
+        return "G-stall";
+      case SpanCat::Retransmit:
+        return "retransmit";
+      case SpanCat::BarrierWait:
+        return "barrier-wait";
+    }
+    return "?";
+}
+
+const char *
+trackKindName(TrackKind track)
+{
+    switch (track) {
+      case TrackKind::Cpu:
+        return "cpu";
+      case TrackKind::NicTx:
+        return "nic-tx";
+      case TrackKind::NicRx:
+        return "nic-rx";
+    }
+    return "?";
+}
+
+} // namespace nowcluster

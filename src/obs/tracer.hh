@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The span tracer: per-track timelines of categorized virtual-time
+ * spans, plus one record per message with its LogGP decomposition.
+ *
+ * Every simulated node owns three tracks -- the CPU fiber, the NIC
+ * transmit context, and the NIC receive context -- and instrumented
+ * components append spans to them as virtual time unfolds. Recording is
+ * strictly passive: a span is two timestamps that the simulation was
+ * going to produce anyway, so an attached tracer never perturbs virtual
+ * time and a detached one costs a single predicted-not-taken branch
+ * (all record paths are inlined here and guarded by a null check; see
+ * bench_engine_micro's BM_AmRoundTrip / BM_AmRoundTripTraced A/B).
+ *
+ * The recorded data feeds three consumers (src/obs/export.hh and
+ * src/obs/critpath.hh): the Chrome/Perfetto trace_event exporter, the
+ * compact binary format `nowlab replay --obs` can load, and the LogGP
+ * critical-path analyzer.
+ */
+
+#ifndef NOWCLUSTER_OBS_TRACER_HH_
+#define NOWCLUSTER_OBS_TRACER_HH_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace nowcluster {
+
+/** What a span of virtual time was spent on (the LogGP vocabulary). */
+enum class SpanCat : std::uint8_t
+{
+    Compute,     ///< Application work charged via compute().
+    OSend,       ///< Host send overhead (o_send).
+    ORecv,       ///< Host receive overhead (o_recv).
+    LWire,       ///< Wire + interface latency (L), on the rx track.
+    GapStall,    ///< g back-pressure: tx-queue / credit / rx-occupancy.
+    GStall,      ///< Bulk DMA transfer time (size * G).
+    Retransmit,  ///< Reliability-protocol retransmission (instant).
+    BarrierWait, ///< Waiting inside a barrier round.
+};
+
+constexpr int kNumSpanCats = 8;
+
+/** Timeline a span belongs to; each node has one of each. */
+enum class TrackKind : std::uint8_t
+{
+    Cpu,   ///< The node's processor fiber.
+    NicTx, ///< The NIC transmit context.
+    NicRx, ///< The NIC receive context / delay queue.
+};
+
+constexpr int kNumTrackKinds = 3;
+
+/** One categorized interval of virtual time on one track. */
+struct Span
+{
+    Tick begin = 0;
+    Tick end = 0;
+    NodeId node = -1;
+    TrackKind track = TrackKind::Cpu;
+    SpanCat cat = SpanCat::Compute;
+    /**
+     * Container spans (barrier-wait, credit-wait) cover an interval in
+     * which nested leaf spans (polling, handler work) also appear; the
+     * critical-path walk skips them and uses them only to label
+     * otherwise-unattributed waiting.
+     */
+    bool container = false;
+    /** Message this span serves (0 = none). */
+    std::uint64_t msg = 0;
+};
+
+/**
+ * One message's flight, decomposed into the LogGP terms the NIC
+ * timestamp algebra produced:
+ *
+ *   issued --(queue wait: g)--> inject --(size*G)--> wire --(L)--> ready
+ */
+struct ObsMessage
+{
+    std::uint64_t id = 0;
+    NodeId src = -1;
+    NodeId dst = -1;
+    Tick issued = 0; ///< Host offered the descriptor (after o_send).
+    Tick inject = 0; ///< Tx context began injecting.
+    Tick wire = 0;   ///< Payload fully left the NIC.
+    Tick ready = 0;  ///< Presence bit at the receiver.
+    Tick wireLatency = 0; ///< The L term (latency + addedL).
+    std::uint8_t kind = 0; ///< PacketKind as an integer.
+    bool retx = false;
+    std::uint32_t bytes = 0;
+};
+
+/** Human-readable category / track names (used by the exporters). */
+const char *spanCatName(SpanCat cat);
+const char *trackKindName(TrackKind track);
+
+/**
+ * The trace sink. One per traced run; single-threaded like the
+ * simulation that feeds it (the parallel runner gives each point its
+ * own tracer and merges nothing -- a trace is per-run by design).
+ */
+class SpanTracer
+{
+  public:
+    /** Record a leaf span. Zero-length spans are kept only for the
+     *  Retransmit category (exported as instant events). */
+    void
+    span(NodeId node, TrackKind track, SpanCat cat, Tick begin, Tick end,
+         std::uint64_t msg = 0)
+    {
+        if (end <= begin && cat != SpanCat::Retransmit)
+            return;
+        spans_.push_back({begin, end, node, track, cat, false, msg});
+    }
+
+    /** Record a container span (see Span::container). */
+    void
+    containerSpan(NodeId node, SpanCat cat, Tick begin, Tick end)
+    {
+        if (end <= begin)
+            return;
+        spans_.push_back(
+            {begin, end, node, TrackKind::Cpu, cat, true, 0});
+    }
+
+    /** Allocate a message id (> 0). */
+    std::uint64_t newMsgId() { return ++lastMsgId_; }
+
+    /** Record one message's flight decomposition. */
+    void
+    message(const ObsMessage &m)
+    {
+        msgIndex_.emplace(m.id, msgs_.size());
+        msgs_.push_back(m);
+    }
+
+    /** Refine a message's presence-bit time (fabric contention, fault
+     *  delay, retransmission all move it after the send recorded it). */
+    void
+    updateMessageReady(std::uint64_t id, Tick ready)
+    {
+        auto it = msgIndex_.find(id);
+        if (it != msgIndex_.end())
+            msgs_[it->second].ready = ready;
+    }
+
+    const std::vector<Span> &spans() const { return spans_; }
+    const std::vector<ObsMessage> &messages() const { return msgs_; }
+
+    /** Largest end timestamp over all spans (0 if empty). */
+    Tick
+    lastTick() const
+    {
+        Tick t = 0;
+        for (const Span &s : spans_)
+            t = s.end > t ? s.end : t;
+        return t;
+    }
+
+    void
+    clear()
+    {
+        spans_.clear();
+        msgs_.clear();
+        msgIndex_.clear();
+        lastMsgId_ = 0;
+    }
+
+  private:
+    friend bool readBinaryTrace(SpanTracer &, const std::string &);
+
+    std::vector<Span> spans_;
+    std::vector<ObsMessage> msgs_;
+    std::unordered_map<std::uint64_t, std::size_t> msgIndex_;
+    std::uint64_t lastMsgId_ = 0;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_OBS_TRACER_HH_

@@ -131,4 +131,17 @@ replaySchedule(const ReplaySchedule &schedule, const LogGPParams &params)
     return result;
 }
 
+MessageTrace
+messageTraceFromObs(const SpanTracer &tracer)
+{
+    MessageTrace trace;
+    for (const ObsMessage &m : tracer.messages()) {
+        if (m.retx)
+            continue;
+        trace.record(m.issued, m.ready, m.src, m.dst,
+                     static_cast<PacketKind>(m.kind), m.bytes);
+    }
+    return trace;
+}
+
 } // namespace nowcluster

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/loggp.hh"
+#include "obs/tracer.hh"
 #include "stats/trace.hh"
 
 namespace nowcluster {
@@ -76,6 +77,15 @@ struct ReplayResult
  */
 ReplayResult replaySchedule(const ReplaySchedule &schedule,
                             const LogGPParams &params);
+
+/**
+ * Build a message trace from an observability span trace (the binary
+ * form `nowlab trace --bin` writes), so replay can run what-if analysis
+ * on traces captured with the tracer instead of the CSV hook.
+ * Retransmitted flights are skipped -- replay regenerates reliability
+ * traffic itself.
+ */
+MessageTrace messageTraceFromObs(const SpanTracer &tracer);
 
 } // namespace nowcluster
 

@@ -32,7 +32,7 @@ Proc::activate()
 }
 
 void
-Proc::compute(Tick dt)
+Proc::compute(Tick dt, SpanCat cat, std::uint64_t msg)
 {
     panic_if(!isCurrent(), "compute() outside proc %d's fiber", id_);
     panic_if(dt < 0, "negative compute time %lld",
@@ -40,9 +40,12 @@ Proc::compute(Tick dt)
     busyTime_ += dt;
     if (dt == 0)
         return;
+    const Tick t0 = sim_.now();
     state_ = ProcState::Ready;
     sim_.scheduleIn(dt, [this] { activate(); });
     Fiber::yield();
+    if (obs_)
+        obs_->span(id_, TrackKind::Cpu, cat, t0, t0 + dt, msg);
 }
 
 void

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "base/types.hh"
+#include "obs/tracer.hh"
 #include "sim/fiber.hh"
 #include "sim/simulator.hh"
 
@@ -55,8 +56,14 @@ class Proc
      * Consume dt of processor time: schedules a wake at now+dt and
      * yields to the kernel. Must be called from this proc's fiber.
      * dt == 0 is a no-op (no yield), keeping hot paths cheap.
+     *
+     * When a tracer is attached, the interval is recorded on this
+     * node's CPU track under `cat` (tagged with message `msg` when the
+     * time serves a specific packet). Recording is passive: timestamps
+     * are identical with and without a tracer.
      */
-    void compute(Tick dt);
+    void compute(Tick dt, SpanCat cat = SpanCat::Compute,
+                 std::uint64_t msg = 0);
 
     /**
      * Suspend until another component calls wake(). Must be called from
@@ -82,6 +89,10 @@ class Proc
     /** Total time this proc has spent in compute(). */
     Tick busyTime() const { return busyTime_; }
 
+    /** Attach (or detach, with nullptr) a span tracer. */
+    void attachObs(SpanTracer *obs) { obs_ = obs; }
+    SpanTracer *obs() const { return obs_; }
+
     /** True if the currently executing fiber belongs to this proc. */
     bool isCurrent() const { return Fiber::current() == fiber_.get(); }
 
@@ -95,6 +106,7 @@ class Proc
     std::unique_ptr<Fiber> fiber_;
     ProcState state_ = ProcState::Created;
     Tick busyTime_ = 0;
+    SpanTracer *obs_ = nullptr;
     // Wake bookkeeping: earliest requested wake while blocked.
     bool wakePending_ = false;
     Tick wakeAt_ = 0;

@@ -66,6 +66,7 @@ SplitC::barrier()
 {
     const int p = procs();
     if (p > 1) {
+        const Tick t0 = am_.now();
         ++barrierEpoch_;
         const std::uint64_t target = barrierEpoch_;
         for (int r = 0; (1 << r) < p; ++r) {
@@ -74,6 +75,9 @@ SplitC::barrier()
             am_.pollUntil([&] { return barrierSeen_[r] >= target; },
                           "barrier");
         }
+        if (am_.obs())
+            am_.obs()->containerSpan(am_.id(), SpanCat::BarrierWait, t0,
+                                     am_.now());
     }
     ++am_.counters().barriers;
 }

@@ -21,30 +21,32 @@ summarizeComm(const Cluster &cluster_in, Tick runtime,
     s.nprocs = p;
     s.runtime = runtime;
 
-    std::uint64_t total = 0, max_per_proc = 0;
-    std::uint64_t bulk = 0, reads = 0, barriers = 0;
-    std::uint64_t bulk_bytes = 0, small_bytes = 0;
-    for (int i = 0; i < p; ++i) {
-        const AmCounters &c = cluster.node(i).counters();
-        total += c.sent;
-        max_per_proc = std::max(max_per_proc, c.sent);
-        bulk += c.bulkMsgs;
-        reads += c.readMsgs;
-        barriers += c.barriers;
-        bulk_bytes += c.bulkBytesSent;
-        small_bytes += c.shortBytesSent;
-        s.lockFailures += c.lockFailures;
-        s.lockAcquires += c.lockAcquires;
-        s.retransmits += c.retransmits;
-        s.dupsSuppressed += c.dupsSuppressed;
-        s.retxGiveUps += c.retxGiveUps;
-    }
-    if (const FaultModel *fm = cluster.faultModel()) {
-        const FaultCounters &fc = fm->counters();
-        s.faultDropped = fc.totalDropped();
-        s.faultDuplicated = fc.duplicated[0] + fc.duplicated[1];
-        s.faultDelayed = fc.delayed[0] + fc.delayed[1];
-    }
+    // Cluster-wide totals come from one registry snapshot; only the
+    // per-node maximum still needs a loop.
+    const MetricsSnapshot snap = cluster_in.metrics().snapshot();
+    std::uint64_t max_per_proc = 0;
+    for (int i = 0; i < p; ++i)
+        max_per_proc =
+            std::max(max_per_proc, cluster.node(i).counters().sent);
+    const std::uint64_t total = snap.counterOr("am.sent");
+    const std::uint64_t bulk = snap.counterOr("am.bulkMsgs");
+    const std::uint64_t reads = snap.counterOr("am.readMsgs");
+    const std::uint64_t barriers = snap.counterOr("am.barriers");
+    const std::uint64_t bulk_bytes = snap.counterOr("am.bulkBytesSent");
+    const std::uint64_t small_bytes = snap.counterOr("am.shortBytesSent");
+    s.lockFailures = snap.counterOr("am.lockFailures");
+    s.lockAcquires = snap.counterOr("am.lockAcquires");
+    s.retransmits = snap.counterOr("rel.retransmits");
+    s.dupsSuppressed = snap.counterOr("rel.dupsSuppressed");
+    s.retxGiveUps = snap.counterOr("rel.giveUps");
+    s.faultDropped = snap.counterOr("fault.dropped.data") +
+                     snap.counterOr("fault.dropped.ack") +
+                     snap.counterOr("fault.corrupted.data") +
+                     snap.counterOr("fault.corrupted.ack");
+    s.faultDuplicated = snap.counterOr("fault.duplicated.data") +
+                        snap.counterOr("fault.duplicated.ack");
+    s.faultDelayed = snap.counterOr("fault.delayed.data") +
+                     snap.counterOr("fault.delayed.ack");
 
     s.avgMsgsPerProc = total / static_cast<std::uint64_t>(p);
     s.maxMsgsPerProc = max_per_proc;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 namespace nowcluster {
@@ -79,29 +80,55 @@ MessageTrace::readCsv(const std::string &path)
         return false;
     char line[256];
     // Header.
-    if (!std::fgets(line, sizeof(line), f)) {
+    if (!std::fgets(line, sizeof(line), f) ||
+        std::strncmp(line, "issued_us,ready_us,src,dst,kind,bytes",
+                     37) != 0) {
         std::fclose(f);
         return false;
     }
+    // Parse into a staging vector: a malformed row (wrong field count,
+    // unknown packet kind, negative node id) rejects the whole file and
+    // leaves the trace untouched, instead of silently skipping rows and
+    // feeding a truncated trace to replay.
+    std::vector<TraceRecord> staged;
+    bool ok = true;
     while (std::fgets(line, sizeof(line), f)) {
+        if (line[0] == '\n' || line[0] == '\0')
+            continue; // A trailing blank line is not corruption.
         double issued_us, ready_us;
         int src, dst;
         char kind[16] = {};
         unsigned bytes = 0;
         if (std::sscanf(line, "%lf,%lf,%d,%d,%15[^,],%u", &issued_us,
-                        &ready_us, &src, &dst, kind, &bytes) != 6)
-            continue;
-        PacketKind k = PacketKind::OneWay;
+                        &ready_us, &src, &dst, kind, &bytes) != 6) {
+            ok = false;
+            break;
+        }
+        if (src < 0 || dst < 0) {
+            ok = false;
+            break;
+        }
+        PacketKind k;
         std::string ks = kind;
         if (ks == "request")
             k = PacketKind::Request;
         else if (ks == "reply")
             k = PacketKind::Reply;
+        else if (ks == "oneway")
+            k = PacketKind::OneWay;
         else if (ks == "bulk")
             k = PacketKind::BulkFrag;
-        record(usec(issued_us), usec(ready_us), src, dst, k, bytes);
+        else {
+            ok = false; // Out-of-range / unknown kind.
+            break;
+        }
+        staged.push_back({usec(issued_us), usec(ready_us), src, dst, k,
+                          bytes});
     }
     std::fclose(f);
+    if (!ok)
+        return false;
+    records_.insert(records_.end(), staged.begin(), staged.end());
     return true;
 }
 

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs/): the metrics
+ * registry, the span tracer and its zero-perturbation guarantee, the
+ * Perfetto/binary exporters, and the LogGP critical-path analyzer --
+ * including the cross-check of predicted dT/dL against measured
+ * latency-sweep slopes that the paper's Figure 7 methodology implies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "am/cluster.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "obs/critpath.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+
+namespace nowcluster {
+namespace {
+
+// ----------------------------------------------------------------------
+// Metrics registry.
+// ----------------------------------------------------------------------
+
+TEST(Metrics, CountersAndGaugesRoundTripThroughSnapshot)
+{
+    MetricsRegistry reg;
+    std::uint64_t &c = reg.counter("am.sent");
+    c += 5;
+    reg.counter("am.sent") += 2; // Same counter, by name.
+    reg.gauge("window") = 8;
+
+    MetricsSnapshot s = reg.snapshot();
+    EXPECT_EQ(s.counterOr("am.sent"), 7u);
+    EXPECT_EQ(s.counterOr("missing", 42), 42u);
+    EXPECT_EQ(s.gauges.at("window"), 8);
+}
+
+TEST(Metrics, ProbesSumPerNameAcrossNodes)
+{
+    // One probe per node against the same name models per-node counter
+    // structs feeding one cluster-wide total.
+    MetricsRegistry reg;
+    std::uint64_t a = 3, b = 4;
+    reg.probe("am.received", &a);
+    reg.probe("am.received", &b);
+    Tick t = 100;
+    reg.probe("am.stallTicks", &t);
+
+    MetricsSnapshot s = reg.snapshot();
+    EXPECT_EQ(s.counterOr("am.received"), 7u);
+    EXPECT_EQ(s.counterOr("am.stallTicks"), 100u);
+
+    a += 10; // Live pointers: a later snapshot sees the new value.
+    EXPECT_EQ(reg.snapshot().counterOr("am.received"), 17u);
+}
+
+TEST(Metrics, HistogramBucketsAndMerge)
+{
+    Histogram h({10, 100, 1000});
+    h.observe(5);
+    h.observe(50);
+    h.observe(500);
+    h.observe(5000); // Overflow bucket.
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 5555);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+
+    Histogram g({10, 100, 1000});
+    g.observe(7);
+    g.mergeFrom(h);
+    EXPECT_EQ(g.count(), 5u);
+    EXPECT_EQ(g.buckets()[0], 2u);
+}
+
+TEST(Metrics, MergeSnapshotsIsOrderIndependentForSums)
+{
+    // The parallel runner merges per-point snapshots in submission
+    // order; totals must not depend on that order.
+    MetricsRegistry r1, r2;
+    r1.counter("x") = 1;
+    r1.counter("y") = 10;
+    r2.counter("x") = 2;
+    MetricsSnapshot a = mergeSnapshots({r1.snapshot(), r2.snapshot()});
+    MetricsSnapshot b = mergeSnapshots({r2.snapshot(), r1.snapshot()});
+    EXPECT_EQ(a.counterOr("x"), 3u);
+    EXPECT_EQ(a.counterOr("y"), 10u);
+    EXPECT_EQ(a.counterOr("x"), b.counterOr("x"));
+    EXPECT_EQ(a.counterOr("y"), b.counterOr("y"));
+}
+
+TEST(Metrics, RenderListsEveryName)
+{
+    MetricsRegistry reg;
+    reg.counter("am.sent") = 3;
+    reg.gauge("depth") = -2;
+    std::string out = reg.snapshot().render();
+    EXPECT_NE(out.find("am.sent"), std::string::npos);
+    EXPECT_NE(out.find("depth"), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// Span tracer on a live cluster.
+// ----------------------------------------------------------------------
+
+/** Request/reply ping-pong, optionally traced; returns the runtime. */
+Tick
+pingPong(int rounds, SpanTracer *tracer)
+{
+    Cluster c(2, MachineConfig::berkeleyNow().params);
+    if (tracer)
+        c.setTracer(tracer);
+    int done = c.registerHandler([](AmNode &, Packet &) {});
+    int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+        self.reply(pkt, done);
+    });
+    bool stop = false;
+    c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            for (int i = 0; i < rounds; ++i) {
+                n.request(1, echo);
+                n.pollUntil([&] {
+                    return n.counters().received >=
+                           static_cast<std::uint64_t>(i + 1);
+                });
+            }
+            stop = true;
+            n.oneWay(1, done);
+        } else {
+            n.pollUntil([&] { return stop; });
+        }
+    });
+    return c.runtime();
+}
+
+TEST(Tracer, RecordsAllThreeTrackKindsAndOrderedMessages)
+{
+    SpanTracer tracer;
+    pingPong(5, &tracer);
+
+    bool seen[kNumTrackKinds] = {};
+    for (const Span &s : tracer.spans()) {
+        ASSERT_LE(s.begin, s.end);
+        seen[static_cast<int>(s.track)] = true;
+    }
+    EXPECT_TRUE(seen[static_cast<int>(TrackKind::Cpu)]);
+    EXPECT_TRUE(seen[static_cast<int>(TrackKind::NicTx)]);
+    EXPECT_TRUE(seen[static_cast<int>(TrackKind::NicRx)]);
+
+    // 5 requests + 5 replies + the stop one-way.
+    EXPECT_EQ(tracer.messages().size(), 11u);
+    for (const ObsMessage &m : tracer.messages()) {
+        EXPECT_LE(m.issued, m.inject);
+        EXPECT_LE(m.inject, m.wire);
+        EXPECT_LE(m.wire, m.ready);
+        EXPECT_EQ(m.ready - m.wire, m.wireLatency);
+    }
+}
+
+TEST(Tracer, AttachingTheTracerDoesNotPerturbVirtualTime)
+{
+    SpanTracer tracer;
+    EXPECT_EQ(pingPong(20, nullptr), pingPong(20, &tracer));
+}
+
+TEST(Tracer, FingerprintIdenticalWithAndWithoutTracing)
+{
+    // The zero-cost-when-disabled guarantee, end to end: a full
+    // application run produces a byte-identical fingerprint whether or
+    // not a tracer is attached.
+    RunConfig plain;
+    plain.nprocs = 4;
+    plain.scale = 0.05;
+    RunConfig traced = plain;
+    SpanTracer tracer;
+    traced.obs = &tracer;
+
+    RunResult a = runApp("radix", plain);
+    RunResult b = runApp("radix", traced);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+    EXPECT_GT(tracer.spans().size(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// Exporters.
+// ----------------------------------------------------------------------
+
+TEST(Export, PerfettoJsonNamesEveryTrack)
+{
+    SpanTracer tracer;
+    pingPong(3, &tracer);
+    std::string json = perfettoJson(tracer);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("node 0"), std::string::npos);
+    EXPECT_NE(json.find("node 1"), std::string::npos);
+    EXPECT_NE(json.find("\"cpu\""), std::string::npos);
+    EXPECT_NE(json.find("\"nic-tx\""), std::string::npos);
+    EXPECT_NE(json.find("\"nic-rx\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos); // Flows.
+    EXPECT_NE(json.find("o_send"), std::string::npos);
+    EXPECT_NE(json.find("o_recv"), std::string::npos);
+}
+
+TEST(Export, BinaryRoundTripPreservesEverything)
+{
+    const std::string path = "/tmp/nowcluster_obs_rt.bin";
+    SpanTracer tracer;
+    pingPong(4, &tracer);
+    ASSERT_TRUE(writeBinaryTrace(tracer, path));
+
+    SpanTracer back;
+    ASSERT_TRUE(readBinaryTrace(back, path));
+    ASSERT_EQ(back.spans().size(), tracer.spans().size());
+    ASSERT_EQ(back.messages().size(), tracer.messages().size());
+    for (std::size_t i = 0; i < tracer.spans().size(); ++i) {
+        const Span &a = tracer.spans()[i], &b = back.spans()[i];
+        EXPECT_EQ(a.begin, b.begin);
+        EXPECT_EQ(a.end, b.end);
+        EXPECT_EQ(a.node, b.node);
+        EXPECT_EQ(a.track, b.track);
+        EXPECT_EQ(a.cat, b.cat);
+        EXPECT_EQ(a.container, b.container);
+        EXPECT_EQ(a.msg, b.msg);
+    }
+    for (std::size_t i = 0; i < tracer.messages().size(); ++i) {
+        const ObsMessage &a = tracer.messages()[i];
+        const ObsMessage &b = back.messages()[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.issued, b.issued);
+        EXPECT_EQ(a.ready, b.ready);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.bytes, b.bytes);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Export, CorruptBinaryTracesAreRejected)
+{
+    const std::string path = "/tmp/nowcluster_obs_corrupt.bin";
+    SpanTracer tracer;
+    pingPong(2, &tracer);
+    ASSERT_TRUE(writeBinaryTrace(tracer, path));
+
+    // Read the good bytes back so each corruption starts clean.
+    std::ifstream f(path, std::ios::binary);
+    std::string good((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    f.close();
+
+    auto writeAndExpectReject = [&](std::string bytes) {
+        std::ofstream o(path, std::ios::binary);
+        o.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+        o.close();
+        SpanTracer t;
+        EXPECT_FALSE(readBinaryTrace(t, path));
+        EXPECT_TRUE(t.spans().empty());
+        EXPECT_TRUE(t.messages().empty());
+    };
+
+    writeAndExpectReject("");                         // Empty file.
+    writeAndExpectReject("NOTATRACE");                // Bad magic.
+    writeAndExpectReject(good.substr(0, good.size() - 3)); // Truncated.
+    {
+        std::string bad = good;
+        bad[8 + 8 + 8 + 8 + 8 + 4] = 77; // First span's track byte.
+        writeAndExpectReject(bad);
+    }
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------------
+// Critical-path analyzer.
+// ----------------------------------------------------------------------
+
+TEST(CritPath, PingPongPathCrossesTheWireEveryRound)
+{
+    const int kRounds = 10;
+    SpanTracer tracer;
+    Tick runtime = pingPong(kRounds, &tracer);
+    CritPathReport cp = analyzeCriticalPath(tracer);
+    ASSERT_TRUE(cp.ok);
+    EXPECT_EQ(cp.endTick, tracer.lastTick());
+
+    // Serialized request/reply: every round is two wire crossings, and
+    // the trailing stop message adds at most one more.
+    EXPECT_GE(cp.lCrossings, static_cast<std::uint64_t>(2 * kRounds));
+    EXPECT_LE(cp.lCrossings,
+              static_cast<std::uint64_t>(2 * kRounds + 1));
+    EXPECT_GT(cp.perCat[static_cast<int>(SpanCat::LWire)], 0);
+    EXPECT_GT(cp.perCat[static_cast<int>(SpanCat::OSend)], 0);
+    EXPECT_GT(cp.perCat[static_cast<int>(SpanCat::ORecv)], 0);
+
+    // The decomposition accounts for the whole run.
+    Tick accounted = cp.waitOther;
+    for (int i = 0; i < kNumSpanCats; ++i)
+        accounted += cp.perCat[i];
+    EXPECT_LE(accounted, runtime);
+    EXPECT_GE(accounted, runtime * 9 / 10);
+
+    std::string text = cp.render();
+    EXPECT_NE(text.find("wire crossings"), std::string::npos);
+    EXPECT_NE(text.find("dT/dL"), std::string::npos);
+}
+
+/** Traced baseline + measured latency sweep for one app. */
+struct SlopeCheck
+{
+    double predicted; ///< Crossings on the critical path (dT/dL).
+    double measured;  ///< (T(L2) - T(L1)) / (L2 - L1), ticks per tick.
+};
+
+SlopeCheck
+latencySlope(const std::string &key)
+{
+    RunConfig base;
+    base.nprocs = 4;
+    base.scale = 0.1;
+    SpanTracer tracer;
+    RunConfig traced = base;
+    traced.obs = &tracer;
+    RunResult b = runApp(key, traced);
+    EXPECT_TRUE(b.ok) << key;
+
+    const double l1 = 5.0, l2 = 55.0;
+    RunConfig slow = base;
+    slow.knobs.latencyUs = l2;
+    slow.validate = false;
+    RunResult s = runApp(key, slow);
+    EXPECT_TRUE(s.ok) << key;
+
+    SlopeCheck r;
+    CritPathReport cp = analyzeCriticalPath(tracer);
+    EXPECT_TRUE(cp.ok) << key;
+    r.predicted = cp.predictedDTdL();
+    r.measured = static_cast<double>(s.runtime - b.runtime) /
+                 static_cast<double>(usec(l2 - l1));
+    return r;
+}
+
+TEST(CritPath, PredictedDTdLMatchesMeasuredSlopesForRadixAndEm3d)
+{
+    // The Figure 7 cross-check: the analyzer's dT/dL (wire crossings
+    // on the critical path) must agree in sign with the measured
+    // latency sensitivity, and must order the apps the same way the
+    // measured slopes do -- reads (em3d-read round trips) are latency
+    // bound, write-based radix much less so.
+    SlopeCheck radix = latencySlope("radix");
+    SlopeCheck em3d = latencySlope("em3d-read");
+
+    // Sign: both apps cross the wire on the path, and added latency
+    // never speeds a run up.
+    EXPECT_GT(radix.predicted, 0.0);
+    EXPECT_GT(em3d.predicted, 0.0);
+    EXPECT_GE(radix.measured, 0.0);
+    EXPECT_GT(em3d.measured, 0.0);
+
+    // Ordering: predicted and measured sensitivity agree on which app
+    // suffers more from latency.
+    EXPECT_EQ(radix.predicted < em3d.predicted,
+              radix.measured < em3d.measured);
+}
+
+} // namespace
+} // namespace nowcluster

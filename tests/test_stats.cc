@@ -177,5 +177,94 @@ TEST(Trace, PacketKindNames)
     EXPECT_STREQ(packetKindName(PacketKind::BulkFrag), "bulk");
 }
 
+TEST(Trace, StatsOnEmptyAndSingleRecordTraces)
+{
+    MessageTrace empty;
+    EXPECT_DOUBLE_EQ(empty.meanFlightUs(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.burstFraction(usec(10)), 0.0);
+
+    MessageTrace one;
+    one.record(usec(3), usec(9), 0, 1, PacketKind::OneWay, 0);
+    EXPECT_DOUBLE_EQ(one.meanFlightUs(), 6.0);
+    // A single message has no consecutive pair, hence no bursts.
+    EXPECT_DOUBLE_EQ(one.burstFraction(usec(10)), 0.0);
+}
+
+namespace {
+
+void
+writeFile(const std::string &path, const std::string &body)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(body.c_str(), f);
+    std::fclose(f);
+}
+
+} // namespace
+
+TEST(Trace, ReadCsvRejectsCorruptInputUntouched)
+{
+    const std::string path = "/tmp/nowcluster_trace_corrupt.csv";
+    MessageTrace t;
+    t.record(usec(1), usec(7), 0, 1, PacketKind::Request, 0);
+
+    // Bad header.
+    writeFile(path, "not,a,trace\n1,2,0,1,request,0\n");
+    EXPECT_FALSE(t.readCsv(path));
+    EXPECT_EQ(t.size(), 1u);
+
+    // Row with too few fields.
+    writeFile(path, "issued_us,ready_us,src,dst,kind,bytes\n"
+                    "1.0,2.0,0\n");
+    EXPECT_FALSE(t.readCsv(path));
+    EXPECT_EQ(t.size(), 1u);
+
+    // Out-of-range packet kind.
+    writeFile(path, "issued_us,ready_us,src,dst,kind,bytes\n"
+                    "1.0,2.0,0,1,warp,0\n");
+    EXPECT_FALSE(t.readCsv(path));
+    EXPECT_EQ(t.size(), 1u);
+
+    // Negative node id.
+    writeFile(path, "issued_us,ready_us,src,dst,kind,bytes\n"
+                    "1.0,2.0,-3,1,request,0\n");
+    EXPECT_FALSE(t.readCsv(path));
+    EXPECT_EQ(t.size(), 1u);
+
+    // A corrupt row anywhere rejects the whole file: nothing from the
+    // good prefix may leak into the trace.
+    writeFile(path, "issued_us,ready_us,src,dst,kind,bytes\n"
+                    "1.0,2.0,0,1,request,0\n"
+                    "garbage line\n");
+    EXPECT_FALSE(t.readCsv(path));
+    EXPECT_EQ(t.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReadCsvRoundTripsWriteCsv)
+{
+    const std::string path = "/tmp/nowcluster_trace_rt.csv";
+    MessageTrace t;
+    t.record(usec(1), usec(7), 0, 1, PacketKind::Request, 0);
+    t.record(usec(2), usec(8), 1, 0, PacketKind::Reply, 0);
+    t.record(usec(3), usec(9), 0, 1, PacketKind::OneWay, 0);
+    t.record(usec(4), usec(20), 1, 0, PacketKind::BulkFrag, 4096);
+    ASSERT_TRUE(t.writeCsv(path));
+
+    MessageTrace back;
+    ASSERT_TRUE(back.readCsv(path));
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back.records()[i].issuedAt, t.records()[i].issuedAt);
+        EXPECT_EQ(back.records()[i].readyAt, t.records()[i].readyAt);
+        EXPECT_EQ(back.records()[i].src, t.records()[i].src);
+        EXPECT_EQ(back.records()[i].dst, t.records()[i].dst);
+        EXPECT_EQ(back.records()[i].kind, t.records()[i].kind);
+        EXPECT_EQ(back.records()[i].bytes, t.records()[i].bytes);
+    }
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace nowcluster

@@ -11,6 +11,8 @@
  *                [--jobs J]
  *   nowlab perf [--app A] [--points K] [--jobs J] [--events N]
  *               [--out FILE]
+ *   nowlab trace <app> [--out F.json] [--bin F] [knobs]
+ *   nowlab replay --trace FILE.csv | --obs FILE [--procs N] [knobs]
  *
  * Knobs (all optional): --overhead US --gap US --latency US --mbps B
  *                       --occupancy US --window N
@@ -35,6 +37,10 @@
 #include "harness/runner.hh"
 #include "legacy_event_queue.hh"
 #include "model/models.hh"
+#include "obs/critpath.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "replay/replay.hh"
 #include "sim/fiber.hh"
 #include "sim/simulator.hh"
@@ -476,16 +482,84 @@ cmdPerf(const Args &a)
     return identical ? 0 : 1;
 }
 
+/**
+ * `nowlab trace <app>`: run one application with the span tracer
+ * attached, print the LogGP critical-path decomposition and the metrics
+ * snapshot, and optionally export the timeline as Perfetto JSON
+ * (--out, loadable in ui.perfetto.dev / chrome://tracing) and/or the
+ * compact binary form (--bin, loadable by `nowlab replay --obs`).
+ */
+int
+cmdTrace(const Args &a)
+{
+    if (a.positional.size() < 2)
+        fatal("usage: nowlab trace <app> [--out F.json] [--bin F] "
+              "[options]");
+    std::string key = a.positional[1];
+    RunConfig c = configOf(a);
+
+    SpanTracer tracer;
+    c.obs = &tracer;
+
+    RunResult r = runApp(key, c);
+    std::printf("%s on %d procs (%s), scale %.2f: %.3f ms%s\n",
+                r.summary.app.c_str(), c.nprocs, c.machine.name.c_str(),
+                c.scale, toMsec(r.runtime),
+                r.ok ? "" : " (TIMED OUT)");
+
+    std::uint64_t per_track[kNumTrackKinds] = {};
+    for (const Span &s : tracer.spans())
+        ++per_track[static_cast<int>(s.track)];
+    std::printf("recorded %zu spans (%llu cpu, %llu nic-tx, %llu "
+                "nic-rx), %zu messages\n",
+                tracer.spans().size(),
+                static_cast<unsigned long long>(per_track[0]),
+                static_cast<unsigned long long>(per_track[1]),
+                static_cast<unsigned long long>(per_track[2]),
+                tracer.messages().size());
+
+    CritPathReport cp = analyzeCriticalPath(tracer);
+    std::fputs(cp.render().c_str(), stdout);
+
+    std::printf("metrics:\n%s", r.metrics.render().c_str());
+
+    auto out = a.options.find("out");
+    if (out != a.options.end()) {
+        if (writePerfettoJson(tracer, out->second))
+            std::printf("wrote %s (load in ui.perfetto.dev)\n",
+                        out->second.c_str());
+        else
+            warn("could not write %s", out->second.c_str());
+    }
+    auto bin = a.options.find("bin");
+    if (bin != a.options.end()) {
+        if (writeBinaryTrace(tracer, bin->second))
+            std::printf("wrote %s\n", bin->second.c_str());
+        else
+            warn("could not write %s", bin->second.c_str());
+    }
+    return r.ok ? 0 : 1;
+}
+
 int
 cmdReplay(const Args &a)
 {
     auto trace_it = a.options.find("trace");
-    fatal_if(trace_it == a.options.end(),
-             "usage: nowlab replay --trace FILE.csv [--procs N] "
-             "[knobs]");
+    auto obs_it = a.options.find("obs");
+    fatal_if(trace_it == a.options.end() && obs_it == a.options.end(),
+             "usage: nowlab replay --trace FILE.csv | --obs FILE "
+             "[--procs N] [knobs]");
     MessageTrace trace;
-    fatal_if(!trace.readCsv(trace_it->second), "cannot read %s",
-             trace_it->second.c_str());
+    if (obs_it != a.options.end()) {
+        SpanTracer tracer;
+        fatal_if(!readBinaryTrace(tracer, obs_it->second),
+                 "cannot read %s (not a NOWOBS01 trace?)",
+                 obs_it->second.c_str());
+        trace = messageTraceFromObs(tracer);
+    } else {
+        fatal_if(!trace.readCsv(trace_it->second), "cannot read %s",
+                 trace_it->second.c_str());
+    }
 
     RunConfig c = configOf(a);
     // Infer the processor count from the trace when not given.
@@ -535,7 +609,10 @@ main(int argc, char **argv)
             "             [...]\n"
             "  nowlab perf [--app A] [--points K] [--jobs J]\n"
             "             [--events N] [--out FILE]\n"
-            "  nowlab replay --trace FILE.csv [--procs N] [knobs]\n"
+            "  nowlab trace <app> [--out F.json] [--bin F] [--procs N]\n"
+            "             [--scale S] [knobs]\n"
+            "  nowlab replay --trace FILE.csv | --obs FILE [--procs N]\n"
+            "             [knobs]\n"
             "knobs: --overhead US --gap US --latency US --mbps B\n"
             "       --occupancy US --window N\n"
             "fault: --drop P --dup P --corrupt P --reorder P\n"
@@ -554,6 +631,8 @@ main(int argc, char **argv)
         return cmdSweep(a);
     if (cmd == "perf")
         return cmdPerf(a);
+    if (cmd == "trace")
+        return cmdTrace(a);
     if (cmd == "replay")
         return cmdReplay(a);
     fatal("unknown command '%s'", cmd.c_str());
