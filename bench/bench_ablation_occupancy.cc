@@ -17,6 +17,7 @@ using namespace nowcluster::bench;
 int
 main(int argc, char **argv)
 {
+    ResultCacheScope cache_scope(argc, argv);
     double scale = scaleOr(1.0);
     int jobs = jobsArg(argc, argv);
     traceOutIfRequested(argc, argv, "em3d-write", 32, scale);

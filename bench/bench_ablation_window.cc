@@ -54,6 +54,7 @@ sweepWindows(double scale, double latency_us, int jobs)
 int
 main(int argc, char **argv)
 {
+    ResultCacheScope cache_scope(argc, argv);
     double scale = scaleOr(1.0);
     int jobs = jobsArg(argc, argv);
     traceOutIfRequested(argc, argv, "radix", 32, scale);

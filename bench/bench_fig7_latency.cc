@@ -14,6 +14,7 @@ using namespace nowcluster::bench;
 int
 main(int argc, char **argv)
 {
+    ResultCacheScope cache_scope(argc, argv);
     double scale = scaleOr(1.0);
     traceOutIfRequested(argc, argv, "em3d-read", 32, scale);
     auto set = [](Knobs &k, double x) { k.latencyUs = x; };

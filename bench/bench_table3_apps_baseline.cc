@@ -15,6 +15,7 @@ using namespace nowcluster::bench;
 int
 main(int argc, char **argv)
 {
+    ResultCacheScope cache_scope(argc, argv);
     double scale = scaleOr(1.0);
     traceOutIfRequested(argc, argv, "radix", 32, scale);
     std::printf("Table 3: Applications, data sets, and baseline run "

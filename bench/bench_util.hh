@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "model/models.hh"
 #include "obs/export.hh"
 #include "obs/tracer.hh"
+#include "svc/store.hh"
 
 namespace nowcluster::bench {
 
@@ -40,6 +42,51 @@ jobsArg(int argc, char **argv)
     }
     return 0; // runPoints resolves 0 to NOW_JOBS / hardware.
 }
+
+/**
+ * Attach the content-addressed result store for the binary's lifetime:
+ * `--cache-dir D` on the command line wins, else NOW_CACHE_DIR, else
+ * this is a no-op. While an instance is alive every runPoints /
+ * sweepApps point is served from the store when it hits (byte-identical
+ * to recomputation); the destructor prints the hit/miss tally so a
+ * warmed bench run is visibly cheap.
+ */
+class ResultCacheScope
+{
+  public:
+    ResultCacheScope(int argc, char **argv)
+    {
+        const char *arg = nullptr;
+        for (int i = 1; i + 1 < argc; ++i) {
+            if (std::strcmp(argv[i], "--cache-dir") == 0)
+                arg = argv[i + 1];
+        }
+        std::string dir = arg ? arg : envCacheDir();
+        if (dir.empty())
+            return;
+        store_ = std::make_unique<svc::ResultStore>(dir);
+        cache_ = std::make_unique<svc::StoreCache>(*store_);
+        setRunCache(cache_.get());
+    }
+
+    ~ResultCacheScope()
+    {
+        if (!cache_)
+            return;
+        setRunCache(nullptr);
+        std::printf("cache: %llu hits, %llu misses (%s, %zu entries)\n",
+                    static_cast<unsigned long long>(cache_->hits()),
+                    static_cast<unsigned long long>(cache_->misses()),
+                    store_->dir().c_str(), store_->entryCount());
+    }
+
+    ResultCacheScope(const ResultCacheScope &) = delete;
+    ResultCacheScope &operator=(const ResultCacheScope &) = delete;
+
+  private:
+    std::unique_ptr<svc::ResultStore> store_;
+    std::unique_ptr<svc::StoreCache> cache_;
+};
 
 /**
  * `--trace-out FILE` on any bench binary: run one extra traced

@@ -106,6 +106,8 @@ parseEnvConfig()
         else
             warn("ignoring invalid NOW_JOBS='%s'", s);
     }
+    if (const char *s = std::getenv("NOW_CACHE_DIR"))
+        c.cacheDir = s;
     return c;
 }
 
@@ -129,6 +131,12 @@ int
 envJobs()
 {
     return envConfig().jobs;
+}
+
+const std::string &
+envCacheDir()
+{
+    return envConfig().cacheDir;
 }
 
 } // namespace nowcluster

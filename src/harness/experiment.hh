@@ -97,6 +97,8 @@ struct EnvConfig
     bool scaleSet = false; ///< NOW_SCALE was present and valid.
     double scale = 1.0;    ///< NOW_SCALE value (1.0 if unset).
     int jobs = 0;          ///< NOW_JOBS value (0 = auto-detect).
+    /** NOW_CACHE_DIR: result-store directory ("" = caching off). */
+    std::string cacheDir;
 };
 
 /** Parse the environment right now (testing; most code wants the
@@ -112,6 +114,10 @@ double envScale();
 
 /** Environment-variable worker-count override (NOW_JOBS), 0 = auto. */
 int envJobs();
+
+/** Environment-variable result-store directory (NOW_CACHE_DIR), ""
+ *  when unset (caching off). */
+const std::string &envCacheDir();
 
 } // namespace nowcluster
 

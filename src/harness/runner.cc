@@ -1,11 +1,9 @@
 #include "harness/runner.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdarg>
-#include <cstddef>
 #include <cstdio>
 #include <exception>
-#include <thread>
 
 #include "base/logging.hh"
 
@@ -27,14 +25,121 @@ resolveJobs(int jobs)
     return env > 0 ? env : hardwareJobs();
 }
 
+// ---- Runner ---------------------------------------------------------
+
+Runner::Runner(int jobs, std::size_t maxQueue)
+    : jobs_(resolveJobs(jobs)), maxQueue_(maxQueue)
+{
+    // Force the one-time getenv pass before any worker exists.
+    (void)envConfig();
+    workers_.reserve(jobs_);
+    for (int w = 0; w < jobs_; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Runner::~Runner()
+{
+    shutdown();
+}
+
+void
+Runner::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to do.
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+bool
+Runner::trySubmit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return false;
+        if (maxQueue_ && queue_.size() >= maxQueue_)
+            return false; // Backpressure: caller retries later.
+        queue_.push_back(std::move(job));
+    }
+    workReady_.notify_one();
+    return true;
+}
+
+void
+Runner::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+Runner::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_ && workers_.empty())
+            return;
+        stopping_ = true;
+    }
+    // Accepted jobs still run to completion: workers only exit on an
+    // empty queue, which is the graceful-drain contract nowlabd's
+    // SIGTERM path relies on.
+    workReady_.notify_all();
+    for (std::thread &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    workers_.clear();
+}
+
+std::size_t
+Runner::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+std::size_t
+Runner::activeCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_;
+}
+
+// ---- cache hook -----------------------------------------------------
+
 namespace {
+
+RunCache *g_runCache = nullptr;
 
 /** Run one point, containing any failure to its own result slot. */
 RunResult
-runPointGuarded(const RunPoint &pt)
+runPointGuarded(const RunPoint &pt, bool *completed)
 {
     try {
-        return runApp(pt.app, pt.config);
+        RunResult r = runApp(pt.app, pt.config);
+        if (completed)
+            *completed = true;
+        return r;
     } catch (const std::exception &e) {
         warn("point '%s' failed: %s", pt.app.c_str(), e.what());
     } catch (...) {
@@ -45,42 +150,66 @@ runPointGuarded(const RunPoint &pt)
 
 } // namespace
 
+void
+setRunCache(RunCache *cache)
+{
+    g_runCache = cache;
+}
+
+RunCache *
+runCache()
+{
+    return g_runCache;
+}
+
+RunResult
+runPointCached(const RunPoint &pt)
+{
+    // A point with a sink attached has side effects (the recorded
+    // trace) that a cached result cannot replay: always simulate.
+    RunCache *cache = g_runCache;
+    bool cacheable =
+        cache && !pt.config.trace && !pt.config.obs;
+
+    RunResult r;
+    if (cacheable && cache->lookup(pt, r))
+        return r;
+
+    bool completed = false;
+    r = runPointGuarded(pt, &completed);
+    // Timed-out and invalid runs are deterministic too (the budget is
+    // part of the key); only exception-path failures stay uncached.
+    if (cacheable && completed)
+        cache->insert(pt, r);
+    return r;
+}
+
 std::vector<RunResult>
 runPoints(const std::vector<RunPoint> &points, int jobs)
 {
-    // Force the one-time getenv pass before any worker exists.
     (void)envConfig();
 
     const std::size_t n = points.size();
     std::vector<RunResult> results(n);
-    jobs = resolveJobs(jobs);
-    const int workers =
-        static_cast<int>(std::min<std::size_t>(n, jobs));
+    const int workers = static_cast<int>(
+        std::min<std::size_t>(std::max<std::size_t>(n, 1),
+                              resolveJobs(jobs)));
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < n; ++i)
-            results[i] = runPointGuarded(points[i]);
+            results[i] = runPointCached(points[i]);
         return results;
     }
 
-    // Workers claim indices from one shared counter; each result lands
-    // in its submission slot, so completion order never shows.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (int w = 0; w < workers; ++w) {
-        threads.emplace_back([&] {
-            for (;;) {
-                std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n)
-                    return;
-                results[i] = runPointGuarded(points[i]);
-            }
+    // Each result lands in its submission slot, so completion order
+    // never shows.
+    Runner pool(workers);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.trySubmit([&points, &results, i] {
+            results[i] = runPointCached(points[i]);
         });
     }
-    for (std::thread &t : threads)
-        t.join();
+    pool.shutdown();
     return results;
 }
 

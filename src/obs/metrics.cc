@@ -34,6 +34,23 @@ Histogram::mergeFrom(const Histogram &other)
     sum_ += other.sum_;
 }
 
+bool
+Histogram::restore(const std::vector<std::uint64_t> &buckets,
+                   std::uint64_t count, Tick sum)
+{
+    if (buckets.size() != bounds_.size() + 1)
+        return false;
+    std::uint64_t total = 0;
+    for (std::uint64_t b : buckets)
+        total += b;
+    if (total != count)
+        return false;
+    buckets_ = buckets;
+    count_ = count;
+    sum_ = sum;
+    return true;
+}
+
 void
 MetricsSnapshot::mergeFrom(const MetricsSnapshot &other)
 {

@@ -57,6 +57,15 @@ class Histogram
     /** Merge another histogram with identical bounds (bucket-wise add). */
     void mergeFrom(const Histogram &other);
 
+    /**
+     * Overwrite buckets/count/sum wholesale (the svc result codec
+     * reconstructing a persisted snapshot). `buckets` must have
+     * bounds().size() + 1 entries; false (and no change) otherwise or
+     * when count disagrees with the bucket total.
+     */
+    bool restore(const std::vector<std::uint64_t> &buckets,
+                 std::uint64_t count, Tick sum);
+
   private:
     std::vector<Tick> bounds_;
     std::vector<std::uint64_t> buckets_;

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hashing for the experiment service: SHA-256 for content-addressed
+ * cache keys and FNV-1a for cheap on-disk payload checksums.
+ *
+ * SHA-256 is implemented here (FIPS 180-4, ~80 lines) rather than
+ * pulled from a library so the service has zero new dependencies. Keys
+ * must be collision-resistant -- a colliding key would silently serve
+ * one experiment's results as another's -- which rules out the fast
+ * non-cryptographic hashes used elsewhere in the tree. The FNV-1a
+ * checksum, by contrast, only has to catch torn writes and bit rot on
+ * entries we wrote ourselves, so 64 bits of cheap mixing is plenty.
+ */
+
+#ifndef NOWCLUSTER_SVC_HASH_HH_
+#define NOWCLUSTER_SVC_HASH_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nowcluster::svc {
+
+/** SHA-256 digest of `data`. */
+std::array<std::uint8_t, 32> sha256(std::string_view data);
+
+/** SHA-256 digest rendered as 64 lowercase hex characters. */
+std::string sha256Hex(std::string_view data);
+
+/** FNV-1a 64-bit checksum (payload integrity, not identity). */
+std::uint64_t fnv1a64(std::string_view data);
+
+} // namespace nowcluster::svc
+
+#endif // NOWCLUSTER_SVC_HASH_HH_

@@ -1,0 +1,281 @@
+#include "svc/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace nowcluster::svc {
+
+namespace {
+
+/** write() the whole buffer, riding out EINTR and short writes. */
+bool
+writeAll(int fd, const char *p, std::size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/**
+ * Read up to the next '\n' into `line` (newline stripped), carrying
+ * leftover bytes between calls in `buffer`. Lines beyond `maxLine`
+ * bytes are truncated to maxLine + 1 so the service layer sees "too
+ * long" rather than the process seeing unbounded memory.
+ */
+bool
+readLine(int fd, std::string &buffer, std::string &line,
+         std::size_t maxLine)
+{
+    for (;;) {
+        std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        ssize_t r = ::read(fd, chunk, sizeof chunk);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false; // Peer closed.
+        buffer.append(chunk, static_cast<std::size_t>(r));
+        if (buffer.size() > maxLine + 1 &&
+            buffer.find('\n') == std::string::npos) {
+            // Oversized line: surface a too-long marker and resync at
+            // the next newline.
+            line.assign(maxLine + 1, 'x');
+            std::size_t next = buffer.find('\n');
+            buffer.erase(0, next == std::string::npos ? buffer.size()
+                                                      : next + 1);
+            return true;
+        }
+    }
+}
+
+} // namespace
+
+NowlabServer::NowlabServer(const ServiceConfig &config, int port)
+    : core_(config), requestedPort_(port)
+{
+}
+
+NowlabServer::~NowlabServer()
+{
+    requestStop();
+    wait();
+}
+
+bool
+NowlabServer::start()
+{
+    int pipefd[2];
+    if (::pipe(pipefd) != 0)
+        return false;
+    wakeRead_ = pipefd[0];
+    wakeWrite_ = pipefd[1];
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return false;
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(requestedPort_));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        warn("nowlabd: cannot bind 127.0.0.1:%d: %s", requestedPort_,
+             std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+NowlabServer::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0}, {wakeRead_, POLLIN, 0}};
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents)
+            break; // requestStop() poked the pipe.
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        {
+            std::lock_guard<std::mutex> lock(connMu_);
+            connFds_.push_back(fd);
+        }
+        connections_.emplace_back(
+            [this, fd] { connectionLoop(fd); });
+    }
+}
+
+void
+NowlabServer::connectionLoop(int fd)
+{
+    std::string buffer, line;
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           readLine(fd, buffer, line, kMaxRequestBytes)) {
+        if (line.empty())
+            continue;
+        std::string reply = core_.handleLine(line);
+        reply += '\n';
+        if (!writeAll(fd, reply.data(), reply.size()))
+            break;
+        // A {"op":"shutdown"} request stops the whole server, not just
+        // the core: reply first, then wind down.
+        if (core_.shuttingDown())
+            requestStop();
+    }
+    {
+        // Deregister before close so wait() never shuts down a
+        // recycled descriptor.
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (auto it = connFds_.begin(); it != connFds_.end(); ++it) {
+            if (*it == fd) {
+                connFds_.erase(it);
+                break;
+            }
+        }
+    }
+    ::close(fd);
+}
+
+void
+NowlabServer::requestStop()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true))
+        return;
+    if (wakeWrite_ >= 0) {
+        // One byte; async-signal-safe, so the SIGTERM handler can call
+        // this directly.
+        char b = 0;
+        [[maybe_unused]] ssize_t w = ::write(wakeWrite_, &b, 1);
+    }
+}
+
+void
+NowlabServer::wait()
+{
+    if (acceptor_.joinable())
+        acceptor_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    // Wake connection threads parked in read(): SHUT_RD makes their
+    // next read return 0 without cutting off an in-flight reply write.
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    for (std::thread &t : connections_) {
+        if (t.joinable())
+            t.join();
+    }
+    connections_.clear();
+    core_.beginShutdown();
+    core_.drain();
+    if (wakeRead_ >= 0) {
+        ::close(wakeRead_);
+        ::close(wakeWrite_);
+        wakeRead_ = wakeWrite_ = -1;
+    }
+}
+
+// ---- client ---------------------------------------------------------
+
+Client::Client(std::string host, int port)
+    : host_(std::move(host)), port_(port)
+{
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+Client::connect()
+{
+    if (fd_ >= 0)
+        return true;
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return true;
+}
+
+bool
+Client::request(const std::string &line, std::string &reply)
+{
+    if (!connect())
+        return false;
+    std::string out = line;
+    out += '\n';
+    if (!writeAll(fd_, out.data(), out.size()))
+        return false;
+    return readLine(fd_, buffer_, reply, 16u << 20);
+}
+
+} // namespace nowcluster::svc

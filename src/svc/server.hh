@@ -1,0 +1,106 @@
+/**
+ * @file
+ * nowlabd's transport: a TCP acceptor pumping line-delimited JSON
+ * between sockets and a ServiceCore, plus the matching blocking
+ * client.
+ *
+ * Threading: one acceptor thread (poll on the listen socket and a
+ * self-pipe so requestStop() wakes it instantly) plus one thread per
+ * connection. Connections are few (laboratory clients, not the
+ * internet); the expensive fan-out happens in the ServiceCore's
+ * bounded Runner pool, not per socket.
+ *
+ * Shutdown: requestStop() (the SIGTERM handler writes the self-pipe)
+ * closes the listener, joins the connection threads, and drains the
+ * ServiceCore so every accepted job completes before serve() returns
+ * -- the graceful-drain contract test_svc.cc exercises.
+ */
+
+#ifndef NOWCLUSTER_SVC_SERVER_HH_
+#define NOWCLUSTER_SVC_SERVER_HH_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hh"
+
+namespace nowcluster::svc {
+
+/** Default nowlabd TCP port. */
+constexpr int kDefaultPort = 7747;
+
+class NowlabServer
+{
+  public:
+    /** @param port TCP port to bind on 127.0.0.1; 0 = ephemeral. */
+    NowlabServer(const ServiceConfig &config, int port);
+    ~NowlabServer();
+
+    NowlabServer(const NowlabServer &) = delete;
+    NowlabServer &operator=(const NowlabServer &) = delete;
+
+    /** Bind and start the acceptor thread. False on bind failure. */
+    bool start();
+
+    /** The bound port (valid after start()). */
+    int port() const { return port_; }
+
+    /** Ask the server to stop: async-signal-safe (one write to a
+     *  pipe), callable from a signal handler. */
+    void requestStop();
+
+    /** Block until stopped and fully drained. */
+    void wait();
+
+    ServiceCore &core() { return core_; }
+
+  private:
+    void acceptLoop();
+    void connectionLoop(int fd);
+
+    ServiceCore core_;
+    int requestedPort_;
+    int port_ = -1;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::thread acceptor_;
+    std::vector<std::thread> connections_;
+    /** Live connection sockets; wait() shuts them down so threads
+     *  parked in read() wake and exit. */
+    std::mutex connMu_;
+    std::vector<int> connFds_;
+};
+
+/**
+ * Blocking line-protocol client. request() sends one JSON line and
+ * returns the reply line; "" on connection failure (clients treat
+ * that as a dead server).
+ */
+class Client
+{
+  public:
+    Client(std::string host, int port);
+    ~Client();
+
+    /** Connect (idempotent). */
+    bool connect();
+
+    /** One round trip; false on any transport error. */
+    bool request(const std::string &line, std::string &reply);
+
+  private:
+    std::string host_;
+    int port_;
+    int fd_ = -1;
+    std::string buffer_; ///< Bytes past the last reply line.
+};
+
+} // namespace nowcluster::svc
+
+#endif // NOWCLUSTER_SVC_SERVER_HH_

@@ -1,0 +1,421 @@
+#include "svc/service.hh"
+
+#include <chrono>
+
+#include "svc/codec.hh"
+#include "svc/spec.hh"
+
+namespace nowcluster::svc {
+
+namespace {
+
+std::int64_t
+wallNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Service-latency histogram bounds: 10us .. 10s, decade steps. */
+std::vector<Tick>
+latencyBounds()
+{
+    return {usec(10),    usec(100),    usec(1000),   usec(10000),
+            usec(100000), usec(1000000), usec(10000000)};
+}
+
+std::string
+errorReply(const std::string &error)
+{
+    JsonWriter w;
+    w.beginObject().field("ok", false).field("error", error).endObject();
+    return w.str();
+}
+
+const char *
+stateName(int state)
+{
+    switch (state) {
+    case 0: return "queued";
+    case 1: return "running";
+    case 2: return "done";
+    case 3: return "failed";
+    }
+    return "?";
+}
+
+/** Build the RunPoint a submit request describes. */
+RunPoint
+pointOfRequest(const JsonValue &req)
+{
+    RunPoint pt;
+    pt.app = req.stringOr("app", "");
+    RunConfig &c = pt.config;
+    c.nprocs = static_cast<int>(req.numberOr("procs", 32));
+    c.scale = req.numberOr("scale", 1.0);
+    c.seed = static_cast<std::uint64_t>(req.numberOr("seed", 1));
+    c.validate = req.boolOr("validate", true);
+    double max_ms = req.numberOr("max_ms", 0);
+    if (max_ms > 0)
+        c.maxTime = static_cast<Tick>(max_ms * kMsec);
+
+    std::string machine = req.stringOr("machine", "now");
+    if (machine == "paragon")
+        c.machine = MachineConfig::intelParagon();
+    else if (machine == "meiko")
+        c.machine = MachineConfig::meikoCs2();
+    else
+        c.machine = MachineConfig::berkeleyNow();
+
+    if (const JsonValue *k = req.find("knobs")) {
+        Knobs &kn = c.knobs;
+        kn.overheadUs = k->numberOr("overhead", -1);
+        kn.gapUs = k->numberOr("gap", -1);
+        kn.latencyUs = k->numberOr("latency", -1);
+        kn.bulkMBps = k->numberOr("mbps", -1);
+        kn.occupancyUs = k->numberOr("occupancy", -1);
+        kn.window = static_cast<int>(k->numberOr("window", -1));
+        kn.fabricHosts = static_cast<int>(k->numberOr("fabric-hosts", -1));
+        kn.fabricLinkMBps = k->numberOr("fabric-mbps", -1);
+        kn.dropRate = k->numberOr("drop", -1);
+        kn.dupRate = k->numberOr("dup", -1);
+        kn.corruptRate = k->numberOr("corrupt", -1);
+        kn.reorderRate = k->numberOr("reorder", -1);
+        kn.reorderMaxDelayUs = k->numberOr("reorder-delay", -1);
+        kn.faultSeed = static_cast<long>(k->numberOr("fault-seed", -1));
+        kn.reliable = static_cast<int>(k->numberOr("reliable", -1));
+        kn.retxTimeoutUs = k->numberOr("rto", -1);
+    }
+    return pt;
+}
+
+} // namespace
+
+ServiceCore::ServiceCore(const ServiceConfig &config)
+    : config_(config),
+      store_(config.cacheDir.empty()
+                 ? nullptr
+                 : std::make_unique<ResultStore>(config.cacheDir,
+                                                 config.cacheMaxBytes)),
+      cache_(store_ ? std::make_unique<StoreCache>(*store_) : nullptr),
+      runner_(config.jobs, config.maxQueue),
+      reqTotal_(metrics_.counter("svc.requests")),
+      reqBad_(metrics_.counter("svc.requests.bad")),
+      reqBusy_(metrics_.counter("svc.requests.busy")),
+      submits_(metrics_.counter("svc.submits")),
+      cacheHits_(metrics_.counter("svc.cache.hits")),
+      cacheMisses_(metrics_.counter("svc.cache.misses")),
+      jobsDone_(metrics_.counter("svc.jobs.done")),
+      jobsFailed_(metrics_.counter("svc.jobs.failed")),
+      queueWaitUs_(metrics_.histogram("svc.queue_wait", latencyBounds())),
+      runUs_(metrics_.histogram("svc.run_time", latencyBounds()))
+{
+}
+
+ServiceCore::~ServiceCore()
+{
+    beginShutdown();
+    runner_.shutdown();
+}
+
+std::string
+ServiceCore::handleLine(const std::string &line)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reqTotal_;
+    }
+    if (line.size() > kMaxRequestBytes) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reqBad_;
+        return errorReply("oversized request");
+    }
+    JsonValue req;
+    std::string err;
+    if (!parseJson(line, req, &err) || !req.isObject()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reqBad_;
+        return errorReply(err.empty() ? "not a JSON object" : err);
+    }
+    std::string op = req.stringOr("op", "");
+    if (op == "submit")
+        return handleSubmit(req);
+    if (op == "status")
+        return handleStatus(req);
+    if (op == "get")
+        return handleGet(req);
+    if (op == "stats")
+        return handleStats();
+    if (op == "shutdown")
+        return handleShutdown();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++reqBad_;
+    return errorReply("unknown op '" + op + "'");
+}
+
+std::string
+ServiceCore::handleSubmit(const JsonValue &req)
+{
+    RunPoint pt = pointOfRequest(req);
+    std::string complaint = validateSpec(pt);
+    if (!complaint.empty()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reqBad_;
+        return errorReply(complaint);
+    }
+
+    // Cache probe first: hits cost a disk read, no simulation, and
+    // succeed even while draining.
+    RunResult cached;
+    bool hit = cache_ && cache_->lookup(pt, cached);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    ++submits_;
+    if (hit) {
+        ++cacheHits_;
+        std::uint64_t id = nextId_++;
+        Job &job = jobs_[id];
+        job.point = pt;
+        job.state = JobState::kDone;
+        job.cached = true;
+        job.result = std::move(cached);
+        JsonWriter w;
+        w.beginObject()
+            .field("ok", true)
+            .field("id", id)
+            .field("state", "done")
+            .field("cached", true)
+            .endObject();
+        return w.str();
+    }
+    if (cache_)
+        ++cacheMisses_;
+    if (config_.cacheOnly)
+        return errorReply("cache-miss");
+    if (shuttingDown_)
+        return errorReply("shutting-down");
+
+    std::uint64_t id = nextId_++;
+    Job &job = jobs_[id];
+    job.point = pt;
+    job.state = JobState::kQueued;
+    job.submitNs = wallNs();
+    lock.unlock();
+
+    if (!runner_.trySubmit([this, id] { runJob(id); })) {
+        std::lock_guard<std::mutex> relock(mu_);
+        ++reqBusy_;
+        jobs_.erase(id);
+        JsonWriter w;
+        w.beginObject()
+            .field("ok", false)
+            .field("error", "busy")
+            .field("retry_after_ms", config_.retryAfterMs)
+            .endObject();
+        return w.str();
+    }
+
+    JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("id", id)
+        .field("state", "queued")
+        .field("cached", false)
+        .endObject();
+    return w.str();
+}
+
+void
+ServiceCore::runJob(std::uint64_t id)
+{
+    RunPoint pt;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return;
+        it->second.state = JobState::kRunning;
+        pt = it->second.point;
+        queueWaitUs_.observe((wallNs() - it->second.submitNs) / 1000 *
+                             kUsec);
+    }
+
+    std::int64_t t0 = wallNs();
+    RunResult r;
+    bool completed = false;
+    try {
+        r = runApp(pt.app, pt.config);
+        completed = true;
+    } catch (...) {
+        // Fall through: the job is marked failed below.
+    }
+    if (completed && cache_)
+        cache_->insert(pt, r);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    it->second.result = std::move(r);
+    it->second.state = completed ? JobState::kDone : JobState::kFailed;
+    (completed ? jobsDone_ : jobsFailed_) += 1;
+    runUs_.observe((wallNs() - t0) / 1000 * kUsec);
+}
+
+std::string
+ServiceCore::handleStatus(const JsonValue &req)
+{
+    std::uint64_t id = static_cast<std::uint64_t>(req.numberOr("id", 0));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        ++reqBad_;
+        return errorReply("unknown id");
+    }
+    JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("id", id)
+        .field("state", stateName(static_cast<int>(it->second.state)))
+        .field("cached", it->second.cached)
+        .endObject();
+    return w.str();
+}
+
+std::string
+ServiceCore::handleGet(const JsonValue &req)
+{
+    std::uint64_t id = static_cast<std::uint64_t>(req.numberOr("id", 0));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        ++reqBad_;
+        return errorReply("unknown id");
+    }
+    const Job &job = it->second;
+    if (job.state != JobState::kDone && job.state != JobState::kFailed) {
+        JsonWriter w;
+        w.beginObject()
+            .field("ok", false)
+            .field("error", "not-done")
+            .field("state",
+                   stateName(static_cast<int>(job.state)))
+            .endObject();
+        return w.str();
+    }
+    const RunResult &r = job.result;
+    JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("id", id)
+        .field("state", stateName(static_cast<int>(job.state)))
+        .field("cached", job.cached)
+        .field("app", job.point.app)
+        .field("procs", job.point.config.nprocs)
+        .field("run_ok", r.ok)
+        .field("validated", r.validated)
+        .field("runtime_ticks", static_cast<std::int64_t>(r.runtime))
+        .field("runtime_ms", toMsec(r.runtime))
+        .field("avg_msgs_per_proc", r.summary.avgMsgsPerProc)
+        .field("max_msgs_per_proc", r.summary.maxMsgsPerProc)
+        .field("key", cacheKey(job.point))
+        .field("fingerprint", fingerprint(r))
+        .endObject();
+    return w.str();
+}
+
+std::string
+ServiceCore::handleStats()
+{
+    MetricsSnapshot snap = metricsSnapshot();
+    std::lock_guard<std::mutex> lock(mu_);
+    JsonWriter w;
+    w.beginObject().field("ok", true);
+    w.field("jobs", runner_.jobs());
+    w.field("queue_depth", static_cast<std::uint64_t>(
+                               runner_.queueDepth()));
+    w.field("queue_max",
+            static_cast<std::uint64_t>(runner_.maxQueue()));
+    w.field("active", static_cast<std::uint64_t>(
+                          runner_.activeCount()));
+    w.field("draining", shuttingDown_);
+    w.field("cache_only", config_.cacheOnly);
+    w.beginObject("counters");
+    for (const auto &[name, v] : snap.counters)
+        w.field(name, v);
+    w.endObject();
+    w.beginObject("histograms");
+    for (const auto &[name, h] : snap.histograms) {
+        w.beginObject(name);
+        w.field("count", h.count());
+        w.field("sum_ticks", static_cast<std::int64_t>(h.sum()));
+        w.beginArray("bounds_us");
+        for (Tick b : h.bounds())
+            w.element(static_cast<std::int64_t>(b / kUsec));
+        w.endArray();
+        w.beginArray("buckets");
+        for (std::uint64_t c : h.buckets())
+            w.element(c);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    if (store_) {
+        ResultStore::Stats s = store_->stats();
+        w.beginObject("store");
+        w.field("dir", store_->dir());
+        w.field("entries",
+                static_cast<std::uint64_t>(store_->entryCount()));
+        w.field("bytes", store_->totalBytes());
+        w.field("hits", s.hits);
+        w.field("misses", s.misses);
+        w.field("puts", s.puts);
+        w.field("evictions", s.evictions);
+        w.field("corrupt", s.corrupt);
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+ServiceCore::handleShutdown()
+{
+    beginShutdown();
+    JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("state", "draining")
+        .endObject();
+    return w.str();
+}
+
+void
+ServiceCore::beginShutdown()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shuttingDown_ = true;
+}
+
+void
+ServiceCore::drain()
+{
+    runner_.drain();
+}
+
+bool
+ServiceCore::shuttingDown() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return shuttingDown_;
+}
+
+MetricsSnapshot
+ServiceCore::metricsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_.snapshot();
+}
+
+} // namespace nowcluster::svc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * ServiceCore: the nowlabd protocol brain, transport-free.
+ *
+ * One line-delimited JSON request in, one JSON reply out -- the TCP
+ * server (svc/server.hh) is a thin socket pump around handleLine(), so
+ * the whole protocol (including its fuzz surface) is testable without
+ * a socket in sight.
+ *
+ * Requests ({"op": ...}):
+ *   submit   {"op":"submit","app":"radix","procs":32,"scale":1,
+ *             "seed":1,"machine":"now","knobs":{"overhead":12.9,...}}
+ *            -> {"ok":true,"id":N,"state":"queued"|"done","cached":B}
+ *            Cache hits complete instantly; cache misses are queued on
+ *            the Runner pool. A full queue is answered with
+ *            {"ok":false,"error":"busy","retry_after_ms":N}: bounded
+ *            memory, clients retry.
+ *   status   {"op":"status","id":N} -> {"ok":true,"state":...}
+ *   get      {"op":"get","id":N} -> the measured result, including the
+ *            canonical fingerprint (byte-identical cached vs computed).
+ *   stats    {"op":"stats"} -> request counters, latency histograms
+ *            (MetricsRegistry snapshot), queue/pool and store state.
+ *   shutdown {"op":"shutdown"} -> begins graceful drain.
+ *
+ * Job states: queued -> running -> done | failed. Jobs live forever
+ * (the job table is append-only per process); ids are never reused.
+ *
+ * Cache-only mode (offline laboratory): submits that miss the store
+ * are answered with {"ok":false,"error":"cache-miss"} instead of
+ * simulating, so a store snapshot can be queried on a machine with no
+ * cycles to spare.
+ */
+
+#ifndef NOWCLUSTER_SVC_SERVICE_HH_
+#define NOWCLUSTER_SVC_SERVICE_HH_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "harness/runner.hh"
+#include "obs/metrics.hh"
+#include "svc/json.hh"
+#include "svc/store.hh"
+
+namespace nowcluster::svc {
+
+struct ServiceConfig
+{
+    int jobs = 0;               ///< Worker pool size (0 = auto).
+    std::size_t maxQueue = 64;  ///< Bounded job queue (backpressure).
+    std::string cacheDir;       ///< "" = no result store.
+    std::uint64_t cacheMaxBytes = ResultStore::kDefaultMaxBytes;
+    bool cacheOnly = false;     ///< Offline mode: never simulate.
+    int retryAfterMs = 250;     ///< Hint in busy replies.
+};
+
+/** The maximum request line the service accepts (oversized lines are
+ *  answered with an error and the rest of the line discarded). */
+constexpr std::size_t kMaxRequestBytes = 1 << 16;
+
+class ServiceCore
+{
+  public:
+    explicit ServiceCore(const ServiceConfig &config);
+    ~ServiceCore();
+
+    ServiceCore(const ServiceCore &) = delete;
+    ServiceCore &operator=(const ServiceCore &) = delete;
+
+    /** Handle one request line; always returns a JSON reply (no
+     *  trailing newline), never throws, never fatal()s. */
+    std::string handleLine(const std::string &line);
+
+    /** Stop accepting submits (drain begins; queued jobs still run). */
+    void beginShutdown();
+
+    /** Block until every accepted job has completed. */
+    void drain();
+
+    bool shuttingDown() const;
+
+    /** Point-in-time copy of the request counters and histograms. */
+    MetricsSnapshot metricsSnapshot() const;
+
+    const ResultStore *store() const { return store_.get(); }
+    const ServiceConfig &config() const { return config_; }
+    std::size_t queueDepth() const { return runner_.queueDepth(); }
+
+  private:
+    enum class JobState
+    {
+        kQueued,
+        kRunning,
+        kDone,
+        kFailed,
+    };
+
+    struct Job
+    {
+        RunPoint point;
+        JobState state = JobState::kQueued;
+        bool cached = false;
+        RunResult result;
+        std::int64_t submitNs = 0; ///< Wall clock, for queue-wait.
+    };
+
+    std::string handleSubmit(const JsonValue &req);
+    std::string handleStatus(const JsonValue &req);
+    std::string handleGet(const JsonValue &req);
+    std::string handleStats();
+    std::string handleShutdown();
+    void runJob(std::uint64_t id);
+
+    ServiceConfig config_;
+    std::unique_ptr<ResultStore> store_;
+    std::unique_ptr<StoreCache> cache_;
+    Runner runner_;
+
+    mutable std::mutex mu_;
+    bool shuttingDown_ = false;
+    std::uint64_t nextId_ = 1;
+    std::map<std::uint64_t, Job> jobs_;
+
+    // Registry + the owned references the hot paths bump. Guarded by
+    // mu_: the registry itself is single-threaded by design.
+    MetricsRegistry metrics_;
+    std::uint64_t &reqTotal_;
+    std::uint64_t &reqBad_;
+    std::uint64_t &reqBusy_;
+    std::uint64_t &submits_;
+    std::uint64_t &cacheHits_;
+    std::uint64_t &cacheMisses_;
+    std::uint64_t &jobsDone_;
+    std::uint64_t &jobsFailed_;
+    Histogram &queueWaitUs_;
+    Histogram &runUs_;
+};
+
+} // namespace nowcluster::svc
+
+#endif // NOWCLUSTER_SVC_SERVICE_HH_

@@ -1,0 +1,177 @@
+#include "svc/spec.hh"
+
+#include <cstring>
+
+#include "apps/app.hh"
+#include "svc/hash.hh"
+
+namespace nowcluster::svc {
+
+namespace {
+
+/**
+ * Bump whenever simulator semantics change in a way that can alter
+ * measured results (event ordering, model stages, parameter defaults).
+ * Stale keys then simply never hit and age out of the store via LRU.
+ */
+constexpr const char *kCodeFingerprint = "nowcluster-sim-v1";
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out += char((v >> (8 * i)) & 0xff);
+}
+
+void
+putI64(std::string &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out += char((v >> (8 * i)) & 0xff);
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    // Bit pattern, not decimal text: distinct doubles never alias.
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU64(out, bits);
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+void
+putParams(std::string &out, const LogGPParams &p)
+{
+    putI64(out, p.oSend);
+    putI64(out, p.oRecv);
+    putI64(out, p.addedO);
+    putI64(out, p.gap);
+    putI64(out, p.latency);
+    putI64(out, p.addedL);
+    putDouble(out, p.gPerByte);
+    putI64(out, p.occupancy);
+    putU32(out, static_cast<std::uint32_t>(p.window));
+    putU32(out, static_cast<std::uint32_t>(p.txQueueDepth));
+    putU64(out, p.maxFragment);
+    putU32(out, p.fabric ? 1 : 0);
+    putU32(out, static_cast<std::uint32_t>(p.fabricHostsPerSwitch));
+    putDouble(out, p.fabricLinkMBps);
+    putU32(out, p.fault.enabled ? 1 : 0);
+    putDouble(out, p.fault.dropRate);
+    putDouble(out, p.fault.dupRate);
+    putDouble(out, p.fault.corruptRate);
+    putDouble(out, p.fault.reorderRate);
+    putI64(out, p.fault.reorderMaxDelay);
+    putU64(out, p.fault.seed);
+    putU32(out, p.reliable ? 1 : 0);
+    putI64(out, p.retxTimeout);
+    putU32(out, static_cast<std::uint32_t>(p.retxMaxRetries));
+}
+
+void
+putKnobs(std::string &out, const Knobs &k)
+{
+    putDouble(out, k.overheadUs);
+    putDouble(out, k.gapUs);
+    putDouble(out, k.latencyUs);
+    putDouble(out, k.bulkMBps);
+    putDouble(out, k.occupancyUs);
+    putU32(out, static_cast<std::uint32_t>(k.window));
+    putU32(out, static_cast<std::uint32_t>(k.fabricHosts));
+    putDouble(out, k.fabricLinkMBps);
+    putDouble(out, k.dropRate);
+    putDouble(out, k.dupRate);
+    putDouble(out, k.corruptRate);
+    putDouble(out, k.reorderRate);
+    putDouble(out, k.reorderMaxDelayUs);
+    putI64(out, k.faultSeed);
+    putU32(out, static_cast<std::uint32_t>(k.reliable));
+    putDouble(out, k.retxTimeoutUs);
+}
+
+} // namespace
+
+const std::string &
+codeFingerprint()
+{
+    static const std::string fp = kCodeFingerprint;
+    return fp;
+}
+
+std::string
+canonicalSpec(const RunPoint &pt)
+{
+    std::string out;
+    out.reserve(512);
+    out += "NOWSPEC1";
+    putStr(out, pt.app);
+    const RunConfig &c = pt.config;
+    putU32(out, static_cast<std::uint32_t>(c.nprocs));
+    putDouble(out, c.scale);
+    putU64(out, c.seed);
+    putI64(out, c.maxTime);
+    putU32(out, c.validate ? 1 : 0);
+    putStr(out, c.machine.name);
+    putParams(out, c.machine.params);
+    putKnobs(out, c.knobs);
+    return out;
+}
+
+std::string
+cacheKey(const RunPoint &pt)
+{
+    return sha256Hex(canonicalSpec(pt) + codeFingerprint());
+}
+
+std::string
+validateSpec(const RunPoint &pt)
+{
+    bool known = false;
+    for (const auto &key : appKeys())
+        known = known || key == pt.app;
+    if (!known)
+        return "unknown app '" + pt.app + "'";
+
+    const RunConfig &c = pt.config;
+    if (c.nprocs < 2 || c.nprocs > 512)
+        return "procs out of range [2, 512]";
+    if (!(c.scale > 0) || c.scale > 100)
+        return "scale out of range (0, 100]";
+    if (c.maxTime <= 0)
+        return "maxTime must be positive";
+
+    // Mirror the fatal_if checks in LogGPParams::setDesired*Usec so a
+    // bad knob is a protocol error, not a dead server.
+    const LogGPParams &p = c.machine.params;
+    const Knobs &k = c.knobs;
+    if (k.overheadUs >= 0 &&
+        usec(k.overheadUs) < (p.oSend + p.oRecv) / 2)
+        return "overhead below hardware baseline";
+    if (k.gapUs >= 0 && usec(k.gapUs) < p.gap &&
+        usec(k.gapUs) < usec(0.1))
+        return "gap is not positive";
+    if (k.latencyUs >= 0 && usec(k.latencyUs) < p.latency)
+        return "latency below hardware baseline";
+    if (k.bulkMBps == 0 || (k.bulkMBps > 0 && k.bulkMBps > 1e6))
+        return "bulk bandwidth out of range";
+    auto badRate = [](double r) { return r > 1.0; };
+    if (badRate(k.dropRate) || badRate(k.dupRate) ||
+        badRate(k.corruptRate) || badRate(k.reorderRate))
+        return "fault rates must be <= 1";
+    return "";
+}
+
+} // namespace nowcluster::svc

@@ -39,6 +39,52 @@ TEST(Fabric, SameSwitchTrafficIsFree)
     EXPECT_EQ(f.totalQueueing(), 0);
 }
 
+TEST(Fabric, SameSwitchLeavesQueueingUntouched)
+{
+    // Same-leaf packets must not touch the shared-link state even when
+    // the uplinks are already congested by cross-switch traffic.
+    SwitchFabric f(8, cfg(4));
+    for (int i = 0; i < 8; ++i)
+        f.contentionDelay(0, 4, 4096, 0);
+    Tick before = f.totalQueueing();
+    EXPECT_GT(before, 0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(f.contentionDelay(0, 1, 4096, 0), 0);
+    EXPECT_EQ(f.totalQueueing(), before);
+}
+
+TEST(Fabric, TinyPacketsClampToMinWireSize)
+{
+    // Anything below minPacketBytes still occupies the wire for a
+    // 28-byte packet's serialization time: a back-to-back burst of
+    // 1-byte packets queues exactly like a burst of 28-byte packets.
+    SwitchFabric tiny(8, cfg(4));
+    SwitchFabric wire(8, cfg(4));
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(tiny.contentionDelay(0, 4, 1, 0),
+                  wire.contentionDelay(0, 4, 28, 0));
+    }
+    EXPECT_GT(tiny.totalQueueing(), 0);
+    EXPECT_EQ(tiny.totalQueueing(), wire.totalQueueing());
+}
+
+TEST(Fabric, QueueingMonotoneAcrossBurst)
+{
+    // totalQueueing is a nondecreasing running sum, and every packet
+    // of a same-instant burst behind the first queues strictly longer.
+    SwitchFabric f(8, cfg(4));
+    Tick prev_total = 0;
+    Tick prev_delay = -1;
+    for (int i = 0; i < 32; ++i) {
+        Tick delay = f.contentionDelay(0, 4, 4096, 0);
+        EXPECT_GT(delay, prev_delay);
+        EXPECT_GE(f.totalQueueing(), prev_total);
+        prev_total = f.totalQueueing();
+        prev_delay = delay;
+    }
+    EXPECT_EQ(prev_total, f.totalQueueing());
+}
+
 TEST(Fabric, IdleCrossSwitchPathAddsNothing)
 {
     // Well-spaced packets see no queueing: the model only charges

@@ -20,6 +20,8 @@
 #include "base/random.hh"
 #include "harness/experiment.hh"
 #include "splitc/splitc.hh"
+#include "svc/json.hh"
+#include "svc/service.hh"
 
 namespace nowcluster {
 namespace {
@@ -347,6 +349,138 @@ TEST_P(LossyApps, CompletesAndValidatesUnderLoss)
 
 INSTANTIATE_TEST_SUITE_P(AllApps, LossyApps,
                          ::testing::ValuesIn(appKeys()));
+
+// ----------------------------------------------------------------------
+// nowlabd protocol fuzzing: adversarial bytes through the JSON parser
+// and ServiceCore::handleLine. The invariant is the contract server.hh
+// relies on: every line gets back one well-formed JSON object and the
+// process never crashes or simulates junk. Cores run cache-only so any
+// garbage that happens to parse as a valid submit is answered with
+// "cache-miss" instead of burning a simulation.
+// ----------------------------------------------------------------------
+
+svc::ServiceConfig
+fuzzCoreConfig()
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.maxQueue = 4;
+    cfg.cacheOnly = true;
+    return cfg;
+}
+
+/** The reply must always be a JSON object with an "ok" field. */
+void
+expectWellFormedReply(const std::string &reply, const std::string &line)
+{
+    svc::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(svc::parseJson(reply, v, &err))
+        << "reply '" << reply << "' to line '" << line << "': " << err;
+    ASSERT_TRUE(v.isObject()) << reply;
+    ASSERT_TRUE(v.find("ok") != nullptr) << reply;
+}
+
+TEST(ProtocolFuzz, RandomBytesNeverCrashTheParser)
+{
+    Rng rng(1234, 1);
+    for (int i = 0; i < 5000; ++i) {
+        std::string line;
+        std::size_t len = rng.below(256);
+        for (std::size_t j = 0; j < len; ++j)
+            line += static_cast<char>(rng.below(256));
+        svc::JsonValue v;
+        svc::parseJson(line, v); // Must return, not crash.
+    }
+}
+
+TEST(ProtocolFuzz, RandomJunkLinesGetJsonErrorReplies)
+{
+    svc::ServiceCore core(fuzzCoreConfig());
+    Rng rng(5678, 2);
+    for (int i = 0; i < 2000; ++i) {
+        std::string line;
+        std::size_t len = rng.below(200);
+        for (std::size_t j = 0; j < len; ++j) {
+            // Half printable JSON-ish alphabet, half arbitrary bytes:
+            // the former reaches much deeper into the parser.
+            line += (rng.below(2) == 0)
+                        ? "{}[]\",:0123456789.eE+-truefalsnu \\"
+                              [rng.below(34)]
+                        : static_cast<char>(rng.below(256));
+        }
+        expectWellFormedReply(core.handleLine(line), line);
+    }
+}
+
+TEST(ProtocolFuzz, TruncationsAndMutationsOfAValidSubmit)
+{
+    const std::string valid =
+        "{\"op\":\"submit\",\"app\":\"radix\",\"procs\":4,"
+        "\"scale\":0.1,\"seed\":7,\"machine\":\"now\","
+        "\"knobs\":{\"overhead\":12.9,\"drop\":0.01}}";
+    svc::ServiceCore core(fuzzCoreConfig());
+
+    // Every prefix of a valid request.
+    for (std::size_t n = 0; n <= valid.size(); ++n)
+        expectWellFormedReply(core.handleLine(valid.substr(0, n)),
+                              valid.substr(0, n));
+
+    // Random single- and multi-byte mutations.
+    Rng rng(9012, 3);
+    for (int i = 0; i < 2000; ++i) {
+        std::string line = valid;
+        int edits = 1 + static_cast<int>(rng.below(4));
+        for (int e = 0; e < edits; ++e)
+            line[rng.below(line.size())] =
+                static_cast<char>(rng.below(256));
+        expectWellFormedReply(core.handleLine(line), line);
+    }
+}
+
+TEST(ProtocolFuzz, OversizedRequestIsRejectedNotBuffered)
+{
+    svc::ServiceCore core(fuzzCoreConfig());
+    std::string big = "{\"op\":\"submit\",\"app\":\"";
+    big.append(svc::kMaxRequestBytes, 'a');
+    big += "\"}";
+    std::string reply = core.handleLine(big);
+    expectWellFormedReply(reply, "<oversized>");
+    svc::JsonValue v;
+    ASSERT_TRUE(svc::parseJson(reply, v));
+    EXPECT_FALSE(v.boolOr("ok", true));
+}
+
+TEST(ProtocolFuzz, PathologicalNestingFailsTheParseNotTheProcess)
+{
+    svc::ServiceCore core(fuzzCoreConfig());
+    for (const char *brackets : {"[", "{\"a\":"}) {
+        std::string deep;
+        for (int i = 0; i < 2000; ++i)
+            deep += brackets;
+        svc::JsonValue v;
+        EXPECT_FALSE(svc::parseJson(deep, v)); // Depth-capped.
+        expectWellFormedReply(core.handleLine(deep), "<deep>");
+    }
+}
+
+TEST(ProtocolFuzz, ValidRequestsStillWorkAfterTheStorm)
+{
+    // The core must come out of a fuzzing barrage fully functional.
+    svc::ServiceCore core(fuzzCoreConfig());
+    Rng rng(3456, 4);
+    for (int i = 0; i < 500; ++i) {
+        std::string line;
+        for (std::size_t j = rng.below(100); j > 0; --j)
+            line += static_cast<char>(rng.below(256));
+        core.handleLine(line);
+    }
+    std::string reply = core.handleLine("{\"op\":\"stats\"}");
+    svc::JsonValue v;
+    ASSERT_TRUE(svc::parseJson(reply, v));
+    EXPECT_TRUE(v.boolOr("ok", false));
+    EXPECT_TRUE(v.boolOr("cache_only", false));
+}
 
 } // namespace
 } // namespace nowcluster

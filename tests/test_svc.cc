@@ -1,0 +1,704 @@
+/**
+ * @file
+ * Tests for the experiment service: canonical spec hashing, the result
+ * codec, the on-disk content-addressed store (corruption, LRU,
+ * crash-recovery), the cached parallel runner, and nowlabd itself
+ * (ServiceCore protocol + the TCP server end-to-end on an ephemeral
+ * port). The load-bearing property throughout: a cache hit is
+ * byte-identical to recomputation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "svc/codec.hh"
+#include "svc/hash.hh"
+#include "svc/json.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+#include "svc/spec.hh"
+#include "svc/store.hh"
+
+namespace nowcluster {
+namespace {
+
+/** A fresh store directory per test, removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/nowsvc-XXXXXX";
+        char *p = ::mkdtemp(tmpl);
+        EXPECT_NE(p, nullptr);
+        path = p ? p : "";
+    }
+
+    ~TempDir()
+    {
+        if (path.empty())
+            return;
+        if (DIR *d = ::opendir(path.c_str())) {
+            while (struct dirent *e = ::readdir(d)) {
+                std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    std::remove((path + "/" + name).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(path.c_str());
+    }
+};
+
+/** Install a RunCache for one scope; always uninstalls. */
+struct CacheGuard
+{
+    explicit CacheGuard(RunCache *c) { setRunCache(c); }
+    ~CacheGuard() { setRunCache(nullptr); }
+};
+
+RunPoint
+smallPoint(const std::string &app = "radix", double overhead = -1)
+{
+    RunPoint pt;
+    pt.app = app;
+    pt.config.nprocs = 4;
+    pt.config.scale = 0.1;
+    pt.config.seed = 1;
+    if (overhead > 0)
+        pt.config.knobs.overheadUs = overhead;
+    return pt;
+}
+
+// ---- canonical spec + key -------------------------------------------
+
+TEST(Spec, KeyIsStableAndWellFormed)
+{
+    RunPoint pt = smallPoint();
+    std::string key = svc::cacheKey(pt);
+    EXPECT_EQ(key.size(), 64u);
+    for (char c : key)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << key;
+    EXPECT_EQ(key, svc::cacheKey(pt));
+    EXPECT_EQ(svc::canonicalSpec(pt), svc::canonicalSpec(pt));
+}
+
+TEST(Spec, KeyIsSensitiveToEveryFieldThatChangesResults)
+{
+    const std::string base = svc::cacheKey(smallPoint());
+
+    std::vector<RunPoint> variants;
+    variants.push_back(smallPoint("em3d-write"));
+    RunPoint p = smallPoint();
+    p.config.nprocs = 8;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.scale = 0.2;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.seed = 2;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.validate = false;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.maxTime = 42 * kSec;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.machine = MachineConfig::intelParagon();
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.knobs.overheadUs = 12.9;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.knobs.gapUs = 30;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.knobs.latencyUs = 55;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.knobs.bulkMBps = 10;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.knobs.window = 4;
+    variants.push_back(p);
+    p = smallPoint();
+    p.config.knobs.dropRate = 0.01;
+    p.config.knobs.reliable = 1;
+    variants.push_back(p);
+
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        EXPECT_NE(svc::cacheKey(variants[i]), base) << "variant " << i;
+        for (std::size_t j = i + 1; j < variants.size(); ++j)
+            EXPECT_NE(svc::cacheKey(variants[i]),
+                      svc::cacheKey(variants[j]))
+                << i << " vs " << j;
+    }
+
+    // A double that differs in the last bit must not alias.
+    p = smallPoint();
+    p.config.knobs.overheadUs = 12.9;
+    RunPoint q = smallPoint();
+    q.config.knobs.overheadUs =
+        std::nextafter(12.9, 1e9);
+    EXPECT_NE(svc::cacheKey(p), svc::cacheKey(q));
+}
+
+TEST(Spec, ValidateSpecAnswersInsteadOfKilling)
+{
+    EXPECT_EQ(svc::validateSpec(smallPoint()), "");
+
+    RunPoint pt = smallPoint("no-such-app");
+    EXPECT_NE(svc::validateSpec(pt), "");
+    pt = smallPoint();
+    pt.config.nprocs = 1;
+    EXPECT_NE(svc::validateSpec(pt), "");
+    pt = smallPoint();
+    pt.config.nprocs = 100000;
+    EXPECT_NE(svc::validateSpec(pt), "");
+    pt = smallPoint();
+    pt.config.scale = 0;
+    EXPECT_NE(svc::validateSpec(pt), "");
+    pt = smallPoint();
+    pt.config.knobs.overheadUs = 0.5; // Below the hardware baseline.
+    EXPECT_NE(svc::validateSpec(pt), "");
+    pt = smallPoint();
+    pt.config.knobs.dropRate = 2.0;
+    EXPECT_NE(svc::validateSpec(pt), "");
+}
+
+// ---- result codec ----------------------------------------------------
+
+TEST(Codec, RoundTripIsByteIdentical)
+{
+    RunPoint pt = smallPoint();
+    RunResult r = runApp(pt.app, pt.config);
+    ASSERT_TRUE(r.ok);
+
+    std::string payload = svc::encodeResult(r);
+    RunResult back;
+    ASSERT_TRUE(svc::decodeResult(payload, back));
+
+    EXPECT_EQ(fingerprint(back), fingerprint(r));
+    EXPECT_EQ(back.metrics.render(), r.metrics.render());
+    EXPECT_EQ(back.runtime, r.runtime);
+    EXPECT_EQ(back.validated, r.validated);
+    // Re-encoding the decoded result reproduces the exact bytes.
+    EXPECT_EQ(svc::encodeResult(back), payload);
+}
+
+TEST(Codec, EveryTruncationFailsCleanly)
+{
+    RunPoint pt = smallPoint();
+    RunResult r = runApp(pt.app, pt.config);
+    std::string payload = svc::encodeResult(r);
+    for (std::size_t n = 0; n < payload.size(); ++n) {
+        RunResult out;
+        EXPECT_FALSE(svc::decodeResult(
+            std::string_view(payload.data(), n), out))
+            << "prefix of " << n << " bytes decoded";
+    }
+    // Trailing garbage is rejected too.
+    RunResult out;
+    EXPECT_FALSE(svc::decodeResult(payload + "x", out));
+}
+
+TEST(Codec, RandomFlipsNeverCrash)
+{
+    RunPoint pt = smallPoint();
+    std::string payload = svc::encodeResult(runApp(pt.app, pt.config));
+    for (std::size_t i = 0; i < payload.size(); i += 7) {
+        std::string bad = payload;
+        bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+        RunResult out;
+        svc::decodeResult(bad, out); // Must return, not crash.
+    }
+}
+
+// ---- result store ----------------------------------------------------
+
+std::string
+hexKey(char fill)
+{
+    return std::string(64, fill);
+}
+
+TEST(Store, RoundTripAndMissingKey)
+{
+    TempDir dir;
+    svc::ResultStore store(dir.path);
+    std::string payload = "some experiment bytes";
+    EXPECT_TRUE(store.put(hexKey('a'), payload));
+
+    std::string got;
+    EXPECT_TRUE(store.get(hexKey('a'), got));
+    EXPECT_EQ(got, payload);
+    EXPECT_FALSE(store.get(hexKey('b'), got));
+    EXPECT_FALSE(store.put("not-a-key", payload));
+
+    svc::ResultStore::Stats s = store.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.puts, 1u);
+    EXPECT_EQ(store.entryCount(), 1u);
+}
+
+TEST(Store, SurvivesReopen)
+{
+    TempDir dir;
+    {
+        svc::ResultStore store(dir.path);
+        EXPECT_TRUE(store.put(hexKey('a'), "alpha"));
+        EXPECT_TRUE(store.put(hexKey('b'), "beta"));
+    }
+    svc::ResultStore store(dir.path);
+    std::string got;
+    EXPECT_TRUE(store.get(hexKey('a'), got));
+    EXPECT_EQ(got, "alpha");
+    EXPECT_TRUE(store.get(hexKey('b'), got));
+    EXPECT_EQ(got, "beta");
+}
+
+TEST(Store, CorruptEntriesAreDetectedAndDropped)
+{
+    for (int mode = 0; mode < 3; ++mode) {
+        TempDir dir;
+        svc::ResultStore store(dir.path);
+        ASSERT_TRUE(store.put(hexKey('c'), "precious result bytes"));
+        std::string obj = dir.path + "/obj-" + hexKey('c');
+
+        if (mode == 0) {
+            // Flip one payload byte behind the store's back.
+            std::FILE *f = std::fopen(obj.c_str(), "r+b");
+            ASSERT_NE(f, nullptr);
+            std::fseek(f, -3, SEEK_END);
+            int c = std::fgetc(f);
+            std::fseek(f, -3, SEEK_END);
+            std::fputc(c ^ 0xff, f);
+            std::fclose(f);
+        } else if (mode == 1) {
+            // Truncate mid-payload.
+            ASSERT_EQ(::truncate(obj.c_str(), 90), 0);
+        } else {
+            // Replace with junk entirely.
+            std::FILE *f = std::fopen(obj.c_str(), "wb");
+            ASSERT_NE(f, nullptr);
+            std::fputs("not a store entry at all", f);
+            std::fclose(f);
+        }
+
+        std::string got;
+        EXPECT_FALSE(store.get(hexKey('c'), got)) << "mode " << mode;
+        EXPECT_EQ(store.stats().corrupt, 1u) << "mode " << mode;
+        // The bad entry is gone: no longer indexed, file removed.
+        EXPECT_EQ(store.entryCount(), 0u) << "mode " << mode;
+        EXPECT_NE(::access(obj.c_str(), F_OK), 0) << "mode " << mode;
+    }
+}
+
+TEST(Store, LruEvictionSparesRecentlyTouched)
+{
+    TempDir dir;
+    // Entry file = 88 bytes of header + payload; bound fits three.
+    const std::string payload(100, 'x');
+    svc::ResultStore store(dir.path, 600);
+    ASSERT_TRUE(store.put(hexKey('a'), payload));
+    ASSERT_TRUE(store.put(hexKey('b'), payload));
+    ASSERT_TRUE(store.put(hexKey('c'), payload));
+    EXPECT_EQ(store.entryCount(), 3u);
+
+    std::string got;
+    EXPECT_TRUE(store.get(hexKey('a'), got)); // LRU touch: a is hot.
+
+    ASSERT_TRUE(store.put(hexKey('d'), payload));
+    EXPECT_EQ(store.entryCount(), 3u);
+    EXPECT_EQ(store.stats().evictions, 1u);
+    EXPECT_TRUE(store.contains(hexKey('a'))); // Touched: survived.
+    EXPECT_FALSE(store.contains(hexKey('b'))); // Oldest cold: evicted.
+    EXPECT_TRUE(store.contains(hexKey('c')));
+    EXPECT_TRUE(store.contains(hexKey('d')));
+    EXPECT_LE(store.totalBytes(), 600u);
+}
+
+TEST(Store, RebuildsFromObjectsWhenIndexIsLost)
+{
+    TempDir dir;
+    {
+        svc::ResultStore store(dir.path);
+        ASSERT_TRUE(store.put(hexKey('a'), "alpha"));
+        ASSERT_TRUE(store.put(hexKey('b'), "beta"));
+    }
+    // Lose the index, corrupt nothing else, leave a stale tmp file.
+    std::remove((dir.path + "/index.txt").c_str());
+    std::FILE *f =
+        std::fopen((dir.path + "/.tmp-999-abcd").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("half-written wreck", f);
+    std::fclose(f);
+
+    svc::ResultStore store(dir.path);
+    EXPECT_EQ(store.entryCount(), 2u);
+    std::string got;
+    EXPECT_TRUE(store.get(hexKey('a'), got));
+    EXPECT_EQ(got, "alpha");
+    // The crash leftover was swept.
+    EXPECT_NE(::access((dir.path + "/.tmp-999-abcd").c_str(), F_OK), 0);
+}
+
+// ---- cached runs: hit == recomputation, byte for byte ---------------
+
+TEST(CachedRuns, SecondSweepIsAllHitsAndByteIdentical)
+{
+    std::vector<RunPoint> points;
+    for (double o : {2.9, 12.9, 22.9}) {
+        RunPoint p = smallPoint("em3d-write", o);
+        p.config.validate = false;
+        points.push_back(p);
+    }
+
+    // Ground truth: no cache anywhere.
+    std::vector<RunResult> plain = runPoints(points, 2);
+    std::vector<std::string> truth;
+    for (const RunResult &r : plain)
+        truth.push_back(fingerprint(r));
+
+    TempDir dir;
+    svc::ResultStore store(dir.path);
+    svc::StoreCache cache(store);
+    CacheGuard guard(&cache);
+
+    std::vector<RunResult> cold = runPoints(points, 2);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), points.size());
+
+    std::vector<RunResult> warm = runPoints(points, 2);
+    EXPECT_EQ(cache.hits(), points.size());
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(fingerprint(cold[i]), truth[i]) << i;
+        EXPECT_EQ(fingerprint(warm[i]), truth[i]) << i;
+        EXPECT_EQ(warm[i].metrics.render(), cold[i].metrics.render())
+            << i;
+    }
+}
+
+TEST(CachedRuns, SinkedPointsBypassTheCache)
+{
+    TempDir dir;
+    svc::ResultStore store(dir.path);
+    svc::StoreCache cache(store);
+    CacheGuard guard(&cache);
+
+    RunPoint pt = smallPoint();
+    MessageTrace trace;
+    pt.config.trace = &trace;
+    RunResult r = runPointCached(pt);
+    EXPECT_TRUE(r.ok);
+    // A traced run must really run (side effects), and must not
+    // poison the store with a key that ignores the sink.
+    EXPECT_GT(trace.size(), 0u);
+    EXPECT_EQ(store.entryCount(), 0u);
+    EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+}
+
+// ---- runner backpressure and drain ----------------------------------
+
+TEST(Runner, BoundedQueueRejectsWhenFull)
+{
+    Runner pool(1, 1);
+    std::atomic<bool> gate{false};
+    std::atomic<int> ran{0};
+
+    // Occupy the single worker...
+    ASSERT_TRUE(pool.trySubmit([&] {
+        while (!gate.load())
+            std::this_thread::yield();
+        ++ran;
+    }));
+    while (pool.activeCount() == 0 && pool.queueDepth() > 0)
+        std::this_thread::yield();
+    // ...fill the one queue slot...
+    ASSERT_TRUE(pool.trySubmit([&] { ++ran; }));
+    // ...and the bound holds.
+    EXPECT_FALSE(pool.trySubmit([&] { ++ran; }));
+
+    gate = true;
+    pool.drain();
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_EQ(pool.queueDepth(), 0u);
+
+    // Accepted again after the drain; rejected after shutdown.
+    EXPECT_TRUE(pool.trySubmit([&] { ++ran; }));
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_FALSE(pool.trySubmit([&] { ++ran; }));
+}
+
+// ---- ServiceCore protocol -------------------------------------------
+
+svc::JsonValue
+parsed(const std::string &reply)
+{
+    svc::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(svc::parseJson(reply, v, &err)) << reply << " " << err;
+    return v;
+}
+
+const std::string kSubmitRadix =
+    "{\"op\":\"submit\",\"app\":\"radix\",\"procs\":4,\"scale\":0.1}";
+
+TEST(ServiceCore, SubmitStatusGetLifecycle)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 2;
+    svc::ServiceCore core(cfg);
+
+    svc::JsonValue v = parsed(core.handleLine(kSubmitRadix));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    std::uint64_t id = static_cast<std::uint64_t>(v.numberOr("id", 0));
+    EXPECT_EQ(id, 1u);
+
+    core.drain();
+    std::string status = "{\"op\":\"status\",\"id\":1}";
+    v = parsed(core.handleLine(status));
+    EXPECT_EQ(v.stringOr("state", ""), "done");
+
+    v = parsed(core.handleLine("{\"op\":\"get\",\"id\":1}"));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    EXPECT_TRUE(v.boolOr("run_ok", false));
+    EXPECT_TRUE(v.boolOr("validated", false));
+
+    // The reported fingerprint is the local recomputation's, hashed or
+    // not: compare against runApp directly.
+    RunPoint pt = smallPoint();
+    RunResult local = runApp(pt.app, pt.config);
+    EXPECT_EQ(v.stringOr("fingerprint", ""), fingerprint(local));
+    EXPECT_EQ(v.stringOr("key", ""), svc::cacheKey(pt));
+
+    v = parsed(core.handleLine("{\"op\":\"get\",\"id\":99}"));
+    EXPECT_FALSE(v.boolOr("ok", true));
+}
+
+TEST(ServiceCore, BadSubmitsAreAnsweredNotFatal)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    svc::ServiceCore core(cfg);
+    for (const char *line : {
+             "{\"op\":\"submit\",\"app\":\"no-such-app\"}",
+             "{\"op\":\"submit\",\"app\":\"radix\",\"procs\":1}",
+             "{\"op\":\"submit\",\"app\":\"radix\",\"scale\":-1}",
+             "{\"op\":\"submit\",\"app\":\"radix\","
+             "\"knobs\":{\"overhead\":0.1}}",
+             "{\"op\":\"nonsense\"}",
+             "not json at all",
+         }) {
+        svc::JsonValue v = parsed(core.handleLine(line));
+        EXPECT_FALSE(v.boolOr("ok", true)) << line;
+    }
+    svc::JsonValue v = parsed(core.handleLine("{\"op\":\"stats\"}"));
+    EXPECT_EQ(v.find("counters")->numberOr("svc.requests.bad", 0), 6);
+}
+
+TEST(ServiceCore, FullQueueAnswersBusyWithRetryHint)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.maxQueue = 1;
+    cfg.retryAfterMs = 123;
+    svc::ServiceCore core(cfg);
+
+    // Flood far faster than 4-proc radix runs can drain.
+    int busy = 0, accepted = 0;
+    std::uint64_t hinted = 0;
+    for (int i = 0; i < 24; ++i) {
+        svc::JsonValue v = parsed(core.handleLine(kSubmitRadix));
+        if (v.boolOr("ok", false)) {
+            ++accepted;
+        } else {
+            EXPECT_EQ(v.stringOr("error", ""), "busy");
+            hinted =
+                static_cast<std::uint64_t>(v.numberOr("retry_after_ms", 0));
+            ++busy;
+        }
+    }
+    EXPECT_GT(busy, 0);
+    EXPECT_GT(accepted, 0);
+    EXPECT_EQ(hinted, 123u);
+
+    core.drain();
+    // Every accepted job completed; every busy submit left no ghost.
+    svc::JsonValue v = parsed(core.handleLine("{\"op\":\"stats\"}"));
+    const svc::JsonValue *counters = v.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->numberOr("svc.jobs.done", -1), accepted);
+    EXPECT_EQ(counters->numberOr("svc.requests.busy", -1), busy);
+    EXPECT_EQ(v.numberOr("queue_depth", -1), 0);
+}
+
+TEST(ServiceCore, DrainingRefusesNewWorkButServesCacheHits)
+{
+    TempDir dir;
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.cacheDir = dir.path;
+    svc::ServiceCore core(cfg);
+
+    // Warm the store with one real run.
+    parsed(core.handleLine(kSubmitRadix));
+    core.drain();
+
+    svc::JsonValue v = parsed(core.handleLine("{\"op\":\"shutdown\"}"));
+    EXPECT_TRUE(v.boolOr("ok", false));
+    EXPECT_TRUE(core.shuttingDown());
+
+    // A novel point is refused...
+    v = parsed(core.handleLine(
+        "{\"op\":\"submit\",\"app\":\"radix\",\"procs\":8,"
+        "\"scale\":0.1}"));
+    EXPECT_EQ(v.stringOr("error", ""), "shutting-down");
+    // ...but the warmed point still completes instantly from disk.
+    v = parsed(core.handleLine(kSubmitRadix));
+    EXPECT_TRUE(v.boolOr("ok", false));
+    EXPECT_TRUE(v.boolOr("cached", false));
+    EXPECT_EQ(v.stringOr("state", ""), "done");
+}
+
+TEST(ServiceCore, CacheOnlyModeNeverSimulates)
+{
+    TempDir dir;
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.cacheDir = dir.path;
+    cfg.cacheOnly = true;
+    svc::ServiceCore core(cfg);
+    svc::JsonValue v = parsed(core.handleLine(kSubmitRadix));
+    EXPECT_EQ(v.stringOr("error", ""), "cache-miss");
+    v = parsed(core.handleLine("{\"op\":\"stats\"}"));
+    EXPECT_EQ(v.find("counters")->numberOr("svc.jobs.done", -1), 0);
+}
+
+// ---- the TCP server, end to end -------------------------------------
+
+TEST(Server, SubmitPollGetOverTcpMatchesLocalRun)
+{
+    TempDir dir;
+    svc::ServiceConfig cfg;
+    cfg.jobs = 2;
+    cfg.cacheDir = dir.path;
+    svc::NowlabServer server(cfg, 0); // Ephemeral port.
+    ASSERT_TRUE(server.start());
+    ASSERT_GT(server.port(), 0);
+
+    svc::Client client("127.0.0.1", server.port());
+    std::string reply;
+    ASSERT_TRUE(client.request(kSubmitRadix, reply));
+    svc::JsonValue v = parsed(reply);
+    ASSERT_TRUE(v.boolOr("ok", false));
+    std::uint64_t id = static_cast<std::uint64_t>(v.numberOr("id", 0));
+
+    std::string state = v.stringOr("state", "");
+    while (state == "queued" || state == "running") {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ASSERT_TRUE(client.request("{\"op\":\"status\",\"id\":" +
+                                       std::to_string(id) + "}",
+                                   reply));
+        state = parsed(reply).stringOr("state", "failed");
+    }
+    ASSERT_EQ(state, "done");
+
+    ASSERT_TRUE(client.request(
+        "{\"op\":\"get\",\"id\":" + std::to_string(id) + "}", reply));
+    v = parsed(reply);
+    RunPoint pt = smallPoint();
+    RunResult local = runApp(pt.app, pt.config);
+    EXPECT_EQ(v.stringOr("fingerprint", ""), fingerprint(local));
+
+    // Resubmitting the same spec is an instant cache hit with the
+    // byte-identical fingerprint.
+    ASSERT_TRUE(client.request(kSubmitRadix, reply));
+    v = parsed(reply);
+    ASSERT_TRUE(v.boolOr("ok", false));
+    EXPECT_TRUE(v.boolOr("cached", false));
+    EXPECT_EQ(v.stringOr("state", ""), "done");
+    std::uint64_t id2 = static_cast<std::uint64_t>(v.numberOr("id", 0));
+    ASSERT_TRUE(client.request(
+        "{\"op\":\"get\",\"id\":" + std::to_string(id2) + "}", reply));
+    EXPECT_EQ(parsed(reply).stringOr("fingerprint", ""),
+              fingerprint(local));
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Server, SigtermStyleStopDrainsAcceptedJobs)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    svc::NowlabServer server(cfg, 0);
+    ASSERT_TRUE(server.start());
+
+    svc::Client client("127.0.0.1", server.port());
+    std::string reply;
+    ASSERT_TRUE(client.request(kSubmitRadix, reply));
+    ASSERT_TRUE(parsed(reply).boolOr("ok", false));
+
+    // Stop immediately -- like the SIGTERM handler would -- and wait.
+    server.requestStop();
+    server.wait();
+
+    // The accepted job must have completed, not been abandoned.
+    svc::JsonValue v =
+        parsed(server.core().handleLine("{\"op\":\"status\",\"id\":1}"));
+    EXPECT_EQ(v.stringOr("state", ""), "done");
+}
+
+TEST(Server, StatsReportMetricsAndStore)
+{
+    TempDir dir;
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.cacheDir = dir.path;
+    svc::NowlabServer server(cfg, 0);
+    ASSERT_TRUE(server.start());
+
+    svc::Client client("127.0.0.1", server.port());
+    std::string reply;
+    ASSERT_TRUE(client.request(kSubmitRadix, reply));
+    server.core().drain();
+    ASSERT_TRUE(client.request("{\"op\":\"stats\"}", reply));
+    svc::JsonValue v = parsed(reply);
+    const svc::JsonValue *counters = v.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->numberOr("svc.submits", -1), 1);
+    EXPECT_EQ(counters->numberOr("svc.jobs.done", -1), 1);
+    const svc::JsonValue *hist = v.find("histograms");
+    ASSERT_NE(hist, nullptr);
+    ASSERT_NE(hist->find("svc.run_time"), nullptr);
+    EXPECT_EQ(hist->find("svc.run_time")->numberOr("count", -1), 1);
+    const svc::JsonValue *store = v.find("store");
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->numberOr("puts", -1), 1);
+
+    server.requestStop();
+    server.wait();
+}
+
+} // namespace
+} // namespace nowcluster

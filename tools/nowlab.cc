@@ -13,6 +13,12 @@
  *               [--out FILE]
  *   nowlab trace <app> [--out F.json] [--bin F] [knobs]
  *   nowlab replay --trace FILE.csv | --obs FILE [--procs N] [knobs]
+ *   nowlab serve [--port P] [--jobs J] [--queue N] [--cache-dir D]
+ *                [--cache-only]
+ *   nowlab submit <app> [knobs] [--host H] [--port P] [--wait]
+ *   nowlab get --id N [--host H] [--port P]
+ *   nowlab get <app> --cache-dir D [knobs]      (offline store read)
+ *   nowlab stats [--host H] [--port P] [--shutdown]
  *
  * Knobs (all optional): --overhead US --gap US --latency US --mbps B
  *                       --occupancy US --window N
@@ -22,11 +28,14 @@
  */
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/app.hh"
@@ -44,6 +53,12 @@
 #include "replay/replay.hh"
 #include "sim/fiber.hh"
 #include "sim/simulator.hh"
+#include "svc/codec.hh"
+#include "svc/hash.hh"
+#include "svc/json.hh"
+#include "svc/server.hh"
+#include "svc/spec.hh"
+#include "svc/store.hh"
 
 using namespace nowcluster;
 
@@ -242,12 +257,52 @@ cmdRun(const Args &a)
     return r.ok && r.validated ? 0 : 1;
 }
 
+/**
+ * Result-store attachment shared by sweep and the bench path:
+ * --cache-dir on the command line wins, else NOW_CACHE_DIR. While an
+ * instance is alive the global RunCache hook serves every
+ * runPointCached/runPoints call from the store.
+ */
+struct CacheScope
+{
+    std::unique_ptr<svc::ResultStore> store;
+    std::unique_ptr<svc::StoreCache> cache;
+
+    explicit CacheScope(const Args &a)
+    {
+        auto it = a.options.find("cache-dir");
+        std::string dir =
+            it != a.options.end() ? it->second : envCacheDir();
+        if (dir.empty())
+            return;
+        store = std::make_unique<svc::ResultStore>(dir);
+        cache = std::make_unique<svc::StoreCache>(*store);
+        setRunCache(cache.get());
+    }
+
+    ~CacheScope()
+    {
+        if (cache) {
+            setRunCache(nullptr);
+            std::printf("cache      : %llu hits, %llu misses (%s, "
+                        "%zu entries, %.1f MB)\n",
+                        static_cast<unsigned long long>(cache->hits()),
+                        static_cast<unsigned long long>(
+                            cache->misses()),
+                        store->dir().c_str(), store->entryCount(),
+                        static_cast<double>(store->totalBytes()) / 1e6);
+        }
+    }
+};
+
 int
 cmdSweep(const Args &a)
 {
     if (a.positional.size() < 2)
         fatal("usage: nowlab sweep <app> --knob K --values a,b,c");
     std::string key = a.positional[1];
+    CacheScope cache(a);
+    auto t0 = std::chrono::steady_clock::now();
     auto knob_it = a.options.find("knob");
     auto values_it = a.options.find("values");
     fatal_if(knob_it == a.options.end() || values_it == a.options.end(),
@@ -271,7 +326,7 @@ cmdSweep(const Args &a)
     fatal_if(xs.empty(), "no sweep values given");
 
     RunConfig base = configOf(a);
-    RunResult b = runApp(key, base);
+    RunResult b = runPointCached(RunPoint{key, base});
     std::printf("%s baseline: %.3f ms (m = %llu msgs/proc)\n",
                 b.summary.app.c_str(), toMsec(b.runtime),
                 static_cast<unsigned long long>(b.maxMsgsPerProc));
@@ -320,7 +375,226 @@ cmdSweep(const Args &a)
             row.cell(std::string("N/A")).cell(std::string("N/A"));
     }
     t.print();
+    std::printf("wall clock : %.2f s\n",
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
     return 0;
+}
+
+svc::NowlabServer *gServer = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    if (gServer)
+        gServer->requestStop(); // Async-signal-safe: one pipe write.
+}
+
+int
+cmdServe(const Args &a)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = static_cast<int>(optLong(a, "jobs", 0));
+    cfg.maxQueue =
+        static_cast<std::size_t>(optLong(a, "queue", 64));
+    auto dir = a.options.find("cache-dir");
+    cfg.cacheDir =
+        dir != a.options.end() ? dir->second : envCacheDir();
+    cfg.cacheOnly = a.flags.count("cache-only") != 0;
+    fatal_if(cfg.cacheOnly && cfg.cacheDir.empty(),
+             "--cache-only needs --cache-dir (or NOW_CACHE_DIR)");
+
+    svc::NowlabServer server(
+        cfg, static_cast<int>(optLong(a, "port", svc::kDefaultPort)));
+    if (!server.start())
+        fatal("cannot bind 127.0.0.1:%ld",
+              optLong(a, "port", svc::kDefaultPort));
+    gServer = &server;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+
+    std::printf("nowlabd on 127.0.0.1:%d (%d workers, queue %zu%s%s%s)\n",
+                server.port(), resolveJobs(cfg.jobs), cfg.maxQueue,
+                cfg.cacheDir.empty() ? "" : ", store ",
+                cfg.cacheDir.c_str(),
+                cfg.cacheOnly ? ", cache-only" : "");
+    std::fflush(stdout); // Port line must reach pipes before we block.
+    server.wait(); // Returns once stopped and fully drained.
+    gServer = nullptr;
+    std::printf("nowlabd drained, bye\n");
+    return 0;
+}
+
+svc::Client
+clientOf(const Args &a)
+{
+    auto host = a.options.find("host");
+    return svc::Client(
+        host != a.options.end() ? host->second : "127.0.0.1",
+        static_cast<int>(optLong(a, "port", svc::kDefaultPort)));
+}
+
+/** One round trip; fatal on transport failure (dead server). */
+svc::JsonValue
+roundTrip(svc::Client &client, const std::string &line)
+{
+    std::string reply;
+    fatal_if(!client.request(line, reply),
+             "cannot reach nowlabd (is it running? try `nowlab serve`)");
+    svc::JsonValue v;
+    std::string err;
+    fatal_if(!svc::parseJson(reply, v, &err),
+             "malformed reply from nowlabd: %s", err.c_str());
+    std::printf("%s\n", reply.c_str());
+    return v;
+}
+
+/** Render the command line as a nowlabd submit request. */
+std::string
+submitRequestOf(const Args &a)
+{
+    svc::JsonWriter w;
+    w.beginObject().field("op", "submit");
+    w.field("app", a.positional[1]);
+    w.field("procs",
+            static_cast<std::int64_t>(optLong(a, "procs", 32)));
+    w.field("scale", optDouble(a, "scale", 1.0));
+    w.field("seed", static_cast<std::int64_t>(optLong(a, "seed", 1)));
+    if (a.options.count("machine"))
+        w.field("machine", a.options.at("machine"));
+    if (a.options.count("max-ms"))
+        w.field("max_ms", optDouble(a, "max-ms", 0));
+    if (a.flags.count("no-validate"))
+        w.field("validate", false);
+
+    static const char *kKnobKeys[] = {
+        "overhead", "gap",     "latency",       "mbps",
+        "occupancy", "window", "fabric-hosts",  "fabric-mbps",
+        "drop",      "dup",    "corrupt",       "reorder",
+        "reorder-delay", "fault-seed", "reliable", "rto",
+    };
+    bool any = false;
+    for (const char *k : kKnobKeys)
+        any = any || a.options.count(k);
+    if (any) {
+        w.beginObject("knobs");
+        for (const char *k : kKnobKeys) {
+            if (a.options.count(k))
+                w.field(k, optDouble(a, k, -1));
+        }
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+int
+cmdSubmit(const Args &a)
+{
+    if (a.positional.size() < 2)
+        fatal("usage: nowlab submit <app> [knobs] [--host H] "
+              "[--port P] [--wait]");
+    svc::Client client = clientOf(a);
+    const bool wait = a.flags.count("wait") != 0;
+
+    svc::JsonValue v = roundTrip(client, submitRequestOf(a));
+    while (wait && v.stringOr("error", "") == "busy") {
+        // Backpressure: honour the server's retry hint.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<long>(v.numberOr("retry_after_ms", 250))));
+        v = roundTrip(client, submitRequestOf(a));
+    }
+    if (!v.boolOr("ok", false))
+        return 1;
+    if (!wait)
+        return 0;
+
+    std::uint64_t id =
+        static_cast<std::uint64_t>(v.numberOr("id", 0));
+    std::string state = v.stringOr("state", "");
+    while (state == "queued" || state == "running") {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        svc::JsonWriter q;
+        q.beginObject().field("op", "status").field("id", id).endObject();
+        std::string reply;
+        fatal_if(!client.request(q.str(), reply),
+                 "lost nowlabd while waiting on job %llu",
+                 static_cast<unsigned long long>(id));
+        svc::JsonValue s;
+        if (!svc::parseJson(reply, s, nullptr))
+            return 1;
+        state = s.stringOr("state", "failed");
+    }
+
+    svc::JsonWriter g;
+    g.beginObject().field("op", "get").field("id", id).endObject();
+    v = roundTrip(client, g.str());
+    return v.boolOr("ok", false) && v.boolOr("run_ok", false) ? 0 : 1;
+}
+
+int
+cmdGet(const Args &a)
+{
+    if (a.options.count("id")) {
+        svc::Client client = clientOf(a);
+        svc::JsonWriter g;
+        g.beginObject()
+            .field("op", "get")
+            .field("id",
+                   static_cast<std::uint64_t>(optLong(a, "id", 0)))
+            .endObject();
+        svc::JsonValue v = roundTrip(client, g.str());
+        return v.boolOr("ok", false) ? 0 : 1;
+    }
+
+    // Offline mode: hash the spec locally and read the store directly,
+    // no server (or simulation) anywhere in the path.
+    if (a.positional.size() < 2)
+        fatal("usage: nowlab get --id N [--host H] [--port P]\n"
+              "       nowlab get <app> --cache-dir D [knobs]");
+    auto dir = a.options.find("cache-dir");
+    std::string cacheDir =
+        dir != a.options.end() ? dir->second : envCacheDir();
+    fatal_if(cacheDir.empty(),
+             "offline get needs --cache-dir (or NOW_CACHE_DIR)");
+
+    RunPoint pt{a.positional[1], configOf(a)};
+    std::string key = svc::cacheKey(pt);
+    svc::ResultStore store(cacheDir);
+    std::string payload;
+    RunResult r;
+    if (!store.get(key, payload) || !svc::decodeResult(payload, r)) {
+        std::printf("miss: %s not in %s\n", key.c_str(),
+                    cacheDir.c_str());
+        return 1;
+    }
+    std::printf("key         : %s\n", key.c_str());
+    std::printf("status      : %s%s\n",
+                r.ok ? "completed" : "TIMED OUT",
+                r.ok ? (r.validated ? ", output valid"
+                                    : ", OUTPUT INVALID")
+                     : "");
+    std::printf("runtime     : %.3f ms\n", toMsec(r.runtime));
+    std::printf("msgs/proc   : avg %llu, max %llu\n",
+                static_cast<unsigned long long>(
+                    r.summary.avgMsgsPerProc),
+                static_cast<unsigned long long>(r.maxMsgsPerProc));
+    std::printf("fingerprint : %s\n",
+                svc::sha256Hex(fingerprint(r)).c_str());
+    return 0;
+}
+
+int
+cmdStats(const Args &a)
+{
+    svc::Client client = clientOf(a);
+    // Stats before shutdown: the server winds down right after the
+    // shutdown reply, so this order gets the final numbers out.
+    svc::JsonValue v = roundTrip(client, "{\"op\":\"stats\"}");
+    if (a.flags.count("shutdown"))
+        roundTrip(client, "{\"op\":\"shutdown\"}");
+    return v.boolOr("ok", false) ? 0 : 1;
 }
 
 /**
@@ -613,6 +887,15 @@ main(int argc, char **argv)
             "             [--scale S] [knobs]\n"
             "  nowlab replay --trace FILE.csv | --obs FILE [--procs N]\n"
             "             [knobs]\n"
+            "  nowlab serve [--port P] [--jobs J] [--queue N]\n"
+            "             [--cache-dir D] [--cache-only]\n"
+            "  nowlab submit <app> [knobs] [--host H] [--port P]\n"
+            "             [--wait]\n"
+            "  nowlab get --id N [--host H] [--port P]\n"
+            "  nowlab get <app> --cache-dir D [knobs]   (offline)\n"
+            "  nowlab stats [--host H] [--port P] [--shutdown]\n"
+            "sweep/run also honour --cache-dir D / NOW_CACHE_DIR: the\n"
+            "content-addressed result store serves repeated points.\n"
             "knobs: --overhead US --gap US --latency US --mbps B\n"
             "       --occupancy US --window N\n"
             "fault: --drop P --dup P --corrupt P --reorder P\n"
@@ -635,5 +918,13 @@ main(int argc, char **argv)
         return cmdTrace(a);
     if (cmd == "replay")
         return cmdReplay(a);
+    if (cmd == "serve")
+        return cmdServe(a);
+    if (cmd == "submit")
+        return cmdSubmit(a);
+    if (cmd == "get")
+        return cmdGet(a);
+    if (cmd == "stats")
+        return cmdStats(a);
     fatal("unknown command '%s'", cmd.c_str());
 }
