@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "apps/app.hh"
+#include "base/logging.hh"
+#include "base/parse.hh"
 #include "base/table.hh"
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
@@ -37,8 +39,16 @@ inline int
 jobsArg(int argc, char **argv)
 {
     for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0)
-            return std::atoi(argv[i + 1]);
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            long v;
+            // Strict: `--jobs foo` must fail loudly, not silently run
+            // the whole bench single-threaded at atoi's 0.
+            fatal_if(!parseLongStrict(argv[i + 1], v) || v < 0 ||
+                         v > 4096,
+                     "--jobs: '%s' is not a valid worker count",
+                     argv[i + 1]);
+            return static_cast<int>(v);
+        }
     }
     return 0; // runPoints resolves 0 to NOW_JOBS / hardware.
 }

@@ -4,8 +4,13 @@
 #
 #   NOWCLUSTER_SANITIZE=address;undefined   (default) ASan + UBSan
 #   NOWCLUSTER_SANITIZE=thread              TSan: exercises the parallel
-#       experiment runner's threading (harness/runner.cc) and the fiber
-#       switch annotations.
+#       experiment runner's threading (harness/runner.cc), nowlabd's
+#       event-loop thread (svc/server.cc), and the fiber switch
+#       annotations.
+#   NOWCLUSTER_SANITIZE=both                Run the suite twice: once
+#       under ASan + UBSan, once under TSan. This is the mode that
+#       covers the svc tests (the epoll engine, the store's atomic
+#       writes, the connection-churn fuzzer) in both regimes.
 #
 # Note: the fiber scheduler (src/sim/fiber.cc) swaps ucontext stacks;
 # ASan is told about each switch via the start/finish_switch_fiber
@@ -15,6 +20,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SAN=${NOWCLUSTER_SANITIZE:-"address;undefined"}
+
+if [ "$SAN" = both ]; then
+    NOWCLUSTER_SANITIZE="address;undefined" sh "$0" "$@"
+    NOWCLUSTER_SANITIZE=thread sh "$0" "$@"
+    exit 0
+fi
+
 case "$SAN" in
 thread)
     DIR=build-tsan

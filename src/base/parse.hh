@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Strict numeric parsing for user input (command-line options, sweep
+ * value lists).
+ *
+ * The C conversion functions silently turn garbage into zero
+ * (atof("foo") == 0.0), accept trailing junk (strtod("1.5x") == 1.5),
+ * and happily produce NaN/Inf -- any of which would quietly run a
+ * whole sweep at L=0 instead of failing the command. These parsers
+ * accept a value only when the ENTIRE string is one finite, in-range
+ * number, so a typo is a diagnostic, never a silent zero.
+ */
+
+#ifndef NOWCLUSTER_BASE_PARSE_HH_
+#define NOWCLUSTER_BASE_PARSE_HH_
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace nowcluster {
+
+/**
+ * Parse `s` as a double. True only if the whole string (no leading
+ * whitespace, no trailing junk) is a finite number within double
+ * range; "nan", "inf", "1e999", "1.5x", and "" are all rejected.
+ */
+inline bool
+parseDoubleStrict(const std::string &s, double &out)
+{
+    if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])))
+        return false;
+    // strtod accepts C99 hex floats ("0x10"); a user typing that into
+    // a sweep almost certainly did not mean 16.0.
+    std::size_t i = (s[0] == '+' || s[0] == '-') ? 1 : 0;
+    if (s.size() > i + 1 && s[i] == '0' &&
+        (s[i + 1] == 'x' || s[i + 1] == 'X'))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size())
+        return false; // Trailing junk (or nothing consumed).
+    if (errno == ERANGE)
+        return false; // Overflow or underflow.
+    if (!std::isfinite(v))
+        return false; // "nan", "inf", "-infinity", ...
+    out = v;
+    return true;
+}
+
+/**
+ * Parse `s` as a base-10 long. True only if the whole string is one
+ * in-range integer; "12abc", "1.5", "0x10", and "" are all rejected.
+ */
+inline bool
+parseLongStrict(const std::string &s, long &out)
+{
+    if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size())
+        return false;
+    if (errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+/**
+ * Parse a comma-separated list of doubles ("2.9,12.9,102.9"; spaces
+ * around elements are tolerated). On failure returns false and, when
+ * `err` is non-null, names the offending element. Empty elements
+ * ("1,,2", a trailing comma) and an empty list are errors.
+ */
+inline bool
+parseDoubleList(const std::string &s, std::vector<double> &out,
+                std::string *err = nullptr)
+{
+    out.clear();
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t comma = s.find(',', pos);
+        std::size_t end = comma == std::string::npos ? s.size() : comma;
+        std::size_t b = pos, e = end;
+        while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+            ++b;
+        while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+            --e;
+        std::string item = s.substr(b, e - b);
+        double v;
+        if (!parseDoubleStrict(item, v)) {
+            if (err) {
+                *err = item.empty()
+                           ? "empty element in value list"
+                           : "'" + item + "' is not a finite number";
+            }
+            return false;
+        }
+        out.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_BASE_PARSE_HH_

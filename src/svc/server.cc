@@ -1,12 +1,15 @@
 #include "svc/server.hh"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
+#include <vector>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,12 +19,21 @@ namespace nowcluster::svc {
 
 namespace {
 
-/** write() the whole buffer, riding out EINTR and short writes. */
 bool
-writeAll(int fd, const char *p, std::size_t n)
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** send() the whole buffer (blocking socket), riding out EINTR and
+ *  short writes. MSG_NOSIGNAL: a vanished peer is an error return,
+ *  never a SIGPIPE. */
+bool
+sendAll(int fd, const char *p, std::size_t n)
 {
     while (n > 0) {
-        ssize_t w = ::write(fd, p, n);
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
         if (w < 0) {
             if (errno == EINTR)
                 continue;
@@ -35,9 +47,8 @@ writeAll(int fd, const char *p, std::size_t n)
 
 /**
  * Read up to the next '\n' into `line` (newline stripped), carrying
- * leftover bytes between calls in `buffer`. Lines beyond `maxLine`
- * bytes are truncated to maxLine + 1 so the service layer sees "too
- * long" rather than the process seeing unbounded memory.
+ * leftover bytes between calls in `buffer`. Blocking-socket helper for
+ * the client side only; the server never blocks on a read.
  */
 bool
 readLine(int fd, std::string &buffer, std::string &line,
@@ -61,22 +72,16 @@ readLine(int fd, std::string &buffer, std::string &line,
             return false; // Peer closed.
         buffer.append(chunk, static_cast<std::size_t>(r));
         if (buffer.size() > maxLine + 1 &&
-            buffer.find('\n') == std::string::npos) {
-            // Oversized line: surface a too-long marker and resync at
-            // the next newline.
-            line.assign(maxLine + 1, 'x');
-            std::size_t next = buffer.find('\n');
-            buffer.erase(0, next == std::string::npos ? buffer.size()
-                                                      : next + 1);
-            return true;
-        }
+            buffer.find('\n') == std::string::npos)
+            return false; // Oversized reply: treat as transport error.
     }
 }
 
 } // namespace
 
-NowlabServer::NowlabServer(const ServiceConfig &config, int port)
-    : core_(config), requestedPort_(port)
+NowlabServer::NowlabServer(const ServiceConfig &config, int port,
+                           const ServerLimits &limits)
+    : core_(config), limits_(limits), requestedPort_(port)
 {
 }
 
@@ -89,13 +94,28 @@ NowlabServer::~NowlabServer()
 bool
 NowlabServer::start()
 {
+    // SIGPIPE immunity belt-and-braces: every send already passes
+    // MSG_NOSIGNAL, but third-party code (or a future write path)
+    // must not be able to kill the daemon either.
+    std::signal(SIGPIPE, SIG_IGN);
+
     int pipefd[2];
     if (::pipe(pipefd) != 0)
         return false;
     wakeRead_ = pipefd[0];
     wakeWrite_ = pipefd[1];
+    setNonBlocking(wakeRead_);
+    setNonBlocking(wakeWrite_);
 
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd_ < 0) {
+        ::close(wakeRead_);
+        ::close(wakeWrite_);
+        wakeRead_ = wakeWrite_ = -1;
+        return false;
+    }
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (listenFd_ < 0)
         return false;
     int one = 1;
@@ -118,68 +138,268 @@ NowlabServer::start()
     ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
     port_ = ntohs(addr.sin_port);
 
-    acceptor_ = std::thread([this] { acceptLoop(); });
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd_;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+    ev.data.fd = wakeRead_;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeRead_, &ev);
+
+    loop_ = std::thread([this] { eventLoop(); });
     return true;
 }
 
 void
-NowlabServer::acceptLoop()
+NowlabServer::eventLoop()
 {
+    // A fixed short tick bounds both timeout sweep latency and how
+    // long a missed self-pipe edge could ever go unnoticed.
+    constexpr int kTickMs = 100;
+    std::vector<epoll_event> events(64);
+
     for (;;) {
-        pollfd fds[2] = {{listenFd_, POLLIN, 0}, {wakeRead_, POLLIN, 0}};
-        int rc = ::poll(fds, 2, -1);
-        if (rc < 0) {
+        int n = ::epoll_wait(epollFd_, events.data(),
+                             static_cast<int>(events.size()), kTickMs);
+        if (n < 0) {
             if (errno == EINTR)
                 continue;
             break;
         }
-        if (fds[1].revents)
-            break; // requestStop() poked the pipe.
-        if (!(fds[0].revents & POLLIN))
-            continue;
-        int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        int one = 1;
-        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-        {
-            std::lock_guard<std::mutex> lock(connMu_);
-            connFds_.push_back(fd);
+        for (int i = 0; i < n; ++i) {
+            int fd = events[i].data.fd;
+            std::uint32_t ev = events[i].events;
+            if (fd == wakeRead_) {
+                char buf[64];
+                while (::read(wakeRead_, buf, sizeof buf) > 0) {
+                }
+                continue; // stopping_ is checked below.
+            }
+            if (fd == listenFd_) {
+                if (!draining_)
+                    acceptReady();
+                continue;
+            }
+            auto it = conns_.find(fd);
+            if (it == conns_.end())
+                continue; // Closed earlier in this batch.
+            Conn &c = it->second;
+            bool dead = false;
+            if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR))
+                dead = !readReady(c);
+            if (!dead && (ev & EPOLLOUT))
+                dead = !flushWrites(c);
+            if (!dead && c.eof && c.out.empty())
+                dead = true; // Half-close: last reply flushed.
+            if (dead)
+                closeConn(fd);
         }
-        connections_.emplace_back(
-            [this, fd] { connectionLoop(fd); });
+
+        if (stopping_.load(std::memory_order_acquire) && !draining_) {
+            draining_ = true;
+            drainDeadline_ = Clock::now() + std::chrono::milliseconds(
+                                               limits_.drainTimeoutMs);
+            ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+            // Connections with nothing left to say close now; the rest
+            // get the drain window to flush their final replies.
+            std::vector<int> idle;
+            for (auto &[fd, c] : conns_) {
+                if (c.out.empty())
+                    idle.push_back(fd);
+            }
+            for (int fd : idle)
+                closeConn(fd);
+        }
+        if (draining_ && (conns_.empty() || Clock::now() >= drainDeadline_))
+            break;
+
+        sweepTimeouts(Clock::now());
     }
+
+    std::vector<int> all;
+    for (auto &[fd, c] : conns_)
+        all.push_back(fd);
+    for (int fd : all)
+        closeConn(fd);
 }
 
 void
-NowlabServer::connectionLoop(int fd)
+NowlabServer::acceptReady()
 {
-    std::string buffer, line;
-    while (!stopping_.load(std::memory_order_relaxed) &&
-           readLine(fd, buffer, line, kMaxRequestBytes)) {
+    for (;;) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // EAGAIN, or a transient accept error.
+        }
+        if (conns_.size() >= limits_.maxConnections) {
+            // Best-effort turn-away; never block the loop for it.
+            std::string msg = errorReply("too-many-connections");
+            msg += '\n';
+            ::send(fd, msg.data(), msg.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        Conn &c = conns_[fd];
+        c.fd = fd;
+        c.lastActivity = c.writeSince = Clock::now();
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            conns_.erase(fd);
+            ::close(fd);
+        }
+    }
+}
+
+bool
+NowlabServer::readReady(Conn &c)
+{
+    for (;;) {
+        char chunk[1 << 16];
+        ssize_t r = ::recv(c.fd, chunk, sizeof chunk, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            return false; // ECONNRESET and friends.
+        }
+        if (r == 0) {
+            c.eof = true;
+            break;
+        }
+        c.lastActivity = Clock::now();
+        if (!draining_)
+            c.in.append(chunk, static_cast<std::size_t>(r));
+        // Don't starve other connections on one firehose; level-
+        // triggered epoll re-arms whatever is left.
+        if (c.in.size() >= (1u << 20))
+            break;
+    }
+    if (!processInput(c))
+        return false;
+    return flushWrites(c);
+}
+
+bool
+NowlabServer::processInput(Conn &c)
+{
+    for (;;) {
+        std::size_t nl = c.in.find('\n');
+        if (nl == std::string::npos) {
+            if (c.in.size() > kMaxRequestBytes) {
+                // Oversized line: answer once, then discard bytes
+                // until the newline finally shows up. The buffer never
+                // grows past one read chunk beyond the limit.
+                if (!c.tooLong) {
+                    c.tooLong = true;
+                    queueReply(c, errorReply("oversized request"));
+                }
+                c.in.clear();
+            }
+            break;
+        }
+        std::string line = c.in.substr(0, nl);
+        c.in.erase(0, nl + 1);
+        if (c.tooLong) {
+            c.tooLong = false; // The tail of the oversized line.
+            continue;
+        }
         if (line.empty())
             continue;
-        std::string reply = core_.handleLine(line);
-        reply += '\n';
-        if (!writeAll(fd, reply.data(), reply.size()))
-            break;
+        queueReply(c, core_.handleLine(line));
         // A {"op":"shutdown"} request stops the whole server, not just
-        // the core: reply first, then wind down.
+        // the core: the reply is queued first, then flushed during the
+        // drain window.
         if (core_.shuttingDown())
             requestStop();
     }
-    {
-        // Deregister before close so wait() never shuts down a
-        // recycled descriptor.
-        std::lock_guard<std::mutex> lock(connMu_);
-        for (auto it = connFds_.begin(); it != connFds_.end(); ++it) {
-            if (*it == fd) {
-                connFds_.erase(it);
+    // A reader slower than its own request stream gets disconnected
+    // once the unsent backlog passes the bound.
+    return c.out.size() - c.outOff <= limits_.maxWriteBuffer;
+}
+
+void
+NowlabServer::queueReply(Conn &c, const std::string &reply)
+{
+    if (c.out.empty())
+        c.writeSince = Clock::now();
+    c.out += reply;
+    c.out += '\n';
+}
+
+bool
+NowlabServer::flushWrites(Conn &c)
+{
+    while (c.outOff < c.out.size()) {
+        ssize_t w = ::send(c.fd, c.out.data() + c.outOff,
+                           c.out.size() - c.outOff, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
                 break;
-            }
+            return false; // EPIPE / ECONNRESET: peer is gone.
+        }
+        c.outOff += static_cast<std::size_t>(w);
+        c.writeSince = Clock::now();
+    }
+    if (c.outOff >= c.out.size()) {
+        c.out.clear();
+        c.outOff = 0;
+    } else if (c.outOff > (64u << 10)) {
+        // Compact the sent prefix so a long-lived slow reader does not
+        // pin already-delivered bytes.
+        c.out.erase(0, c.outOff);
+        c.outOff = 0;
+    }
+    updateInterest(c);
+    return true;
+}
+
+void
+NowlabServer::updateInterest(Conn &c)
+{
+    bool want = !c.out.empty();
+    if (want == c.wantWrite)
+        return;
+    c.wantWrite = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void
+NowlabServer::closeConn(int fd)
+{
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns_.erase(fd);
+}
+
+void
+NowlabServer::sweepTimeouts(Clock::time_point now)
+{
+    std::vector<int> victims;
+    for (auto &[fd, c] : conns_) {
+        if (!c.out.empty()) {
+            if (now - c.writeSince >
+                std::chrono::milliseconds(limits_.writeTimeoutMs))
+                victims.push_back(fd);
+        } else if (now - c.lastActivity >
+                   std::chrono::milliseconds(limits_.idleTimeoutMs)) {
+            victims.push_back(fd);
         }
     }
-    ::close(fd);
+    for (int fd : victims)
+        closeConn(fd);
 }
 
 void
@@ -199,24 +419,16 @@ NowlabServer::requestStop()
 void
 NowlabServer::wait()
 {
-    if (acceptor_.joinable())
-        acceptor_.join();
+    if (loop_.joinable())
+        loop_.join();
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
     }
-    // Wake connection threads parked in read(): SHUT_RD makes their
-    // next read return 0 without cutting off an in-flight reply write.
-    {
-        std::lock_guard<std::mutex> lock(connMu_);
-        for (int fd : connFds_)
-            ::shutdown(fd, SHUT_RD);
+    if (epollFd_ >= 0) {
+        ::close(epollFd_);
+        epollFd_ = -1;
     }
-    for (std::thread &t : connections_) {
-        if (t.joinable())
-            t.join();
-    }
-    connections_.clear();
     core_.beginShutdown();
     core_.drain();
     if (wakeRead_ >= 0) {
@@ -244,6 +456,9 @@ Client::connect()
 {
     if (fd_ >= 0)
         return true;
+    // The client paths (nowlab submit/get/stats) must survive the
+    // server dying mid-conversation too.
+    std::signal(SIGPIPE, SIG_IGN);
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0)
         return false;
@@ -273,7 +488,7 @@ Client::request(const std::string &line, std::string &reply)
         return false;
     std::string out = line;
     out += '\n';
-    if (!writeAll(fd_, out.data(), out.size()))
+    if (!sendAll(fd_, out.data(), out.size()))
         return false;
     return readLine(fd_, buffer_, reply, 16u << 20);
 }

@@ -1,30 +1,47 @@
 /**
  * @file
- * nowlabd's transport: a TCP acceptor pumping line-delimited JSON
- * between sockets and a ServiceCore, plus the matching blocking
- * client.
+ * nowlabd's transport: an epoll connection engine pumping
+ * line-delimited JSON between non-blocking sockets and a ServiceCore,
+ * plus the matching blocking client.
  *
- * Threading: one acceptor thread (poll on the listen socket and a
- * self-pipe so requestStop() wakes it instantly) plus one thread per
- * connection. Connections are few (laboratory clients, not the
- * internet); the expensive fan-out happens in the ServiceCore's
- * bounded Runner pool, not per socket.
+ * Threading: ONE event-loop thread owns the listen socket, a self-pipe
+ * (so requestStop() wakes it instantly and async-signal-safely), and
+ * every connection. Connections are plain state machines -- a read
+ * buffer accumulating the next request line, a write buffer draining
+ * the queued replies -- so a thousand idle or misbehaving clients cost
+ * a map entry each, not a thread each. The expensive fan-out still
+ * happens in the ServiceCore's bounded Runner pool, never on a socket.
+ *
+ * Hostile-client containment (ServerLimits):
+ *   - request lines beyond kMaxRequestBytes are answered with a JSON
+ *     error and discarded to the next newline -- never buffered
+ *     unboundedly;
+ *   - a slow reader whose pending replies exceed maxWriteBuffer is
+ *     disconnected;
+ *   - connections idle past idleTimeoutMs, or making no write progress
+ *     for writeTimeoutMs, are disconnected;
+ *   - at maxConnections, new sockets get a best-effort
+ *     "too-many-connections" error and are closed.
+ * Every send uses MSG_NOSIGNAL and start() ignores SIGPIPE, so a
+ * client vanishing mid-reply is a closed connection, not a dead
+ * daemon.
  *
  * Shutdown: requestStop() (the SIGTERM handler writes the self-pipe)
- * closes the listener, joins the connection threads, and drains the
- * ServiceCore so every accepted job completes before serve() returns
- * -- the graceful-drain contract test_svc.cc exercises.
+ * stops accepting, flushes pending replies (bounded by drainTimeoutMs),
+ * closes every connection, and drains the ServiceCore so each accepted
+ * job completes before wait() returns -- the graceful-drain contract
+ * test_svc.cc exercises.
  */
 
 #ifndef NOWCLUSTER_SVC_SERVER_HH_
 #define NOWCLUSTER_SVC_SERVER_HH_
 
 #include <atomic>
-#include <memory>
-#include <mutex>
+#include <chrono>
+#include <cstddef>
+#include <map>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "svc/service.hh"
 
@@ -33,17 +50,29 @@ namespace nowcluster::svc {
 /** Default nowlabd TCP port. */
 constexpr int kDefaultPort = 7747;
 
+/** Connection-engine limits; defaults suit laboratory sweep traffic,
+ *  tests tighten them to provoke each disconnect path. */
+struct ServerLimits
+{
+    std::size_t maxConnections = 128;
+    int idleTimeoutMs = 120'000;  ///< No bytes from the peer this long.
+    int writeTimeoutMs = 10'000;  ///< Pending replies, no send progress.
+    std::size_t maxWriteBuffer = 8u << 20; ///< Queued unsent reply bytes.
+    int drainTimeoutMs = 5'000;   ///< Reply-flush window at shutdown.
+};
+
 class NowlabServer
 {
   public:
     /** @param port TCP port to bind on 127.0.0.1; 0 = ephemeral. */
-    NowlabServer(const ServiceConfig &config, int port);
+    NowlabServer(const ServiceConfig &config, int port,
+                 const ServerLimits &limits = {});
     ~NowlabServer();
 
     NowlabServer(const NowlabServer &) = delete;
     NowlabServer &operator=(const NowlabServer &) = delete;
 
-    /** Bind and start the acceptor thread. False on bind failure. */
+    /** Bind and start the event-loop thread. False on bind failure. */
     bool start();
 
     /** The bound port (valid after start()). */
@@ -59,28 +88,53 @@ class NowlabServer
     ServiceCore &core() { return core_; }
 
   private:
-    void acceptLoop();
-    void connectionLoop(int fd);
+    using Clock = std::chrono::steady_clock;
+
+    /** One connection's state machine. */
+    struct Conn
+    {
+        int fd = -1;
+        std::string in;         ///< Bytes read, next line not complete.
+        std::string out;        ///< Queued reply bytes.
+        std::size_t outOff = 0; ///< Sent prefix of `out`.
+        bool tooLong = false;   ///< Discarding an oversized line.
+        bool eof = false;       ///< Peer half-closed; flush then close.
+        bool wantWrite = false; ///< EPOLLOUT armed.
+        Clock::time_point lastActivity; ///< Last byte from the peer.
+        Clock::time_point writeSince;   ///< Pending-write progress mark.
+    };
+
+    void eventLoop();
+    void acceptReady();
+    bool readReady(Conn &c);     ///< False = close this connection.
+    bool processInput(Conn &c);  ///< False = write buffer exceeded.
+    bool flushWrites(Conn &c);   ///< False = peer gone (EPIPE/RST).
+    void queueReply(Conn &c, const std::string &reply);
+    void updateInterest(Conn &c);
+    void closeConn(int fd);
+    void sweepTimeouts(Clock::time_point now);
 
     ServiceCore core_;
+    ServerLimits limits_;
     int requestedPort_;
     int port_ = -1;
     int listenFd_ = -1;
+    int epollFd_ = -1;
     int wakeRead_ = -1;
     int wakeWrite_ = -1;
     std::atomic<bool> stopping_{false};
-    std::thread acceptor_;
-    std::vector<std::thread> connections_;
-    /** Live connection sockets; wait() shuts them down so threads
-     *  parked in read() wake and exit. */
-    std::mutex connMu_;
-    std::vector<int> connFds_;
+    bool draining_ = false; ///< Event-loop thread only.
+    Clock::time_point drainDeadline_;
+    std::thread loop_;
+    std::map<int, Conn> conns_; ///< Event-loop thread only.
 };
 
 /**
  * Blocking line-protocol client. request() sends one JSON line and
- * returns the reply line; "" on connection failure (clients treat
- * that as a dead server).
+ * returns the reply line; false on connection failure (clients treat
+ * that as a dead server). Writes use MSG_NOSIGNAL and connect()
+ * ignores SIGPIPE, so a server dying mid-request surfaces as a failed
+ * request, never as the client process being killed.
  */
 class Client
 {

@@ -25,14 +25,6 @@ latencyBounds()
             usec(100000), usec(1000000), usec(10000000)};
 }
 
-std::string
-errorReply(const std::string &error)
-{
-    JsonWriter w;
-    w.beginObject().field("ok", false).field("error", error).endObject();
-    return w.str();
-}
-
 const char *
 stateName(int state)
 {
@@ -91,6 +83,14 @@ pointOfRequest(const JsonValue &req)
 }
 
 } // namespace
+
+std::string
+errorReply(const std::string &error)
+{
+    JsonWriter w;
+    w.beginObject().field("ok", false).field("error", error).endObject();
+    return w.str();
+}
 
 ServiceCore::ServiceCore(const ServiceConfig &config)
     : config_(config),

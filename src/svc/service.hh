@@ -61,6 +61,10 @@ struct ServiceConfig
  *  answered with an error and the rest of the line discarded). */
 constexpr std::size_t kMaxRequestBytes = 1 << 16;
 
+/** The canonical {"ok":false,"error":...} reply line (no newline);
+ *  shared by ServiceCore and the transport's own rejections. */
+std::string errorReply(const std::string &error);
+
 class ServiceCore
 {
   public:

@@ -1,11 +1,13 @@
 #include "svc/store.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -38,23 +40,74 @@ readFile(const std::string &path, std::string &out)
     return ok;
 }
 
-/** Write via tmp sibling + rename: all-or-nothing on crash. */
+/** Crash-injection hook (tests only): invoked at each named step of
+ *  writeFileAtomic so a forked writer can die mid-write. */
+StoreCrashHook gCrashHook = nullptr;
+
+inline void
+crashPoint(const char *step)
+{
+    if (gCrashHook)
+        gCrashHook(step);
+}
+
+/** Process-wide tmp-name counter: two writers (threads or store
+ *  instances) sharing a directory never share a tmp file. */
+std::atomic<std::uint64_t> gTmpSeq{0};
+
+/**
+ * Durable atomic write. The data goes to a uniquely named ".tmp-"
+ * sibling (pid + process-wide counter), is written in full, fsync'd,
+ * rename()d over `path`, and the parent directory is fsync'd so the
+ * rename itself reaches stable storage. Guarantee: a crash at any
+ * point leaves `path` holding either the complete old bytes or the
+ * complete new bytes -- never a mix, never a truncation -- and once
+ * this returns true the new bytes survive power loss. The only crash
+ * residue is a stale .tmp- sibling, swept by loadIndexLocked() on the
+ * next open.
+ */
 bool
 writeFileAtomic(const std::string &dir, const std::string &path,
                 const std::string &data)
 {
     std::string tmp =
         dir + "/.tmp-" + std::to_string(::getpid()) + "-" +
-        std::to_string(fnv1a64(path) & 0xffff);
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
+        std::to_string(gTmpSeq.fetch_add(1, std::memory_order_relaxed));
+    crashPoint("tmp-create");
+    int fd = ::open(tmp.c_str(),
+                    O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0666);
+    if (fd < 0)
         return false;
-    bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
-    ok = std::fclose(f) == 0 && ok;
+    crashPoint("tmp-open");
+    const char *p = data.data();
+    std::size_t n = data.size();
+    bool ok = true;
+    while (n > 0) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+            break;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    crashPoint("tmp-written");
+    ok = ok && ::fsync(fd) == 0;
+    ok = ::close(fd) == 0 && ok;
+    crashPoint("tmp-synced");
     if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+        ::unlink(tmp.c_str());
         return false;
     }
+    crashPoint("renamed");
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    crashPoint("dir-synced");
     return true;
 }
 
@@ -90,6 +143,12 @@ validKey(const std::string &key)
 }
 
 } // namespace
+
+void
+setStoreCrashHook(StoreCrashHook hook)
+{
+    gCrashHook = hook;
+}
 
 ResultStore::ResultStore(std::string dir, std::uint64_t maxBytes)
     : dir_(std::move(dir)), maxBytes_(maxBytes)
@@ -191,12 +250,15 @@ ResultStore::flushIndexLocked()
 void
 ResultStore::dropEntryLocked(const std::string &key)
 {
+    // `key` may alias the map node's own key (evictLocked passes
+    // victim->first), so build the path before the erase frees it.
+    std::string path = objectPath(key);
     auto it = index_.find(key);
     if (it != index_.end()) {
         totalBytes_ -= it->second.bytes;
         index_.erase(it);
     }
-    std::remove(objectPath(key).c_str());
+    std::remove(path.c_str());
 }
 
 void

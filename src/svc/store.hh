@@ -12,13 +12,17 @@
  *                      book-keeping (seq is a logical access clock).
  *
  * Durability discipline: every file (entries and the index alike) is
- * written to a ".tmp-" sibling and atomically rename()d into place, so
- * a crash mid-write leaves either the old file or no file -- never a
- * half-entry. Reads trust nothing: magic, key echo, length, and
- * checksum are all verified, and any mismatch deletes the entry and
- * reports a miss, so a corrupt entry can only ever cost a
- * recomputation. A malformed index is rebuilt by scanning the objects
- * actually on disk.
+ * written to a uniquely named ".tmp-" sibling (pid + process-wide
+ * counter, so concurrent writers never collide), fsync'd, atomically
+ * rename()d into place, and the directory is fsync'd -- so a crash at
+ * any point leaves either the complete old file or the complete new
+ * file, never a half-entry, and a put() that returned true survives
+ * power loss. The only possible crash residue is a stale .tmp-
+ * sibling, swept on the next open. Reads trust nothing anyway: magic,
+ * key echo, length, and checksum are all verified, and any mismatch
+ * deletes the entry and reports a miss, so a corrupt entry can only
+ * ever cost a recomputation. A malformed index is rebuilt by scanning
+ * the objects actually on disk.
  *
  * Capacity: the store is size-bounded; put() evicts
  * least-recently-used entries until the total fits. All methods are
@@ -38,6 +42,16 @@
 #include "harness/runner.hh"
 
 namespace nowcluster::svc {
+
+/**
+ * Test-only crash injection: when set, the hook is called at each
+ * named step of the store's atomic-write sequence ("tmp-create",
+ * "tmp-open", "tmp-written", "tmp-synced", "renamed", "dir-synced").
+ * A forked test writer _exit()s inside the hook to simulate a crash at
+ * exactly that step; production code never sets it.
+ */
+using StoreCrashHook = void (*)(const char *step);
+void setStoreCrashHook(StoreCrashHook hook);
 
 class ResultStore
 {

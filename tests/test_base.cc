@@ -8,6 +8,7 @@
 #include <set>
 
 #include "base/accum.hh"
+#include "base/parse.hh"
 #include "base/random.hh"
 #include "base/table.hh"
 #include "base/types.hh"
@@ -169,6 +170,70 @@ TEST(LoggingDeath, FatalIfFiresOnlyWhenTrue)
     fatal_if(false, "must not fire");
     EXPECT_EXIT(fatal_if(true, "boom"), ::testing::ExitedWithCode(1),
                 "boom");
+}
+
+// ---- strict numeric parsing -----------------------------------------
+
+TEST(Parse, DoubleAcceptsOnlyWholeFiniteNumbers)
+{
+    double v = -1;
+    EXPECT_TRUE(parseDoubleStrict("2.9", v));
+    EXPECT_DOUBLE_EQ(v, 2.9);
+    EXPECT_TRUE(parseDoubleStrict("-1", v));
+    EXPECT_DOUBLE_EQ(v, -1.0);
+    EXPECT_TRUE(parseDoubleStrict("1e3", v));
+    EXPECT_DOUBLE_EQ(v, 1000.0);
+    EXPECT_TRUE(parseDoubleStrict("0", v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+
+    // atof would have returned 0 or a truncated value for all of these.
+    for (const char *bad :
+         {"", "foo", "1.5x", "5us", " 5", "5 ", "nan", "NaN", "inf",
+          "-inf", "infinity", "1e999", "-1e999", "1e-999", "0x10",
+          "1,5", "--2"}) {
+        v = 42;
+        EXPECT_FALSE(parseDoubleStrict(bad, v)) << "'" << bad << "'";
+        EXPECT_EQ(v, 42) << "'" << bad << "' wrote output on failure";
+    }
+}
+
+TEST(Parse, LongAcceptsOnlyWholeIntegers)
+{
+    long v = -1;
+    EXPECT_TRUE(parseLongStrict("32", v));
+    EXPECT_EQ(v, 32);
+    EXPECT_TRUE(parseLongStrict("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(parseLongStrict("0", v));
+    EXPECT_EQ(v, 0);
+
+    for (const char *bad : {"", "foo", "12abc", "1.5", " 3", "3 ",
+                            "0x10", "99999999999999999999999"}) {
+        v = 42;
+        EXPECT_FALSE(parseLongStrict(bad, v)) << "'" << bad << "'";
+        EXPECT_EQ(v, 42) << "'" << bad << "' wrote output on failure";
+    }
+}
+
+TEST(Parse, DoubleListSplitsOnCommasAndNamesTheBadElement)
+{
+    std::vector<double> xs;
+    std::string err;
+    EXPECT_TRUE(parseDoubleList("2.9,12.9, 102.9", xs, &err));
+    ASSERT_EQ(xs.size(), 3u);
+    EXPECT_DOUBLE_EQ(xs[0], 2.9);
+    EXPECT_DOUBLE_EQ(xs[2], 102.9);
+
+    EXPECT_TRUE(parseDoubleList("5", xs));
+    ASSERT_EQ(xs.size(), 1u);
+
+    for (const char *bad : {"", "1,,2", "1,2,", "1,foo,2", "1;2",
+                            "1,nan", "1,1e999"}) {
+        err.clear();
+        EXPECT_FALSE(parseDoubleList(bad, xs, &err))
+            << "'" << bad << "'";
+        EXPECT_FALSE(err.empty()) << "'" << bad << "' gave no message";
+    }
 }
 
 } // namespace

@@ -19,8 +19,15 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
 #include <dirent.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
+
+#include <cstring>
 
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
@@ -698,6 +705,409 @@ TEST(Server, StatsReportMetricsAndStore)
 
     server.requestStop();
     server.wait();
+}
+
+// ---- hostile clients: the server must outlive every one of them -----
+
+/** Blocking raw socket to 127.0.0.1:port; -1 on failure. */
+int
+rawConnect(int port, int rcvbuf = 0)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (rcvbuf > 0)
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** send() everything with MSG_NOSIGNAL; false once the peer is gone. */
+bool
+sendRaw(int fd, const std::string &data)
+{
+    const char *p = data.data();
+    std::size_t n = data.size();
+    while (n > 0) {
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** Read up to the next '\n' (stripped); false on EOF/error/timeout. */
+bool
+readLineRaw(int fd, std::string &line, int timeoutMs = 5000)
+{
+    line.clear();
+    for (;;) {
+        pollfd pfd{fd, POLLIN, 0};
+        if (::poll(&pfd, 1, timeoutMs) <= 0)
+            return false;
+        char ch;
+        ssize_t r = ::recv(fd, &ch, 1, 0);
+        if (r <= 0)
+            return false;
+        if (ch == '\n')
+            return true;
+        line += ch;
+        if (line.size() > (1u << 20))
+            return false;
+    }
+}
+
+/** True when the fd reaches EOF (orderly close) or error within
+ *  `timeoutMs`, discarding any buffered reply bytes along the way. */
+bool
+drainsToEof(int fd, int timeoutMs)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        int left = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count());
+        if (left <= 0)
+            return false;
+        pollfd pfd{fd, POLLIN, 0};
+        if (::poll(&pfd, 1, left) <= 0)
+            return false;
+        char buf[4096];
+        ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+        if (r <= 0)
+            return true;
+    }
+}
+
+const std::string kStatsLine = "{\"op\":\"stats\"}\n";
+
+/** Cache-only config: every request answers instantly, so hostile-
+ *  client tests exercise the transport, not the simulator. */
+svc::ServiceConfig
+transportConfig()
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.cacheOnly = true;
+    return cfg;
+}
+
+TEST(Server, SurvivesMidReplyCloseAndReset)
+{
+    svc::NowlabServer server(transportConfig(), 0);
+    ASSERT_TRUE(server.start());
+
+    // Round 1: pipeline a burst of requests and close without reading
+    // a single reply -- the classic SIGPIPE recipe (the server is
+    // mid-write when the FIN arrives).
+    {
+        int fd = rawConnect(server.port());
+        ASSERT_GE(fd, 0);
+        std::string burst;
+        for (int i = 0; i < 200; ++i)
+            burst += kStatsLine;
+        ASSERT_TRUE(sendRaw(fd, burst));
+        ::close(fd);
+    }
+
+    // Round 2: same, but SO_LINGER{1,0} turns the close into a hard
+    // RST, so the server's next send/recv errors instead of EOF-ing.
+    {
+        int fd = rawConnect(server.port());
+        ASSERT_GE(fd, 0);
+        std::string burst;
+        for (int i = 0; i < 200; ++i)
+            burst += kStatsLine;
+        ASSERT_TRUE(sendRaw(fd, burst));
+        struct linger lg = {1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+        ::close(fd);
+    }
+
+    // The daemon must still be alive and answering new connections.
+    svc::Client client("127.0.0.1", server.port());
+    std::string reply;
+    ASSERT_TRUE(client.request("{\"op\":\"stats\"}", reply));
+    EXPECT_TRUE(parsed(reply).find("counters") != nullptr);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Server, HalfCloseStillGetsTheReply)
+{
+    svc::NowlabServer server(transportConfig(), 0);
+    ASSERT_TRUE(server.start());
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(sendRaw(fd, kStatsLine));
+    // shutdown(SHUT_WR): "no more requests, but I am still reading".
+    ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+    std::string reply;
+    ASSERT_TRUE(readLineRaw(fd, reply));
+    EXPECT_TRUE(parsed(reply).find("counters") != nullptr);
+    // After the last reply the server closes its side too.
+    EXPECT_TRUE(drainsToEof(fd, 5000));
+    ::close(fd);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Server, OversizedLineIsAnsweredAndTheConnectionRecovers)
+{
+    svc::NowlabServer server(transportConfig(), 0);
+    ASSERT_TRUE(server.start());
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    // Well past kMaxRequestBytes without a newline: the server must
+    // answer with an error instead of buffering without bound...
+    ASSERT_TRUE(sendRaw(fd, std::string(svc::kMaxRequestBytes + 4096,
+                                        'x')));
+    std::string reply;
+    ASSERT_TRUE(readLineRaw(fd, reply));
+    EXPECT_EQ(parsed(reply).stringOr("error", ""), "oversized request");
+
+    // ...and once the monster line finally ends, the same connection
+    // serves normal requests again.
+    ASSERT_TRUE(sendRaw(fd, "\n" + kStatsLine));
+    ASSERT_TRUE(readLineRaw(fd, reply));
+    EXPECT_TRUE(parsed(reply).find("counters") != nullptr);
+    ::close(fd);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Server, SlowReaderIsDisconnectedAtTheWriteBufferBound)
+{
+    svc::ServerLimits limits;
+    limits.maxWriteBuffer = 4096; // Tiny: overflow fast.
+    svc::NowlabServer server(transportConfig(), 0, limits);
+    ASSERT_TRUE(server.start());
+
+    // A tiny receive window keeps the kernel from absorbing the
+    // replies the client never reads; the pipelined burst piles them
+    // up in the server's per-connection out buffer instead.
+    int fd = rawConnect(server.port(), 4096);
+    ASSERT_GE(fd, 0);
+    for (int i = 0; i < 2000; ++i) {
+        if (!sendRaw(fd, kStatsLine))
+            break;
+    }
+    // The drop arrives asynchronously (close with unread data = RST),
+    // so probe until a send bounces.
+    bool disconnected = false;
+    for (int i = 0; i < 200 && !disconnected; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        disconnected = !sendRaw(fd, kStatsLine);
+    }
+    EXPECT_TRUE(disconnected) << "server never dropped the slow reader";
+    ::close(fd);
+
+    // Punishing one hog must not hurt anyone else.
+    svc::Client client("127.0.0.1", server.port());
+    std::string reply;
+    ASSERT_TRUE(client.request("{\"op\":\"stats\"}", reply));
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Server, StalledWriterIsDisconnectedOnTimeout)
+{
+    svc::ServerLimits limits;
+    limits.writeTimeoutMs = 200; // Pending replies, no progress.
+    limits.maxWriteBuffer = 256u << 20; // The bound must NOT trip
+                                        // first: this tests the timer.
+    svc::NowlabServer server(transportConfig(), 0, limits);
+    ASSERT_TRUE(server.start());
+
+    // Enough pipelined replies to overflow both kernel socket buffers,
+    // then never read: write progress stalls and the sweep must evict
+    // us well before the generous buffer bound would.
+    int fd = rawConnect(server.port(), 4096);
+    ASSERT_GE(fd, 0);
+    for (int i = 0; i < 20000; ++i) {
+        if (!sendRaw(fd, kStatsLine))
+            break;
+    }
+    // Probe patiently: sanitizer builds take many seconds just to
+    // process the burst, and the timeout sweep cannot run until then.
+    bool disconnected = false;
+    for (int i = 0; i < 1200 && !disconnected; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        disconnected = !sendRaw(fd, kStatsLine);
+    }
+    EXPECT_TRUE(disconnected) << "write timeout never fired";
+    ::close(fd);
+
+    svc::Client client("127.0.0.1", server.port());
+    std::string reply;
+    ASSERT_TRUE(client.request("{\"op\":\"stats\"}", reply));
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Server, ConnectionCapTurnsAwayExtras)
+{
+    svc::ServerLimits limits;
+    limits.maxConnections = 2;
+    svc::NowlabServer server(transportConfig(), 0, limits);
+    ASSERT_TRUE(server.start());
+
+    // Fill both slots (a round trip each proves they are registered).
+    int a = rawConnect(server.port());
+    int b = rawConnect(server.port());
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    std::string reply;
+    ASSERT_TRUE(sendRaw(a, kStatsLine));
+    ASSERT_TRUE(readLineRaw(a, reply));
+    ASSERT_TRUE(sendRaw(b, kStatsLine));
+    ASSERT_TRUE(readLineRaw(b, reply));
+
+    // The third visitor gets a polite error line, then the door.
+    int c = rawConnect(server.port());
+    ASSERT_GE(c, 0);
+    ASSERT_TRUE(readLineRaw(c, reply));
+    EXPECT_EQ(parsed(reply).stringOr("error", ""),
+              "too-many-connections");
+    EXPECT_TRUE(drainsToEof(c, 5000));
+    ::close(c);
+
+    // Freeing a slot re-admits new clients (the FIN takes a loop tick
+    // to process, so retry briefly).
+    ::close(a);
+    bool admitted = false;
+    for (int i = 0; i < 100 && !admitted; ++i) {
+        int d = rawConnect(server.port());
+        ASSERT_GE(d, 0);
+        if (sendRaw(d, kStatsLine) && readLineRaw(d, reply) &&
+            parsed(reply).find("counters") != nullptr)
+            admitted = true;
+        ::close(d);
+        if (!admitted)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_TRUE(admitted);
+    ::close(b);
+
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Server, IdleConnectionsAreReaped)
+{
+    svc::ServerLimits limits;
+    limits.idleTimeoutMs = 100;
+    svc::NowlabServer server(transportConfig(), 0, limits);
+    ASSERT_TRUE(server.start());
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string reply;
+    ASSERT_TRUE(sendRaw(fd, kStatsLine));
+    ASSERT_TRUE(readLineRaw(fd, reply));
+    // Now go quiet; within a few sweep ticks the server hangs up.
+    EXPECT_TRUE(drainsToEof(fd, 5000));
+    ::close(fd);
+
+    server.requestStop();
+    server.wait();
+}
+
+// ---- store crash injection ------------------------------------------
+
+/** The step a forked writer dies at (set before fork; read in child). */
+const char *gCrashStep = nullptr;
+
+void
+crashAtStep(const char *step)
+{
+    if (std::strcmp(step, gCrashStep) == 0)
+        ::_exit(0); // Simulated power loss: no destructors, no flush.
+}
+
+TEST(Store, CrashAtEveryWriteStepLeavesOldOrNewNeverGarbage)
+{
+    // Same payload length old and new, so a stale index entry stays
+    // size-consistent whichever bytes the crash left behind.
+    const std::string oldVal = "old value";
+    const std::string newVal = "new value";
+
+    for (const char *step :
+         {"tmp-create", "tmp-open", "tmp-written", "tmp-synced",
+          "renamed", "dir-synced"}) {
+        TempDir dir;
+        {
+            svc::ResultStore store(dir.path);
+            ASSERT_TRUE(store.put(hexKey('a'), oldVal));
+        }
+
+        gCrashStep = step;
+        pid_t pid = ::fork();
+        ASSERT_GE(pid, 0) << step;
+        if (pid == 0) {
+            // Child: overwrite the entry and die mid-write. The store
+            // is opened before arming the hook so only put()'s own
+            // writes hit the crash points.
+            svc::ResultStore store(dir.path);
+            svc::setStoreCrashHook(&crashAtStep);
+            store.put(hexKey('a'), newVal);
+            ::_exit(1); // The hook never fired: fail the step below.
+        }
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid) << step;
+        ASSERT_TRUE(WIFEXITED(status)) << step;
+        ASSERT_EQ(WEXITSTATUS(status), 0)
+            << step << ": crash hook never fired";
+
+        // Reopen after the "crash": the entry is the complete old or
+        // the complete new bytes, never a mix or a truncation...
+        svc::ResultStore store(dir.path);
+        std::string got;
+        ASSERT_TRUE(store.get(hexKey('a'), got)) << step;
+        EXPECT_TRUE(got == oldVal || got == newVal)
+            << step << ": got '" << got << "'";
+        // ...and once the rename happened, the new bytes are it.
+        if (std::strcmp(step, "renamed") == 0 ||
+            std::strcmp(step, "dir-synced") == 0) {
+            EXPECT_EQ(got, newVal) << step;
+        }
+
+        // The survivor store still takes writes...
+        EXPECT_TRUE(store.put(hexKey('b'), "still writable")) << step;
+        // ...and the only possible residue, a stale .tmp-, was swept
+        // on open.
+        if (DIR *d = ::opendir(dir.path.c_str())) {
+            while (struct dirent *e = ::readdir(d)) {
+                EXPECT_EQ(std::string(e->d_name).rfind(".tmp-", 0),
+                          std::string::npos)
+                    << step << " left " << e->d_name;
+            }
+            ::closedir(d);
+        }
+    }
 }
 
 } // namespace

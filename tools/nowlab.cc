@@ -40,6 +40,7 @@
 
 #include "apps/app.hh"
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "base/table.hh"
 #include "calib/microbench.hh"
 #include "harness/experiment.hh"
@@ -91,20 +92,34 @@ parseArgs(int argc, char **argv)
     return a;
 }
 
+// Strict option parsing: a typo like `--jobs foo` or `--latency 5us`
+// must be a diagnostic and a non-zero exit, never a silent 0 that runs
+// the whole sweep at the wrong point.
+
 double
 optDouble(const Args &a, const std::string &key, double fallback)
 {
     auto it = a.options.find(key);
-    return it == a.options.end() ? fallback
-                                 : std::atof(it->second.c_str());
+    if (it == a.options.end())
+        return fallback;
+    double v;
+    fatal_if(!parseDoubleStrict(it->second, v),
+             "--%s: '%s' is not a finite number", key.c_str(),
+             it->second.c_str());
+    return v;
 }
 
 long
 optLong(const Args &a, const std::string &key, long fallback)
 {
     auto it = a.options.find(key);
-    return it == a.options.end() ? fallback
-                                 : std::atol(it->second.c_str());
+    if (it == a.options.end())
+        return fallback;
+    long v;
+    fatal_if(!parseLongStrict(it->second, v),
+             "--%s: '%s' is not an integer", key.c_str(),
+             it->second.c_str());
+    return v;
 }
 
 MachineConfig
@@ -311,19 +326,14 @@ cmdSweep(const Args &a)
 
     std::vector<double> xs;
     {
-        std::string v = values_it->second;
-        for (char &ch : v) {
-            if (ch == ',')
-                ch = ' ';
-        }
-        char *end = v.data();
-        while (*end) {
-            xs.push_back(std::strtod(end, &end));
-            while (*end == ' ')
-                ++end;
-        }
+        std::string err;
+        fatal_if(!parseDoubleList(values_it->second, xs, &err),
+                 "--values: %s", err.c_str());
     }
     fatal_if(xs.empty(), "no sweep values given");
+    // Parse every numeric option before the baseline run so a typo
+    // costs a diagnostic, not minutes of simulation.
+    const int jobs = static_cast<int>(optLong(a, "jobs", 0));
 
     RunConfig base = configOf(a);
     RunResult b = runPointCached(RunPoint{key, base});
@@ -358,8 +368,7 @@ cmdSweep(const Args &a)
         c.maxTime = b.runtime * 200 + kSec;
         points.push_back(RunPoint{key, c});
     }
-    std::vector<RunResult> rs =
-        runPoints(points, static_cast<int>(optLong(a, "jobs", 0)));
+    std::vector<RunResult> rs = runPoints(points, jobs);
 
     Table t;
     t.row().cell(knob).cell("runtime (ms)").cell("slowdown");
@@ -869,6 +878,9 @@ cmdReplay(const Args &a)
 int
 main(int argc, char **argv)
 {
+    // A server vanishing mid-conversation must fail the request, not
+    // kill the process (covers submit/get/stats and serve alike).
+    std::signal(SIGPIPE, SIG_IGN);
     Args a = parseArgs(argc, argv);
     if (a.positional.empty()) {
         std::printf(
