@@ -1,0 +1,60 @@
+#!/bin/sh
+# Measure the experiment service under storm load and record the result
+# as BENCH_svc.json: saturation throughput and per-op latency
+# percentiles (submit/status/get) against a local 3-worker fleet --
+# three worker nowlabds behind a sharded coordinator, the same topology
+# the fleet smoke kills workers out of.
+#
+# Usage: scripts/bench_svc.sh [out.json] [extra `nowlab storm` args]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_svc.json}
+[ $# -gt 0 ] && shift
+
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-perf -j "$(nproc)" --target nowlab
+
+NOWLAB=./build-perf/tools/nowlab
+WORK=$(mktemp -d /tmp/nowbench-svc-XXXXXX)
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# Port of a just-started nowlabd, parsed from its banner line.
+port_of() {
+    for _ in $(seq 1 50); do
+        PORT=$(sed -n 's/^nowlabd on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' \
+            "$1" 2>/dev/null | head -1)
+        [ -n "$PORT" ] && { echo "$PORT"; return 0; }
+        sleep 0.1
+    done
+    echo "bench_svc: no banner in $1" >&2
+    return 1
+}
+
+WORKERS=""
+for i in 1 2 3; do
+    "$NOWLAB" serve --port 0 --jobs 2 --cache-dir "$WORK/w$i" \
+        > "$WORK/w$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+    PORT=$(port_of "$WORK/w$i.log")
+    WORKERS="${WORKERS:+$WORKERS,}127.0.0.1:$PORT"
+done
+
+"$NOWLAB" serve --coordinator --workers "$WORKERS" --port 0 \
+    --cache-dir "$WORK/coord" > "$WORK/coord.log" 2>&1 &
+PIDS="$PIDS $!"
+COORD=$(port_of "$WORK/coord.log")
+
+"$NOWLAB" storm --port "$COORD" --conns 32 --ops 2000 --seeds 24 \
+    --out "$OUT" "$@"
+"$NOWLAB" stats --port "$COORD"
+echo "service numbers written to $OUT"

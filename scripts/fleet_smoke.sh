@@ -1,0 +1,72 @@
+#!/bin/sh
+# Fleet smoke: a coordinator fronting three worker nowlabds takes a
+# short storm while one worker is SIGKILLed mid-run. Passes only if
+# the storm exits 0, i.e. every accepted submit settled to a result --
+# the fleet lost nothing to the crash. Run it against an ASan build
+# (CI does) and it doubles as a leak/UB check on the failover paths.
+#
+# Usage: scripts/fleet_smoke.sh [path/to/nowlab]
+set -eu
+cd "$(dirname "$0")/.."
+
+NOWLAB=${1:-./build/tools/nowlab}
+[ -x "$NOWLAB" ] || { echo "fleet_smoke: $NOWLAB not built" >&2; exit 1; }
+
+WORK=$(mktemp -d /tmp/nowfleet-smoke-XXXXXX)
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+port_of() {
+    for _ in $(seq 1 50); do
+        PORT=$(sed -n 's/^nowlabd on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' \
+            "$1" 2>/dev/null | head -1)
+        [ -n "$PORT" ] && { echo "$PORT"; return 0; }
+        sleep 0.1
+    done
+    echo "fleet_smoke: no banner in $1" >&2
+    return 1
+}
+
+WORKERS=""
+VICTIM=""
+for i in 1 2 3; do
+    "$NOWLAB" serve --port 0 --jobs 2 --cache-dir "$WORK/w$i" \
+        > "$WORK/w$i.log" 2>&1 &
+    PID=$!
+    PIDS="$PIDS $PID"
+    [ "$i" = 2 ] && VICTIM=$PID
+    PORT=$(port_of "$WORK/w$i.log")
+    WORKERS="${WORKERS:+$WORKERS,}127.0.0.1:$PORT"
+done
+
+"$NOWLAB" serve --coordinator --workers "$WORKERS" --port 0 \
+    --heartbeat-ms 100 --cache-dir "$WORK/coord" \
+    > "$WORK/coord.log" 2>&1 &
+PIDS="$PIDS $!"
+COORD=$(port_of "$WORK/coord.log")
+
+# Storm in the background; SIGKILL a worker while it runs.
+"$NOWLAB" storm --port "$COORD" --conns 8 --ops 400 --seeds 12 \
+    > "$WORK/storm.log" 2>&1 &
+STORM=$!
+sleep 1
+kill -9 "$VICTIM"
+echo "fleet_smoke: SIGKILLed worker 2 (pid $VICTIM) mid-storm"
+
+if ! wait "$STORM"; then
+    echo "fleet_smoke: FAIL -- storm lost work after the worker crash"
+    cat "$WORK/storm.log"
+    "$NOWLAB" stats --port "$COORD" || true
+    exit 1
+fi
+cat "$WORK/storm.log"
+"$NOWLAB" stats --port "$COORD"
+echo "fleet_smoke: PASS -- no work lost across a SIGKILLed worker"

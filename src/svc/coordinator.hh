@@ -1,0 +1,215 @@
+/**
+ * @file
+ * CoordinatorCore: the fleet front end for a set of worker nowlabds.
+ *
+ * Speaks the exact same line-delimited JSON protocol as a worker (it
+ * is a LineHandler behind the same NowlabServer transport), so every
+ * existing client -- `nowlab submit`, sweeps, the storm generator --
+ * talks to a fleet by changing nothing but the port.
+ *
+ * Sharding: each submit's canonical spec key (svc/spec.hh cacheKey)
+ * routes through a consistent-hash ring (svc/ring.hh) to a primary
+ * worker; the coordinator forwards the canonical submit line
+ * (submitRequest) and maps the worker's job id into its own id space.
+ * Because results are content-addressed, re-running a spec anywhere in
+ * the fleet yields a byte-identical fingerprint -- failover never
+ * changes an answer, only who computes it.
+ *
+ * Robustness model (tests/test_fleet.cc exercises each leg):
+ *  - Liveness: a heartbeat thread pings every worker; an RPC failure
+ *    anywhere marks the worker dead immediately. Dead workers are
+ *    reprobed on a capped, jittered exponential backoff
+ *    (svc/backoff.hh) and rejoin the ring the moment they answer.
+ *  - Failover: jobs owned by a dead worker become orphans; the next
+ *    status/get poll re-adopts them -- first by reading a replica of
+ *    the result from surviving shards, else by resubmitting the
+ *    canonical spec to the new primary (recompute, correct by
+ *    construction).
+ *  - Replication: when a remote job completes, the coordinator pulls
+ *    the encoded result from the primary and puts it to the next R-1
+ *    distinct ring workers, so any single worker death after
+ *    completion still leaves the answer readable.
+ *  - Degradation: with every worker unreachable, submits fall back to
+ *    an embedded local ServiceCore -- the fleet degrades to exactly a
+ *    single nowlabd, it never goes dark.
+ *  - Backpressure: a worker's {"error":"busy","retry_after_ms":N}
+ *    reply passes through verbatim; the coordinator adds no queueing
+ *    of its own, so fleet memory stays bounded end to end.
+ */
+
+#ifndef NOWCLUSTER_SVC_COORDINATOR_HH_
+#define NOWCLUSTER_SVC_COORDINATOR_HH_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/backoff.hh"
+#include "svc/ring.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+
+namespace nowcluster::svc {
+
+struct CoordinatorConfig
+{
+    /** Worker addresses, "host:port" each; ring placement depends only
+     *  on these strings, so a restarted coordinator routes every key
+     *  to the same shard. */
+    std::vector<std::string> workers;
+    int replicas = 2;      ///< Copies of each completed result.
+    int vnodes = 64;       ///< Ring points per worker.
+    int heartbeatMs = 250; ///< Liveness probe cadence.
+    int rpcTimeoutMs = 2000;  ///< Per-RPC socket timeout.
+    int backoffBaseMs = 50;   ///< Dead-worker reprobe backoff base...
+    int backoffCapMs = 5000;  ///< ...and cap.
+    std::uint64_t backoffSeed = 1;
+    /** The embedded fallback worker used when the whole fleet is
+     *  unreachable (its cacheDir should differ from any worker's). */
+    ServiceConfig local;
+};
+
+class CoordinatorCore : public LineHandler
+{
+  public:
+    explicit CoordinatorCore(const CoordinatorConfig &config);
+    ~CoordinatorCore() override;
+
+    CoordinatorCore(const CoordinatorCore &) = delete;
+    CoordinatorCore &operator=(const CoordinatorCore &) = delete;
+
+    std::string handleLine(const std::string &line) override;
+    void beginShutdown() override;
+    void drain() override;
+    bool shuttingDown() const override;
+
+    /** The ring index that owns `key` when every worker is alive;
+     *  exposed so tests can target a specific shard deterministically. */
+    int shardOfKey(const std::string &key) const;
+
+    /** Current liveness view (index-aligned with config().workers). */
+    std::vector<bool> aliveView() const;
+
+    const CoordinatorConfig &config() const { return config_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Worker
+    {
+        std::string addr;
+        std::unique_ptr<Client> client;
+        std::mutex rpcMu; ///< Serializes use of `client`.
+        bool alive = true;
+        std::uint64_t failures = 0;
+        Backoff backoff;
+        Clock::time_point nextProbe{}; ///< Dead: earliest reprobe.
+
+        Worker(std::string a, std::unique_ptr<Client> c,
+               const Backoff &b)
+            : addr(std::move(a)), client(std::move(c)), backoff(b)
+        {
+        }
+    };
+
+    /** Where a coordinator job currently lives. */
+    enum class Home
+    {
+        kRemote, ///< Forwarded; worker_/remoteId_ are valid.
+        kLocal,  ///< Embedded fallback core; remoteId_ is its id.
+        kOrphan, ///< Owner died; adopted on the next poll.
+        kDone,   ///< result_ holds the decoded answer.
+    };
+
+    struct Rec
+    {
+        RunPoint pt;
+        std::string key; ///< cacheKey(pt), the shard + store key.
+        Home home = Home::kOrphan;
+        int worker = -1;
+        std::uint64_t remoteId = 0;
+        bool cached = false;
+        bool replicated = false;
+        RunResult result; ///< Valid once home == kDone.
+    };
+
+    std::string handleSubmit(const JsonValue &req);
+    std::string handleStatus(const JsonValue &req);
+    std::string handleGet(const JsonValue &req);
+    std::string handleStats();
+    std::string handlePing();
+    std::string handleShutdown();
+
+    /** One round trip to worker `w`; marks it alive/dead from the
+     *  outcome. False on transport failure or unparseable reply; on
+     *  success `raw` (when given) receives the verbatim reply line. */
+    bool rpc(int w, const std::string &line, JsonValue &reply,
+             std::string *raw = nullptr);
+
+    /** Re-home an orphaned record: replica read, else resubmit to the
+     *  live primary, else the embedded local core. May leave it
+     *  orphaned (fleet busy/dark); the next poll tries again. */
+    void adopt(std::uint64_t id, Rec &rec);
+
+    /** Forward rec's canonical submit to the live primary, walking the
+     *  ring past deaths. 1 = accepted (rec re-homed), 0 = no live
+     *  worker, -1 = a worker refused (raw holds its verbatim reply,
+     *  e.g. busy backpressure, passed through untouched). */
+    int offerRemote(Rec &rec, JsonValue &reply, std::string &raw);
+
+    /** Submit rec to the embedded local core; false if it refused
+     *  (raw holds the verbatim busy/cache-miss reply). */
+    bool localSubmit(Rec &rec, std::string &raw);
+
+    /** Pull rec.key's payload from worker `w` and decode it into
+     *  rec.result (home = kDone). */
+    bool fetchResult(Rec &rec, int w);
+
+    /** Copy rec.result to the other ring replicas (best effort). */
+    void replicate(Rec &rec, int computedOn);
+
+    void markAlive(int w);
+    void markDead(int w);
+    std::vector<bool> aliveLocked() const;
+    void heartbeatLoop();
+
+    CoordinatorConfig config_;
+    HashRing ring_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    ServiceCore local_; ///< Embedded degraded-mode worker.
+
+    mutable std::mutex mu_; ///< Worker liveness, counters, records.
+    bool shuttingDown_ = false;
+    std::uint64_t nextId_ = 1;
+    std::map<std::uint64_t, Rec> recs_;
+
+    MetricsRegistry metrics_;
+    std::uint64_t &reqTotal_;
+    std::uint64_t &reqBad_;
+    std::uint64_t &submits_;
+    std::uint64_t &forwarded_;
+    std::uint64_t &failovers_;    ///< Worker marked dead.
+    std::uint64_t &orphans_;      ///< Jobs orphaned by a death.
+    std::uint64_t &replicaReads_; ///< Orphans resolved from a replica.
+    std::uint64_t &recomputes_;   ///< Orphans resolved by resubmit.
+    std::uint64_t &localRuns_;    ///< Submits served by the local core.
+    std::uint64_t &replCopies_;   ///< Successful replica puts.
+
+    std::condition_variable heartbeatCv_;
+    bool stopHeartbeat_ = false; ///< Guarded by mu_.
+    std::thread heartbeat_;
+};
+
+/** Parse "host:port" (host may be a dotted quad); false on junk. */
+bool parseHostPort(const std::string &addr, std::string &host,
+                   int &port);
+
+} // namespace nowcluster::svc
+
+#endif // NOWCLUSTER_SVC_COORDINATOR_HH_

@@ -1,0 +1,80 @@
+#include "svc/ring.hh"
+
+#include <algorithm>
+
+#include "svc/hash.hh"
+
+namespace nowcluster::svc {
+
+namespace {
+
+/** First 8 digest bytes, big-endian, as the 64-bit ring position. */
+std::uint64_t
+ringPosition(std::string_view data)
+{
+    auto digest = sha256(data);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | digest[static_cast<std::size_t>(i)];
+    return v;
+}
+
+} // namespace
+
+HashRing::HashRing(std::vector<std::string> nodes, int vnodes)
+    : nodes_(std::move(nodes))
+{
+    points_.reserve(nodes_.size() * static_cast<std::size_t>(vnodes));
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        for (int v = 0; v < vnodes; ++v) {
+            std::string label = nodes_[n];
+            label += '#';
+            label += std::to_string(v);
+            points_.emplace_back(ringPosition(label),
+                                 static_cast<int>(n));
+        }
+    }
+    // Ties (SHA-256 collisions on 64 bits; astronomically rare but the
+    // sort must still be deterministic) break by node index.
+    std::sort(points_.begin(), points_.end());
+}
+
+std::vector<int>
+HashRing::pick(std::string_view key, int count,
+               const std::vector<bool> &alive) const
+{
+    std::vector<int> out;
+    if (points_.empty() || count <= 0)
+        return out;
+    std::uint64_t pos = ringPosition(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(),
+        std::make_pair(pos, 0),
+        [](const auto &a, const auto &b) { return a.first < b.first; });
+    std::vector<bool> taken(nodes_.size(), false);
+    for (std::size_t walked = 0;
+         walked < points_.size() &&
+         out.size() < static_cast<std::size_t>(count);
+         ++walked, ++it) {
+        if (it == points_.end())
+            it = points_.begin();
+        int n = it->second;
+        if (taken[static_cast<std::size_t>(n)])
+            continue;
+        if (!alive.empty() && !alive[static_cast<std::size_t>(n)])
+            continue;
+        taken[static_cast<std::size_t>(n)] = true;
+        out.push_back(n);
+    }
+    return out;
+}
+
+int
+HashRing::primary(std::string_view key,
+                  const std::vector<bool> &alive) const
+{
+    std::vector<int> one = pick(key, 1, alive);
+    return one.empty() ? -1 : one[0];
+}
+
+} // namespace nowcluster::svc

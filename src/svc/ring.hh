@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Consistent-hash ring: canonical spec keys onto fleet workers.
+ *
+ * Each worker contributes `vnodes` points on a 64-bit ring, placed by
+ * SHA-256 of "<worker-id>#<vnode>"; a key routes to the first point
+ * clockwise from SHA-256 of the key. Properties the fleet leans on
+ * (all asserted in tests/test_fleet.cc):
+ *
+ *  - Stability: placement depends only on the worker id strings, never
+ *    on construction order or process state, so the coordinator can be
+ *    restarted (or rebuilt in a test) and every key maps to the same
+ *    shard.
+ *  - Minimal movement: adding or removing one of N workers re-routes
+ *    only ~K/N of K keys; everything else stays put.
+ *  - Liveness filtering: membership is static (the configured fleet);
+ *    dead workers are skipped at lookup time by walking to the next
+ *    live point. A worker coming back therefore reclaims exactly the
+ *    keys it owned before, nothing else moves.
+ *  - Replica placement: pick(key, R) returns R *distinct* workers, so
+ *    both copies of an entry never land on one box.
+ */
+
+#ifndef NOWCLUSTER_SVC_RING_HH_
+#define NOWCLUSTER_SVC_RING_HH_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nowcluster::svc {
+
+class HashRing
+{
+  public:
+    /** @param nodes  Worker identifiers (e.g. "host:port"); order is
+     *                irrelevant to placement.
+     *  @param vnodes Ring points per worker; more points = smoother
+     *                balance at a small lookup cost. */
+    explicit HashRing(std::vector<std::string> nodes, int vnodes = 64);
+
+    std::size_t size() const { return nodes_.size(); }
+    const std::string &node(std::size_t i) const { return nodes_[i]; }
+
+    /**
+     * The first `count` distinct workers clockwise from `key`'s ring
+     * position, restricted to indices where `alive` is true (an empty
+     * filter means everyone). Fewer than `count` live workers returns
+     * them all; an all-dead fleet returns {}.
+     */
+    std::vector<int> pick(std::string_view key, int count,
+                          const std::vector<bool> &alive = {}) const;
+
+    /** pick(key, 1) convenience: the primary shard, or -1. */
+    int primary(std::string_view key,
+                const std::vector<bool> &alive = {}) const;
+
+  private:
+    std::vector<std::string> nodes_;
+    /** (ring position, node index), sorted by position. */
+    std::vector<std::pair<std::uint64_t, int>> points_;
+};
+
+} // namespace nowcluster::svc
+
+#endif // NOWCLUSTER_SVC_RING_HH_

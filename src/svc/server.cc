@@ -11,6 +11,7 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "base/logging.hh"
@@ -81,7 +82,14 @@ readLine(int fd, std::string &buffer, std::string &line,
 
 NowlabServer::NowlabServer(const ServiceConfig &config, int port,
                            const ServerLimits &limits)
-    : core_(config), limits_(limits), requestedPort_(port)
+    : ownedCore_(std::make_unique<ServiceCore>(config)),
+      handler_(ownedCore_.get()), limits_(limits), requestedPort_(port)
+{
+}
+
+NowlabServer::NowlabServer(LineHandler &handler, int port,
+                           const ServerLimits &limits)
+    : handler_(&handler), limits_(limits), requestedPort_(port)
 {
 }
 
@@ -313,11 +321,11 @@ NowlabServer::processInput(Conn &c)
         }
         if (line.empty())
             continue;
-        queueReply(c, core_.handleLine(line));
+        queueReply(c, handler_->handleLine(line));
         // A {"op":"shutdown"} request stops the whole server, not just
         // the core: the reply is queued first, then flushed during the
         // drain window.
-        if (core_.shuttingDown())
+        if (handler_->shuttingDown())
             requestStop();
     }
     // A reader slower than its own request stream gets disconnected
@@ -429,8 +437,8 @@ NowlabServer::wait()
         ::close(epollFd_);
         epollFd_ = -1;
     }
-    core_.beginShutdown();
-    core_.drain();
+    handler_->beginShutdown();
+    handler_->drain();
     if (wakeRead_ >= 0) {
         ::close(wakeRead_);
         ::close(wakeWrite_);
@@ -440,8 +448,8 @@ NowlabServer::wait()
 
 // ---- client ---------------------------------------------------------
 
-Client::Client(std::string host, int port)
-    : host_(std::move(host)), port_(port)
+Client::Client(std::string host, int port, int timeoutMs)
+    : host_(std::move(host)), port_(port), timeoutMs_(timeoutMs)
 {
 }
 
@@ -449,6 +457,16 @@ Client::~Client()
 {
     if (fd_ >= 0)
         ::close(fd_);
+}
+
+void
+Client::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
 }
 
 bool
@@ -478,6 +496,13 @@ Client::connect()
     }
     int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (timeoutMs_ > 0) {
+        timeval tv{};
+        tv.tv_sec = timeoutMs_ / 1000;
+        tv.tv_usec = (timeoutMs_ % 1000) * 1000;
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
     return true;
 }
 
@@ -488,9 +513,12 @@ Client::request(const std::string &line, std::string &reply)
         return false;
     std::string out = line;
     out += '\n';
-    if (!sendAll(fd_, out.data(), out.size()))
+    if (!sendAll(fd_, out.data(), out.size()) ||
+        !readLine(fd_, buffer_, reply, 16u << 20)) {
+        reset();
         return false;
-    return readLine(fd_, buffer_, reply, 16u << 20);
+    }
+    return true;
 }
 
 } // namespace nowcluster::svc

@@ -64,8 +64,14 @@ struct ServerLimits
 class NowlabServer
 {
   public:
-    /** @param port TCP port to bind on 127.0.0.1; 0 = ephemeral. */
+    /** Serve an owned ServiceCore built from `config` (a worker
+     *  nowlabd). @param port TCP port on 127.0.0.1; 0 = ephemeral. */
     NowlabServer(const ServiceConfig &config, int port,
+                 const ServerLimits &limits = {});
+
+    /** Serve an externally owned protocol brain (the fleet
+     *  coordinator). The handler must outlive the server. */
+    NowlabServer(LineHandler &handler, int port,
                  const ServerLimits &limits = {});
     ~NowlabServer();
 
@@ -85,7 +91,9 @@ class NowlabServer
     /** Block until stopped and fully drained. */
     void wait();
 
-    ServiceCore &core() { return core_; }
+    /** The owned core; only valid with the ServiceConfig constructor
+     *  (the coordinator constructor has no ServiceCore to hand out). */
+    ServiceCore &core() { return *ownedCore_; }
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -114,7 +122,8 @@ class NowlabServer
     void closeConn(int fd);
     void sweepTimeouts(Clock::time_point now);
 
-    ServiceCore core_;
+    std::unique_ptr<ServiceCore> ownedCore_; ///< Null for a handler.
+    LineHandler *handler_; ///< Never null; == ownedCore_ when owned.
     ServerLimits limits_;
     int requestedPort_;
     int port_ = -1;
@@ -139,18 +148,34 @@ class NowlabServer
 class Client
 {
   public:
-    Client(std::string host, int port);
+    /** @param timeoutMs When > 0, SO_RCVTIMEO/SO_SNDTIMEO on the
+     *  socket: a wedged or partitioned server surfaces as a failed
+     *  request after this long instead of a hung client. The fleet
+     *  coordinator relies on this to detect dead workers. */
+    Client(std::string host, int port, int timeoutMs = 0);
     ~Client();
 
     /** Connect (idempotent). */
     bool connect();
 
-    /** One round trip; false on any transport error. */
+    /**
+     * One round trip; false on any transport error. A failed request
+     * drops the connection (the stream is desynchronized at best), so
+     * the next request() starts from a fresh connect().
+     */
     bool request(const std::string &line, std::string &reply);
+
+    /** Drop the connection; the next request() reconnects. */
+    void reset();
+
+    bool connected() const { return fd_ >= 0; }
+    const std::string &host() const { return host_; }
+    int port() const { return port_; }
 
   private:
     std::string host_;
     int port_;
+    int timeoutMs_;
     int fd_ = -1;
     std::string buffer_; ///< Bytes past the last reply line.
 };

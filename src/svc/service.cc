@@ -37,7 +37,30 @@ stateName(int state)
     return "?";
 }
 
-/** Build the RunPoint a submit request describes. */
+/** True for a well-formed store key: 64 lowercase hex digits. */
+bool
+validKey(const std::string &key)
+{
+    if (key.size() != 64)
+        return false;
+    for (char c : key) {
+        bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+errorReply(const std::string &error)
+{
+    JsonWriter w;
+    w.beginObject().field("ok", false).field("error", error).endObject();
+    return w.str();
+}
+
 RunPoint
 pointOfRequest(const JsonValue &req)
 {
@@ -82,13 +105,85 @@ pointOfRequest(const JsonValue &req)
     return pt;
 }
 
-} // namespace
+std::string
+submitRequest(const RunPoint &pt)
+{
+    const RunConfig &c = pt.config;
+    const Knobs &k = c.knobs;
+    const char *machine = "now";
+    if (c.machine.name == "Intel Paragon")
+        machine = "paragon";
+    else if (c.machine.name == "Meiko CS-2")
+        machine = "meiko";
+    // max_ms is exact for integer-millisecond budgets (the only kind
+    // the tools emit): integer ms * 1e6 ticks round-trips through a
+    // double without loss below 2^53.
+    JsonWriter w;
+    w.beginObject()
+        .field("op", "submit")
+        .field("app", pt.app)
+        .field("procs", c.nprocs)
+        .field("scale", c.scale)
+        .field("seed", c.seed)
+        .field("validate", c.validate)
+        .field("max_ms", toMsec(c.maxTime))
+        .field("machine", machine);
+    w.beginObject("knobs")
+        .field("overhead", k.overheadUs)
+        .field("gap", k.gapUs)
+        .field("latency", k.latencyUs)
+        .field("mbps", k.bulkMBps)
+        .field("occupancy", k.occupancyUs)
+        .field("window", k.window)
+        .field("fabric-hosts", k.fabricHosts)
+        .field("fabric-mbps", k.fabricLinkMBps)
+        .field("drop", k.dropRate)
+        .field("dup", k.dupRate)
+        .field("corrupt", k.corruptRate)
+        .field("reorder", k.reorderRate)
+        .field("reorder-delay", k.reorderMaxDelayUs)
+        .field("fault-seed", static_cast<std::int64_t>(k.faultSeed))
+        .field("reliable", k.reliable)
+        .field("rto", k.retxTimeoutUs)
+        .endObject();
+    w.endObject();
+    return w.str();
+}
 
 std::string
-errorReply(const std::string &error)
+statusReply(std::uint64_t id, const char *state, bool cached)
 {
     JsonWriter w;
-    w.beginObject().field("ok", false).field("error", error).endObject();
+    w.beginObject()
+        .field("ok", true)
+        .field("id", id)
+        .field("state", state)
+        .field("cached", cached)
+        .endObject();
+    return w.str();
+}
+
+std::string
+resultReply(std::uint64_t id, const char *state, bool cached,
+            const RunPoint &pt, const RunResult &r)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("id", id)
+        .field("state", state)
+        .field("cached", cached)
+        .field("app", pt.app)
+        .field("procs", pt.config.nprocs)
+        .field("run_ok", r.ok)
+        .field("validated", r.validated)
+        .field("runtime_ticks", static_cast<std::int64_t>(r.runtime))
+        .field("runtime_ms", toMsec(r.runtime))
+        .field("avg_msgs_per_proc", r.summary.avgMsgsPerProc)
+        .field("max_msgs_per_proc", r.summary.maxMsgsPerProc)
+        .field("key", cacheKey(pt))
+        .field("fingerprint", fingerprint(r))
+        .endObject();
     return w.str();
 }
 
@@ -108,9 +203,15 @@ ServiceCore::ServiceCore(const ServiceConfig &config)
       cacheMisses_(metrics_.counter("svc.cache.misses")),
       jobsDone_(metrics_.counter("svc.jobs.done")),
       jobsFailed_(metrics_.counter("svc.jobs.failed")),
+      pulls_(metrics_.counter("svc.repl.pulls")),
+      puts_(metrics_.counter("svc.repl.puts")),
       queueWaitUs_(metrics_.histogram("svc.queue_wait", latencyBounds())),
       runUs_(metrics_.histogram("svc.run_time", latencyBounds()))
 {
+    // Crash residue swept when the store opened; surfacing it as a
+    // counter makes interrupted writes visible in every stats reply.
+    if (store_)
+        metrics_.counter("store_tmp_reaped") = store_->stats().tmpReaped;
 }
 
 ServiceCore::~ServiceCore()
@@ -147,6 +248,12 @@ ServiceCore::handleLine(const std::string &line)
         return handleGet(req);
     if (op == "stats")
         return handleStats();
+    if (op == "ping")
+        return handlePing();
+    if (op == "pull")
+        return handlePull(req);
+    if (op == "put")
+        return handlePut(req);
     if (op == "shutdown")
         return handleShutdown();
     std::lock_guard<std::mutex> lock(mu_);
@@ -180,14 +287,7 @@ ServiceCore::handleSubmit(const JsonValue &req)
         job.state = JobState::kDone;
         job.cached = true;
         job.result = std::move(cached);
-        JsonWriter w;
-        w.beginObject()
-            .field("ok", true)
-            .field("id", id)
-            .field("state", "done")
-            .field("cached", true)
-            .endObject();
-        return w.str();
+        return statusReply(id, "done", true);
     }
     if (cache_)
         ++cacheMisses_;
@@ -216,14 +316,7 @@ ServiceCore::handleSubmit(const JsonValue &req)
         return w.str();
     }
 
-    JsonWriter w;
-    w.beginObject()
-        .field("ok", true)
-        .field("id", id)
-        .field("state", "queued")
-        .field("cached", false)
-        .endObject();
-    return w.str();
+    return statusReply(id, "queued", false);
 }
 
 void
@@ -273,14 +366,9 @@ ServiceCore::handleStatus(const JsonValue &req)
         ++reqBad_;
         return errorReply("unknown id");
     }
-    JsonWriter w;
-    w.beginObject()
-        .field("ok", true)
-        .field("id", id)
-        .field("state", stateName(static_cast<int>(it->second.state)))
-        .field("cached", it->second.cached)
-        .endObject();
-    return w.str();
+    return statusReply(id,
+                       stateName(static_cast<int>(it->second.state)),
+                       it->second.cached);
 }
 
 std::string
@@ -304,24 +392,81 @@ ServiceCore::handleGet(const JsonValue &req)
             .endObject();
         return w.str();
     }
-    const RunResult &r = job.result;
+    return resultReply(id, stateName(static_cast<int>(job.state)),
+                       job.cached, job.point, job.result);
+}
+
+std::string
+ServiceCore::handlePing()
+{
     JsonWriter w;
     w.beginObject()
         .field("ok", true)
-        .field("id", id)
-        .field("state", stateName(static_cast<int>(job.state)))
-        .field("cached", job.cached)
-        .field("app", job.point.app)
-        .field("procs", job.point.config.nprocs)
-        .field("run_ok", r.ok)
-        .field("validated", r.validated)
-        .field("runtime_ticks", static_cast<std::int64_t>(r.runtime))
-        .field("runtime_ms", toMsec(r.runtime))
-        .field("avg_msgs_per_proc", r.summary.avgMsgsPerProc)
-        .field("max_msgs_per_proc", r.summary.maxMsgsPerProc)
-        .field("key", cacheKey(job.point))
-        .field("fingerprint", fingerprint(r))
+        .field("role", "worker")
+        .field("draining", shuttingDown())
         .endObject();
+    return w.str();
+}
+
+std::string
+ServiceCore::handlePull(const JsonValue &req)
+{
+    std::string key = req.stringOr("key", "");
+    if (!validKey(key)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reqBad_;
+        return errorReply("bad-key");
+    }
+    if (!store_)
+        return errorReply("no-store");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++pulls_;
+    }
+    std::string payload;
+    if (!store_->get(key, payload))
+        return errorReply("not-found");
+    JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("key", key)
+        .field("payload", hexEncode(payload))
+        .endObject();
+    return w.str();
+}
+
+std::string
+ServiceCore::handlePut(const JsonValue &req)
+{
+    std::string key = req.stringOr("key", "");
+    if (!validKey(key)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reqBad_;
+        return errorReply("bad-key");
+    }
+    if (!store_)
+        return errorReply("no-store");
+    std::string payload;
+    if (!hexDecode(req.stringOr("payload", ""), payload)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reqBad_;
+        return errorReply("bad-payload");
+    }
+    // A replica must decode as a RunResult before it is stored: a
+    // corrupt payload is refused at the door, never served later.
+    RunResult check;
+    if (!decodeResult(payload, check)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reqBad_;
+        return errorReply("bad-payload");
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++puts_;
+    }
+    store_->put(key, payload);
+    JsonWriter w;
+    w.beginObject().field("ok", true).field("key", key).endObject();
     return w.str();
 }
 
@@ -373,6 +518,7 @@ ServiceCore::handleStats()
         w.field("puts", s.puts);
         w.field("evictions", s.evictions);
         w.field("corrupt", s.corrupt);
+        w.field("tmp_reaped", s.tmpReaped);
         w.endObject();
     }
     w.endObject();

@@ -215,7 +215,10 @@ ResultStore::loadIndexLocked()
         while (struct dirent *e = ::readdir(d)) {
             std::string name = e->d_name;
             if (name.rfind(".tmp-", 0) == 0) {
-                std::remove((dir_ + "/" + name).c_str());
+                // Crash residue from an interrupted atomic write; it
+                // is counted so operators can see crashes happened.
+                if (std::remove((dir_ + "/" + name).c_str()) == 0)
+                    ++stats_.tmpReaped;
                 continue;
             }
             if (name.rfind("obj-", 0) != 0)

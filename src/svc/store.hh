@@ -64,7 +64,8 @@ class ResultStore
         std::uint64_t misses = 0;
         std::uint64_t puts = 0;
         std::uint64_t evictions = 0;
-        std::uint64_t corrupt = 0; ///< Entries rejected on load.
+        std::uint64_t corrupt = 0;   ///< Entries rejected on load.
+        std::uint64_t tmpReaped = 0; ///< Stale .tmp- files swept on open.
     };
 
     /** Opens (and creates if needed) the store at `dir`. */

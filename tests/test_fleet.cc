@@ -1,0 +1,782 @@
+/**
+ * @file
+ * Tests for the fault-tolerant nowlabd fleet: the consistent-hash ring
+ * (stability, minimal movement, liveness filtering, replica
+ * placement), the shared backoff policy, the canonical submit
+ * round-trip that makes failover recomputation correct by
+ * construction, the pull/put replication ops, and CoordinatorCore
+ * end-to-end -- forwarding, replication, worker death (graceful,
+ * partitioned, and SIGKILLed mid-sweep), and degradation to the
+ * embedded local core. The load-bearing property throughout: every
+ * accepted submit eventually yields a result byte-identical to a
+ * local recomputation, no matter which workers die.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "svc/backoff.hh"
+#include "svc/codec.hh"
+#include "svc/coordinator.hh"
+#include "svc/json.hh"
+#include "svc/ring.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+#include "svc/spec.hh"
+#include "svc/store.hh"
+
+namespace nowcluster {
+namespace {
+
+/** A fresh store directory per test, removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/nowfleet-XXXXXX";
+        char *p = ::mkdtemp(tmpl);
+        EXPECT_NE(p, nullptr);
+        path = p ? p : "";
+    }
+
+    ~TempDir()
+    {
+        if (path.empty())
+            return;
+        if (DIR *d = ::opendir(path.c_str())) {
+            while (struct dirent *e = ::readdir(d)) {
+                std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    std::remove((path + "/" + name).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(path.c_str());
+    }
+};
+
+svc::JsonValue
+parsed(const std::string &reply)
+{
+    svc::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(svc::parseJson(reply, v, &err)) << reply << " " << err;
+    return v;
+}
+
+RunPoint
+smallPoint(std::uint64_t seed = 1)
+{
+    RunPoint pt;
+    pt.app = "radix";
+    pt.config.nprocs = 4;
+    pt.config.scale = 0.1;
+    pt.config.seed = seed;
+    return pt;
+}
+
+std::string
+submitLine(std::uint64_t seed)
+{
+    return svc::submitRequest(smallPoint(seed));
+}
+
+/** Poll a handler until job `id` reaches done/failed (or deadline). */
+std::string
+pollToSettled(svc::LineHandler &h, std::uint64_t id, int deadlineMs)
+{
+    svc::JsonWriter w;
+    w.beginObject().field("op", "status").field("id", id).endObject();
+    const std::string line = w.str();
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadlineMs);
+    for (;;) {
+        std::string state = parsed(h.handleLine(line)).stringOr("state", "");
+        if (state == "done" || state == "failed")
+            return state;
+        if (std::chrono::steady_clock::now() > deadline)
+            return "timeout(last=" + state + ")";
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+std::string
+getFingerprint(svc::LineHandler &h, std::uint64_t id)
+{
+    svc::JsonWriter w;
+    w.beginObject().field("op", "get").field("id", id).endObject();
+    svc::JsonValue v = parsed(h.handleLine(w.str()));
+    EXPECT_TRUE(v.boolOr("ok", false));
+    return v.stringOr("fingerprint", "");
+}
+
+// ---- backoff --------------------------------------------------------
+
+TEST(Backoff, DoublesWithEqualJitterUpToCap)
+{
+    svc::Backoff b(100, 800, 7);
+    int window = 100;
+    for (int step = 0; step < 12; ++step) {
+        int d = b.nextMs();
+        EXPECT_GE(d, window / 2) << step;
+        EXPECT_LE(d, window) << step;
+        window = std::min(800, window * 2);
+    }
+    // Settled at the cap: every further delay is in [cap/2, cap].
+    for (int step = 0; step < 8; ++step) {
+        int d = b.nextMs();
+        EXPECT_GE(d, 400);
+        EXPECT_LE(d, 800);
+    }
+}
+
+TEST(Backoff, ResetReturnsToBase)
+{
+    svc::Backoff b(100, 10'000, 3);
+    for (int i = 0; i < 6; ++i)
+        b.nextMs();
+    b.reset();
+    int d = b.nextMs();
+    EXPECT_GE(d, 50);
+    EXPECT_LE(d, 100);
+}
+
+TEST(Backoff, DeterministicPerSeed)
+{
+    svc::Backoff a(50, 5000, 42), b(50, 5000, 42), c(50, 5000, 43);
+    std::vector<int> sa, sb, sc;
+    for (int i = 0; i < 10; ++i) {
+        sa.push_back(a.nextMs());
+        sb.push_back(b.nextMs());
+        sc.push_back(c.nextMs());
+    }
+    EXPECT_EQ(sa, sb);
+    EXPECT_NE(sa, sc); // Distinct seeds decorrelate retriers.
+}
+
+// ---- consistent-hash ring -------------------------------------------
+
+std::vector<std::string>
+testKeys(int n)
+{
+    std::vector<std::string> keys;
+    keys.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        keys.push_back("spec-key-" + std::to_string(i));
+    return keys;
+}
+
+TEST(HashRing, PlacementIgnoresConstructionOrder)
+{
+    svc::HashRing a({"w1:1", "w2:2", "w3:3"});
+    svc::HashRing b({"w3:3", "w1:1", "w2:2"});
+    for (const std::string &key : testKeys(500)) {
+        int pa = a.primary(key), pb = b.primary(key);
+        ASSERT_GE(pa, 0);
+        ASSERT_GE(pb, 0);
+        EXPECT_EQ(a.node(static_cast<std::size_t>(pa)),
+                  b.node(static_cast<std::size_t>(pb)))
+            << key;
+    }
+}
+
+TEST(HashRing, BalancesAcrossWorkers)
+{
+    svc::HashRing ring({"w1:1", "w2:2", "w3:3"});
+    std::map<int, int> owned;
+    const int kKeys = 3000;
+    for (const std::string &key : testKeys(kKeys))
+        ++owned[ring.primary(key)];
+    for (const auto &[node, count] : owned) {
+        // Perfect balance is kKeys/3; 64 vnodes keeps every worker
+        // within a factor of ~2 of it.
+        EXPECT_GT(count, kKeys / 6) << node;
+        EXPECT_LT(count, kKeys / 3 * 2) << node;
+    }
+}
+
+TEST(HashRing, JoinMovesAboutOneNthOfKeys)
+{
+    const int kKeys = 2000;
+    svc::HashRing three({"w1:1", "w2:2", "w3:3"});
+    svc::HashRing four({"w1:1", "w2:2", "w3:3", "w4:4"});
+    int moved = 0;
+    for (const std::string &key : testKeys(kKeys)) {
+        const std::string &before =
+            three.node(static_cast<std::size_t>(three.primary(key)));
+        const std::string &after =
+            four.node(static_cast<std::size_t>(four.primary(key)));
+        if (before != after) {
+            ++moved;
+            // A moved key can only have moved TO the new worker.
+            EXPECT_EQ(after, "w4:4") << key;
+        }
+    }
+    // Expect ~K/4; allow generous slack, but movement must be neither
+    // zero nor wholesale.
+    EXPECT_GT(moved, kKeys / 10);
+    EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(HashRing, DeathMovesOnlyTheDeadWorkersKeys)
+{
+    svc::HashRing ring({"w1:1", "w2:2", "w3:3"});
+    std::vector<bool> alive = {true, false, true};
+    for (const std::string &key : testKeys(1000)) {
+        int before = ring.primary(key);
+        int after = ring.primary(key, alive);
+        ASSERT_GE(after, 0);
+        EXPECT_TRUE(alive[static_cast<std::size_t>(after)]);
+        if (before != 1) {
+            // Keys of live workers never move on another's death --
+            // and therefore a returning worker reclaims exactly its
+            // old keys (membership is static).
+            EXPECT_EQ(after, before) << key;
+        }
+    }
+}
+
+TEST(HashRing, PickReturnsDistinctLiveReplicas)
+{
+    svc::HashRing ring({"w1:1", "w2:2", "w3:3"});
+    for (const std::string &key : testKeys(300)) {
+        std::vector<int> two = ring.pick(key, 2);
+        ASSERT_EQ(two.size(), 2u);
+        EXPECT_NE(two[0], two[1]);
+        EXPECT_EQ(two[0], ring.primary(key));
+
+        // More replicas than workers: everyone, still distinct.
+        std::vector<int> all = ring.pick(key, 5);
+        EXPECT_EQ(all.size(), 3u);
+        EXPECT_EQ(std::set<int>(all.begin(), all.end()).size(), 3u);
+
+        // Liveness filter restricts the candidates.
+        std::vector<int> alive = ring.pick(key, 2, {false, true, true});
+        ASSERT_EQ(alive.size(), 2u);
+        EXPECT_NE(alive[0], 0);
+        EXPECT_NE(alive[1], 0);
+    }
+    EXPECT_TRUE(ring.pick("k", 2, {false, false, false}).empty());
+    EXPECT_EQ(ring.primary("k", {false, false, false}), -1);
+}
+
+// ---- host:port parsing ----------------------------------------------
+
+TEST(Fleet, ParseHostPort)
+{
+    std::string host;
+    int port = 0;
+    EXPECT_TRUE(svc::parseHostPort("127.0.0.1:7747", host, port));
+    EXPECT_EQ(host, "127.0.0.1");
+    EXPECT_EQ(port, 7747);
+    for (const char *bad : {"nohost", ":1", "h:", "h:0", "h:65536",
+                            "h:12x", "", "h:-3"}) {
+        EXPECT_FALSE(svc::parseHostPort(bad, host, port)) << bad;
+    }
+}
+
+// ---- canonical submit round-trip ------------------------------------
+
+TEST(Fleet, SubmitRequestRoundTripsTheCacheKey)
+{
+    // Failover recomputation is only correct if the coordinator can
+    // regenerate a submit line that names the exact same canonical
+    // spec. Check a default point and a fully knobbed one.
+    std::vector<RunPoint> points;
+    points.push_back(smallPoint(3));
+
+    RunPoint knobbed = smallPoint(9);
+    knobbed.app = "em3d-write";
+    knobbed.config.nprocs = 8;
+    knobbed.config.scale = 0.25;
+    knobbed.config.validate = false;
+    knobbed.config.machine = MachineConfig::intelParagon();
+    knobbed.config.knobs.overheadUs = 12.9;
+    knobbed.config.knobs.gapUs = 7.5;
+    knobbed.config.knobs.latencyUs = 40;
+    knobbed.config.knobs.bulkMBps = 21;
+    knobbed.config.knobs.occupancyUs = 2.5;
+    knobbed.config.knobs.window = 8;
+    knobbed.config.knobs.dropRate = 0.01;
+    knobbed.config.knobs.dupRate = 0.005;
+    knobbed.config.knobs.faultSeed = 77;
+    knobbed.config.knobs.reliable = 1;
+    knobbed.config.knobs.retxTimeoutUs = 900;
+    points.push_back(knobbed);
+
+    for (const RunPoint &pt : points) {
+        std::string line = svc::submitRequest(pt);
+        RunPoint back = svc::pointOfRequest(parsed(line));
+        EXPECT_EQ(svc::canonicalSpec(back), svc::canonicalSpec(pt))
+            << line;
+        EXPECT_EQ(svc::cacheKey(back), svc::cacheKey(pt));
+    }
+}
+
+// ---- pull/put replication ops ---------------------------------------
+
+TEST(Fleet, PullAndPutReplicateStoreEntries)
+{
+    TempDir dir;
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.cacheDir = dir.path;
+    svc::ServiceCore core(cfg);
+
+    RunPoint pt = smallPoint(5);
+    const std::string key = svc::cacheKey(pt);
+    const std::string payload =
+        svc::encodeResult(runApp(pt.app, pt.config));
+
+    auto pullLine = [](const std::string &k) {
+        svc::JsonWriter w;
+        w.beginObject().field("op", "pull").field("key", k).endObject();
+        return w.str();
+    };
+
+    // Errors first: malformed key, then a well-formed miss.
+    EXPECT_EQ(parsed(core.handleLine(pullLine("zz"))).stringOr("error",
+                                                              ""),
+              "bad-key");
+    EXPECT_EQ(parsed(core.handleLine(pullLine(key))).stringOr("error",
+                                                              ""),
+              "not-found");
+
+    // A put whose payload is not a valid encoded result is refused.
+    {
+        svc::JsonWriter w;
+        w.beginObject()
+            .field("op", "put")
+            .field("key", key)
+            .field("payload", "abcd")
+            .endObject();
+        EXPECT_EQ(parsed(core.handleLine(w.str())).stringOr("error", ""),
+                  "bad-payload");
+    }
+
+    // Replicate in, then pull back: byte-identical payload.
+    {
+        svc::JsonWriter w;
+        w.beginObject()
+            .field("op", "put")
+            .field("key", key)
+            .field("payload", svc::hexEncode(payload))
+            .endObject();
+        EXPECT_TRUE(parsed(core.handleLine(w.str())).boolOr("ok", false));
+    }
+    svc::JsonValue v = parsed(core.handleLine(pullLine(key)));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    std::string back;
+    ASSERT_TRUE(svc::hexDecode(v.stringOr("payload", ""), back));
+    EXPECT_EQ(back, payload);
+
+    // A replicated entry is a first-class cache hit: submitting the
+    // same spec completes instantly from the store.
+    svc::JsonValue sub = parsed(core.handleLine(svc::submitRequest(pt)));
+    ASSERT_TRUE(sub.boolOr("ok", false));
+    EXPECT_TRUE(sub.boolOr("cached", false));
+}
+
+TEST(Fleet, StoreReapsStrayTmpFilesAndCountsThem)
+{
+    auto plantResidue = [](const std::string &dir) {
+        for (const char *name : {".tmp-123-0", ".tmp-999-7"}) {
+            std::FILE *f =
+                std::fopen((dir + "/" + name).c_str(), "w");
+            ASSERT_NE(f, nullptr);
+            std::fputs("crash residue", f);
+            std::fclose(f);
+        }
+    };
+
+    TempDir dir;
+    plantResidue(dir.path);
+    {
+        svc::ResultStore store(dir.path);
+        EXPECT_EQ(store.stats().tmpReaped, 2u);
+        EXPECT_EQ(store.entryCount(), 0u);
+    }
+
+    // The reap is surfaced as a service metric too.
+    TempDir dir2;
+    plantResidue(dir2.path);
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.cacheDir = dir2.path;
+    svc::ServiceCore core(cfg);
+    svc::JsonValue v = parsed(core.handleLine("{\"op\":\"stats\"}"));
+    const svc::JsonValue *store = v.find("store");
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->numberOr("tmp_reaped", -1), 2);
+    const svc::JsonValue *counters = v.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->numberOr("store_tmp_reaped", -1), 2);
+}
+
+TEST(Fleet, PullWithoutStoreIsAnError)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1; // No cacheDir: no store.
+    svc::ServiceCore core(cfg);
+    svc::JsonWriter w;
+    w.beginObject()
+        .field("op", "pull")
+        .field("key", std::string(64, 'a'))
+        .endObject();
+    EXPECT_EQ(parsed(core.handleLine(w.str())).stringOr("error", ""),
+              "no-store");
+}
+
+// ---- coordinator: forwarding, replication, failover -----------------
+
+/** An in-process fleet: N worker servers plus a coordinator core. */
+struct Fleet
+{
+    std::vector<std::unique_ptr<TempDir>> dirs;
+    std::vector<std::unique_ptr<svc::NowlabServer>> servers;
+    svc::CoordinatorConfig cc;
+    std::unique_ptr<TempDir> localDir;
+    std::unique_ptr<svc::CoordinatorCore> coord;
+
+    explicit Fleet(int n)
+    {
+        for (int i = 0; i < n; ++i) {
+            dirs.push_back(std::make_unique<TempDir>());
+            svc::ServiceConfig cfg;
+            cfg.jobs = 2;
+            cfg.cacheDir = dirs.back()->path;
+            servers.push_back(
+                std::make_unique<svc::NowlabServer>(cfg, 0));
+            EXPECT_TRUE(servers.back()->start());
+            cc.workers.push_back(
+                "127.0.0.1:" + std::to_string(servers.back()->port()));
+        }
+        cc.heartbeatMs = 50;
+        cc.rpcTimeoutMs = 2000;
+        cc.backoffBaseMs = 20;
+        cc.backoffCapMs = 200;
+        localDir = std::make_unique<TempDir>();
+        cc.local.jobs = 2;
+        cc.local.cacheDir = localDir->path;
+        coord = std::make_unique<svc::CoordinatorCore>(cc);
+    }
+
+    ~Fleet()
+    {
+        coord.reset(); // Stop the heartbeat before the workers go.
+        for (auto &s : servers) {
+            if (s) {
+                s->requestStop();
+                s->wait();
+            }
+        }
+    }
+
+    /** Gracefully stop worker `i` (its port goes dark). */
+    void stopWorker(int i)
+    {
+        servers[static_cast<std::size_t>(i)]->requestStop();
+        servers[static_cast<std::size_t>(i)]->wait();
+        servers[static_cast<std::size_t>(i)].reset();
+    }
+
+    double counter(const char *name)
+    {
+        svc::JsonValue v =
+            parsed(coord->handleLine("{\"op\":\"stats\"}"));
+        const svc::JsonValue *c = v.find("counters");
+        return c ? c->numberOr(name, 0) : 0;
+    }
+};
+
+TEST(Coordinator, ForwardsAndServesByteIdenticalResults)
+{
+    Fleet fleet(2);
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        svc::JsonValue v =
+            parsed(fleet.coord->handleLine(submitLine(seed)));
+        ASSERT_TRUE(v.boolOr("ok", false)) << seed;
+        ids.push_back(static_cast<std::uint64_t>(v.numberOr("id", 0)));
+    }
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        EXPECT_EQ(pollToSettled(*fleet.coord, ids[seed - 1], 30'000),
+                  "done");
+        RunPoint pt = smallPoint(seed);
+        EXPECT_EQ(getFingerprint(*fleet.coord, ids[seed - 1]),
+                  fingerprint(runApp(pt.app, pt.config)));
+    }
+    EXPECT_EQ(fleet.counter("coord.forwarded"), 4);
+    EXPECT_EQ(fleet.counter("coord.local_runs"), 0);
+
+    // Resubmitting a completed spec is a fleet-wide cache hit.
+    svc::JsonValue v = parsed(fleet.coord->handleLine(submitLine(1)));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    EXPECT_TRUE(v.boolOr("cached", false));
+}
+
+TEST(Coordinator, ReplicaSurvivesPrimaryDeath)
+{
+    Fleet fleet(3);
+    RunPoint pt = smallPoint(11);
+    int shard = fleet.coord->shardOfKey(svc::cacheKey(pt));
+
+    svc::JsonValue v = parsed(fleet.coord->handleLine(submitLine(11)));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    std::uint64_t id = static_cast<std::uint64_t>(v.numberOr("id", 0));
+    ASSERT_EQ(pollToSettled(*fleet.coord, id, 30'000), "done");
+
+    // get pulls the result from the primary and replicates it to the
+    // next live shard...
+    std::string fp = getFingerprint(*fleet.coord, id);
+    EXPECT_EQ(fp, fingerprint(runApp(pt.app, pt.config)));
+    EXPECT_GE(fleet.counter("coord.repl.copies"), 1);
+
+    // ...so after the primary dies, the same spec is still a cache hit
+    // somewhere in the fleet: the ring walks to the replica.
+    fleet.stopWorker(shard);
+    svc::JsonValue again =
+        parsed(fleet.coord->handleLine(submitLine(11)));
+    ASSERT_TRUE(again.boolOr("ok", false));
+    EXPECT_TRUE(again.boolOr("cached", false));
+}
+
+TEST(Coordinator, OrphansAreAdoptedAfterWorkerDeath)
+{
+    Fleet fleet(2);
+    RunPoint pt = smallPoint(21);
+    int shard = fleet.coord->shardOfKey(svc::cacheKey(pt));
+
+    svc::JsonValue v = parsed(fleet.coord->handleLine(submitLine(21)));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    std::uint64_t id = static_cast<std::uint64_t>(v.numberOr("id", 0));
+
+    // Kill the owner immediately: the job is orphaned and must be
+    // re-homed (replica read or recompute -- both byte-identical).
+    fleet.stopWorker(shard);
+    EXPECT_EQ(pollToSettled(*fleet.coord, id, 30'000), "done");
+    EXPECT_EQ(getFingerprint(*fleet.coord, id),
+              fingerprint(runApp(pt.app, pt.config)));
+    EXPECT_GE(fleet.counter("coord.failovers"), 1);
+}
+
+TEST(Coordinator, DegradesToLocalComputeWhenFleetIsDark)
+{
+    // Workers that refuse every connection: the fleet is dark from the
+    // first RPC, and submits fall back to the embedded local core.
+    svc::CoordinatorConfig cc;
+    cc.workers = {"127.0.0.1:1", "127.0.0.1:2"};
+    cc.heartbeatMs = 50;
+    cc.rpcTimeoutMs = 200;
+    TempDir localDir;
+    cc.local.jobs = 2;
+    cc.local.cacheDir = localDir.path;
+    svc::CoordinatorCore coord(cc);
+
+    svc::JsonValue v = parsed(coord.handleLine(submitLine(31)));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    std::uint64_t id = static_cast<std::uint64_t>(v.numberOr("id", 0));
+    EXPECT_EQ(pollToSettled(coord, id, 30'000), "done");
+    RunPoint pt = smallPoint(31);
+    EXPECT_EQ(getFingerprint(coord, id),
+              fingerprint(runApp(pt.app, pt.config)));
+
+    svc::JsonValue stats = parsed(coord.handleLine("{\"op\":\"stats\"}"));
+    EXPECT_GE(stats.find("counters")->numberOr("coord.local_runs", 0),
+              1);
+    EXPECT_EQ(stats.numberOr("workers_alive", -1), 0);
+}
+
+TEST(Coordinator, RidesOutAPartitionedWorker)
+{
+    // A "partitioned" worker: the socket accepts connections (listen
+    // backlog) but nothing ever answers, so RPCs hang until the
+    // coordinator's socket timeout fires and the worker is declared
+    // dead -- the detection path a crash never exercises.
+    int stall = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(stall, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(stall, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof addr),
+              0);
+    ASSERT_EQ(::listen(stall, 8), 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ASSERT_EQ(::getsockname(stall, reinterpret_cast<sockaddr *>(&bound),
+                            &len),
+              0);
+
+    TempDir workerDir, localDir;
+    svc::ServiceConfig wcfg;
+    wcfg.jobs = 2;
+    wcfg.cacheDir = workerDir.path;
+    svc::NowlabServer worker(wcfg, 0);
+    ASSERT_TRUE(worker.start());
+
+    svc::CoordinatorConfig cc;
+    cc.workers = {
+        "127.0.0.1:" + std::to_string(ntohs(bound.sin_port)),
+        "127.0.0.1:" + std::to_string(worker.port()),
+    };
+    cc.heartbeatMs = 50;
+    cc.rpcTimeoutMs = 250; // Partition detection latency.
+    cc.local.jobs = 1;
+    cc.local.cacheDir = localDir.path;
+    {
+        svc::CoordinatorCore coord(cc);
+        std::vector<std::uint64_t> ids;
+        for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+            svc::JsonValue v =
+                parsed(coord.handleLine(submitLine(seed)));
+            ASSERT_TRUE(v.boolOr("ok", false)) << seed;
+            ids.push_back(
+                static_cast<std::uint64_t>(v.numberOr("id", 0)));
+        }
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            EXPECT_EQ(pollToSettled(coord, ids[i], 30'000), "done");
+            RunPoint pt = smallPoint(41 + i);
+            EXPECT_EQ(getFingerprint(coord, ids[i]),
+                      fingerprint(runApp(pt.app, pt.config)));
+        }
+        svc::JsonValue stats =
+            parsed(coord.handleLine("{\"op\":\"stats\"}"));
+        EXPECT_EQ(stats.numberOr("workers_alive", -1), 1);
+    }
+    worker.requestStop();
+    worker.wait();
+    ::close(stall);
+}
+
+// ---- SIGKILL mid-sweep: the deterministic kill test ------------------
+
+/**
+ * Fork a worker nowlabd. The child writes its bound port through the
+ * pipe and blocks in the server forever; the parent SIGKILLs it.
+ * Workers MUST be forked before the coordinator exists: the
+ * coordinator owns threads, and a post-fork child would inherit their
+ * locked state.
+ */
+pid_t
+forkWorker(const std::string &cacheDir, int &portOut)
+{
+    int fds[2];
+    EXPECT_EQ(::pipe(fds), 0);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        ::close(fds[0]);
+        svc::ServiceConfig cfg;
+        cfg.jobs = 2;
+        cfg.cacheDir = cacheDir;
+        svc::NowlabServer server(cfg, 0);
+        if (!server.start())
+            ::_exit(1);
+        int port = server.port();
+        if (::write(fds[1], &port, sizeof port) != sizeof port)
+            ::_exit(1);
+        ::close(fds[1]);
+        server.wait(); // Blocks until SIGKILL.
+        ::_exit(0);
+    }
+    ::close(fds[1]);
+    portOut = -1;
+    EXPECT_EQ(::read(fds[0], &portOut, sizeof portOut),
+              static_cast<ssize_t>(sizeof portOut));
+    ::close(fds[0]);
+    return pid;
+}
+
+TEST(Coordinator, SweepSurvivesSigkilledWorkerByteIdentically)
+{
+    // Three real worker processes; one dies by SIGKILL mid-sweep (no
+    // drain, no goodbye -- exactly a crashed machine). Every submitted
+    // spec must still settle with a fingerprint byte-identical to a
+    // single-node recomputation.
+    constexpr int kWorkers = 3;
+    constexpr std::uint64_t kSpecs = 10;
+
+    std::vector<std::unique_ptr<TempDir>> dirs;
+    std::vector<pid_t> pids;
+    svc::CoordinatorConfig cc;
+    for (int i = 0; i < kWorkers; ++i) {
+        dirs.push_back(std::make_unique<TempDir>());
+        int port = -1;
+        pid_t pid = forkWorker(dirs.back()->path, port);
+        ASSERT_GT(pid, 0);
+        ASSERT_GT(port, 0);
+        pids.push_back(pid);
+        cc.workers.push_back("127.0.0.1:" + std::to_string(port));
+    }
+    cc.heartbeatMs = 50;
+    cc.rpcTimeoutMs = 1000;
+    cc.backoffBaseMs = 20;
+    cc.backoffCapMs = 200;
+    TempDir localDir;
+    cc.local.jobs = 2;
+    cc.local.cacheDir = localDir.path;
+
+    {
+        svc::CoordinatorCore coord(cc);
+        std::map<std::uint64_t, std::uint64_t> idOfSeed;
+        for (std::uint64_t seed = 1; seed <= kSpecs; ++seed) {
+            svc::JsonValue v =
+                parsed(coord.handleLine(submitLine(seed)));
+            ASSERT_TRUE(v.boolOr("ok", false)) << seed;
+            idOfSeed[seed] =
+                static_cast<std::uint64_t>(v.numberOr("id", 0));
+        }
+
+        // Kill the shard that owns spec 1 -- deterministically a
+        // worker with in-flight jobs (ring placement is static).
+        int victim = coord.shardOfKey(svc::cacheKey(smallPoint(1)));
+        ASSERT_EQ(::kill(pids[static_cast<std::size_t>(victim)],
+                         SIGKILL),
+                  0);
+
+        for (std::uint64_t seed = 1; seed <= kSpecs; ++seed) {
+            ASSERT_EQ(pollToSettled(coord, idOfSeed[seed], 60'000),
+                      "done")
+                << "seed " << seed;
+            RunPoint pt = smallPoint(seed);
+            EXPECT_EQ(getFingerprint(coord, idOfSeed[seed]),
+                      fingerprint(runApp(pt.app, pt.config)))
+                << "seed " << seed;
+        }
+
+        svc::JsonValue stats =
+            parsed(coord.handleLine("{\"op\":\"stats\"}"));
+        EXPECT_GE(stats.find("counters")->numberOr("coord.failovers",
+                                                   0),
+                  1);
+    }
+
+    for (pid_t pid : pids) {
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+}
+
+} // namespace
+} // namespace nowcluster

@@ -15,10 +15,15 @@
  *   nowlab replay --trace FILE.csv | --obs FILE [--procs N] [knobs]
  *   nowlab serve [--port P] [--jobs J] [--queue N] [--cache-dir D]
  *                [--cache-only]
+ *   nowlab serve --coordinator --workers H:P,H:P,... [--replicas R]
+ *                [--heartbeat-ms N] [--port P] [--cache-dir D]
  *   nowlab submit <app> [knobs] [--host H] [--port P] [--wait]
+ *                [--max-retries N]
  *   nowlab get --id N [--host H] [--port P]
  *   nowlab get <app> --cache-dir D [knobs]      (offline store read)
  *   nowlab stats [--host H] [--port P] [--shutdown]
+ *   nowlab storm [--host H] [--port P] [--conns C] [--ops N]
+ *                [--app A] [--seeds K] [--out BENCH_svc.json]
  *
  * Knobs (all optional): --overhead US --gap US --latency US --mbps B
  *                       --occupancy US --window N
@@ -41,6 +46,7 @@
 #include "apps/app.hh"
 #include "base/logging.hh"
 #include "base/parse.hh"
+#include "base/random.hh"
 #include "base/table.hh"
 #include "calib/microbench.hh"
 #include "harness/experiment.hh"
@@ -54,12 +60,19 @@
 #include "replay/replay.hh"
 #include "sim/fiber.hh"
 #include "sim/simulator.hh"
+#include "svc/backoff.hh"
 #include "svc/codec.hh"
+#include "svc/coordinator.hh"
 #include "svc/hash.hh"
 #include "svc/json.hh"
 #include "svc/server.hh"
 #include "svc/spec.hh"
 #include "svc/store.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include <unistd.h>
 
 using namespace nowcluster;
 
@@ -400,6 +413,23 @@ handleStopSignal(int)
         gServer->requestStop(); // Async-signal-safe: one pipe write.
 }
 
+/** Split a comma-separated list (empty fields dropped). */
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
 int
 cmdServe(const Args &a)
 {
@@ -413,12 +443,54 @@ cmdServe(const Args &a)
     cfg.cacheOnly = a.flags.count("cache-only") != 0;
     fatal_if(cfg.cacheOnly && cfg.cacheDir.empty(),
              "--cache-only needs --cache-dir (or NOW_CACHE_DIR)");
+    const int port =
+        static_cast<int>(optLong(a, "port", svc::kDefaultPort));
 
-    svc::NowlabServer server(
-        cfg, static_cast<int>(optLong(a, "port", svc::kDefaultPort)));
+    const bool coordinator = a.flags.count("coordinator") != 0 ||
+                             a.options.count("workers") != 0;
+    if (coordinator) {
+        // Fleet front end: same protocol, same transport, but the
+        // brain shards submits across worker nowlabds.
+        svc::CoordinatorConfig cc;
+        auto w = a.options.find("workers");
+        fatal_if(w == a.options.end(),
+                 "--coordinator needs --workers host:port,host:port,...");
+        cc.workers = splitCsv(w->second);
+        fatal_if(cc.workers.empty(), "--workers: empty list");
+        for (const std::string &addr : cc.workers) {
+            std::string host;
+            int p;
+            fatal_if(!svc::parseHostPort(addr, host, p),
+                     "--workers: '%s' is not host:port", addr.c_str());
+        }
+        cc.replicas = static_cast<int>(optLong(a, "replicas", 2));
+        cc.heartbeatMs =
+            static_cast<int>(optLong(a, "heartbeat-ms", 250));
+        cc.rpcTimeoutMs =
+            static_cast<int>(optLong(a, "rpc-timeout-ms", 2000));
+        cc.backoffSeed = static_cast<std::uint64_t>(::getpid());
+        cc.local = cfg; // Degraded-mode fallback shares the flags.
+
+        svc::CoordinatorCore coord(cc);
+        svc::NowlabServer server(coord, port);
+        if (!server.start())
+            fatal("cannot bind 127.0.0.1:%d", port);
+        gServer = &server;
+        std::signal(SIGTERM, handleStopSignal);
+        std::signal(SIGINT, handleStopSignal);
+        std::printf("nowlabd on 127.0.0.1:%d (coordinator, %zu workers,"
+                    " %d replicas)\n",
+                    server.port(), cc.workers.size(), cc.replicas);
+        std::fflush(stdout);
+        server.wait();
+        gServer = nullptr;
+        std::printf("nowlabd drained, bye\n");
+        return 0;
+    }
+
+    svc::NowlabServer server(cfg, port);
     if (!server.start())
-        fatal("cannot bind 127.0.0.1:%ld",
-              optLong(a, "port", svc::kDefaultPort));
+        fatal("cannot bind 127.0.0.1:%d", port);
     gServer = &server;
     std::signal(SIGTERM, handleStopSignal);
     std::signal(SIGINT, handleStopSignal);
@@ -503,15 +575,29 @@ cmdSubmit(const Args &a)
 {
     if (a.positional.size() < 2)
         fatal("usage: nowlab submit <app> [knobs] [--host H] "
-              "[--port P] [--wait]");
+              "[--port P] [--wait] [--max-retries N]");
     svc::Client client = clientOf(a);
     const bool wait = a.flags.count("wait") != 0;
+    const long maxRetries = optLong(a, "max-retries", 8);
 
+    // Backpressure: a busy reply is retried (one-shot and --wait mode
+    // alike) on the fleet-wide jittered backoff policy, never shorter
+    // than the server's own retry_after_ms hint, and bounded by
+    // --max-retries so scripts fail fast instead of spinning forever.
+    svc::Backoff backoff(50, 5000,
+                         static_cast<std::uint64_t>(::getpid()));
+    long retries = 0;
     svc::JsonValue v = roundTrip(client, submitRequestOf(a));
-    while (wait && v.stringOr("error", "") == "busy") {
-        // Backpressure: honour the server's retry hint.
-        std::this_thread::sleep_for(std::chrono::milliseconds(
-            static_cast<long>(v.numberOr("retry_after_ms", 250))));
+    while (v.stringOr("error", "") == "busy") {
+        if (++retries > maxRetries) {
+            warn("server still busy after %ld retries, giving up",
+                 maxRetries);
+            return 1;
+        }
+        long delay = std::max(
+            static_cast<long>(v.numberOr("retry_after_ms", 0)),
+            static_cast<long>(backoff.nextMs()));
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         v = roundTrip(client, submitRequestOf(a));
     }
     if (!v.boolOr("ok", false))
@@ -604,6 +690,293 @@ cmdStats(const Args &a)
     if (a.flags.count("shutdown"))
         roundTrip(client, "{\"op\":\"shutdown\"}");
     return v.boolOr("ok", false) ? 0 : 1;
+}
+
+/** Exact percentile of a sorted latency sample (ms). */
+double
+percentileMs(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+/**
+ * `nowlab storm`: the fleet load generator behind BENCH_svc.json and
+ * the CI fleet smoke. Opens --conns concurrent connections and drives
+ * --ops requests of mixed submit/status/get traffic at a nowlabd (or a
+ * coordinator -- same protocol), honouring busy backpressure with the
+ * shared jittered backoff. After the load phase every submitted job is
+ * polled to completion, so a storm that returns 0 proves the service
+ * lost nothing -- the property the fleet smoke asserts while a worker
+ * is SIGKILLed mid-storm. Latency percentiles (per op) and saturation
+ * throughput go to stdout and, with --out, to a benchmark JSON.
+ */
+int
+cmdStorm(const Args &a)
+{
+    using Clock = std::chrono::steady_clock;
+    const int conns = static_cast<int>(optLong(a, "conns", 64));
+    const long ops = optLong(a, "ops", 2000);
+    const std::string app =
+        a.options.count("app") ? a.options.at("app") : "radix";
+    const int procs = static_cast<int>(optLong(a, "procs", 4));
+    const double scale = optDouble(a, "scale", 0.05);
+    const long seeds = std::max(1L, optLong(a, "seeds", 16));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(optLong(a, "seed", 1));
+    auto hostIt = a.options.find("host");
+    const std::string host =
+        hostIt != a.options.end() ? hostIt->second : "127.0.0.1";
+    const int port =
+        static_cast<int>(optLong(a, "port", svc::kDefaultPort));
+
+    enum
+    {
+        kSubmit = 0,
+        kStatus = 1,
+        kGet = 2,
+        kOps = 3
+    };
+    static const char *kOpName[kOps] = {"submit", "status", "get"};
+
+    struct Lane
+    {
+        std::vector<double> lat[kOps]; ///< Milliseconds per round trip.
+        std::vector<std::uint64_t> ids;
+        long busy = 0;
+        long errors = 0;
+        long protocolErrors = 0;
+    };
+    std::vector<Lane> lanes(static_cast<std::size_t>(conns));
+    std::atomic<long> next{0};
+
+    auto submitLine = [&](std::uint64_t s) {
+        svc::JsonWriter w;
+        w.beginObject()
+            .field("op", "submit")
+            .field("app", app)
+            .field("procs", procs)
+            .field("scale", scale)
+            .field("seed", s)
+            .field("validate", false)
+            .endObject();
+        return w.str();
+    };
+    auto idLine = [](const char *op, std::uint64_t id) {
+        svc::JsonWriter w;
+        w.beginObject().field("op", op).field("id", id).endObject();
+        return w.str();
+    };
+
+    auto loadLane = [&](int t) {
+        Lane &lane = lanes[static_cast<std::size_t>(t)];
+        svc::Client client(host, port, 10'000);
+        Rng rng(seed, static_cast<std::uint64_t>(t));
+        svc::Backoff backoff(25, 2000,
+                             seed * 997 + static_cast<std::uint64_t>(t));
+        for (;;) {
+            long i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= ops)
+                break;
+            // 40% submits, 30% status polls, 30% result reads -- the
+            // laboratory's real mix (sweeps poll far more than they
+            // submit).
+            int kind = kSubmit;
+            if (!lane.ids.empty()) {
+                std::uint64_t roll = rng.below(10);
+                kind = roll < 4 ? kSubmit : roll < 7 ? kStatus : kGet;
+            }
+            std::string line =
+                kind == kSubmit
+                    ? submitLine(1 + rng.below(
+                                         static_cast<std::uint64_t>(seeds)))
+                    : idLine(kOpName[kind],
+                             lane.ids[rng.below(lane.ids.size())]);
+            auto t0 = Clock::now();
+            std::string reply;
+            if (!client.request(line, reply)) {
+                ++lane.errors;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff.nextMs()));
+                continue;
+            }
+            double ms =
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          t0)
+                    .count();
+            svc::JsonValue v;
+            if (!svc::parseJson(reply, v, nullptr)) {
+                ++lane.protocolErrors;
+                continue;
+            }
+            if (v.stringOr("error", "") == "busy") {
+                ++lane.busy;
+                long delay = std::max(
+                    static_cast<long>(v.numberOr("retry_after_ms", 0)),
+                    static_cast<long>(backoff.nextMs()));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+                continue;
+            }
+            backoff.reset();
+            lane.lat[kind].push_back(ms);
+            if (kind == kSubmit && v.boolOr("ok", false))
+                lane.ids.push_back(static_cast<std::uint64_t>(
+                    v.numberOr("id", 0)));
+        }
+    };
+
+    std::printf("storm: %d connections, %ld ops against %s:%d\n", conns,
+                ops, host.c_str(), port);
+    auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < conns; ++t)
+        threads.emplace_back(loadLane, t);
+    for (auto &th : threads)
+        th.join();
+    double loadSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // Drain: every accepted submit must reach done (or failed) -- a
+    // job the fleet lost would poll forever, so it is the exit status.
+    std::atomic<long> completed{0}, failedJobs{0}, lost{0};
+    auto drainLane = [&](int t) {
+        Lane &lane = lanes[static_cast<std::size_t>(t)];
+        svc::Client client(host, port, 10'000);
+        svc::Backoff backoff(25, 2000,
+                             seed * 911 + static_cast<std::uint64_t>(t));
+        for (std::uint64_t id : lane.ids) {
+            bool settled = false;
+            for (int tries = 0; tries < 600 && !settled; ++tries) {
+                std::string reply;
+                if (!client.request(idLine("status", id), reply)) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(backoff.nextMs()));
+                    continue;
+                }
+                backoff.reset();
+                svc::JsonValue v;
+                if (!svc::parseJson(reply, v, nullptr))
+                    continue;
+                std::string state = v.stringOr("state", "");
+                if (state == "done") {
+                    ++completed;
+                    settled = true;
+                } else if (state == "failed") {
+                    ++failedJobs;
+                    settled = true;
+                } else {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                }
+            }
+            if (!settled)
+                ++lost;
+        }
+    };
+    threads.clear();
+    for (int t = 0; t < conns; ++t)
+        threads.emplace_back(drainLane, t);
+    for (auto &th : threads)
+        th.join();
+
+    // Merge lanes into one registry (histograms in microsecond ticks)
+    // and exact per-op percentile vectors.
+    MetricsRegistry reg;
+    std::vector<Tick> bounds = {usec(100),    usec(500),   usec(1000),
+                                usec(5000),   usec(10000), usec(50000),
+                                usec(100000), usec(1000000)};
+    std::vector<double> merged[kOps];
+    long busy = 0, errors = 0, protocolErrors = 0, submitted = 0;
+    for (const Lane &lane : lanes) {
+        busy += lane.busy;
+        errors += lane.errors;
+        protocolErrors += lane.protocolErrors;
+        submitted += static_cast<long>(lane.ids.size());
+        for (int k = 0; k < kOps; ++k)
+            merged[k].insert(merged[k].end(), lane.lat[k].begin(),
+                             lane.lat[k].end());
+    }
+    long answered = 0;
+    for (int k = 0; k < kOps; ++k) {
+        std::sort(merged[k].begin(), merged[k].end());
+        answered += static_cast<long>(merged[k].size());
+        Histogram &h = reg.histogram(
+            std::string("storm.") + kOpName[k] + "_latency", bounds);
+        for (double ms : merged[k])
+            h.observe(usec(ms * 1000));
+    }
+    reg.counter("storm.busy") = static_cast<std::uint64_t>(busy);
+    reg.counter("storm.transport_errors") =
+        static_cast<std::uint64_t>(errors);
+    reg.counter("storm.submitted") =
+        static_cast<std::uint64_t>(submitted);
+    reg.counter("storm.completed") =
+        static_cast<std::uint64_t>(completed.load());
+
+    double throughput =
+        loadSeconds > 0 ? static_cast<double>(answered) / loadSeconds
+                        : 0;
+    std::printf("  load phase : %.2f s, %.0f ops/s saturated, %ld busy,"
+                " %ld transport errors\n",
+                loadSeconds, throughput, busy, errors);
+    for (int k = 0; k < kOps; ++k) {
+        std::printf("  %-7s : %6zu ops, p50 %7.2f ms, p90 %7.2f ms,"
+                    " p99 %7.2f ms\n",
+                    kOpName[k], merged[k].size(),
+                    percentileMs(merged[k], 0.50),
+                    percentileMs(merged[k], 0.90),
+                    percentileMs(merged[k], 0.99));
+    }
+    std::printf("  jobs       : %ld submitted, %ld completed, %ld "
+                "failed, %ld lost\n",
+                submitted, completed.load(), failedJobs.load(),
+                lost.load());
+
+    if (a.options.count("out")) {
+        const std::string &path = a.options.at("out");
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            warn("cannot write %s", path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"svc\",\n"
+                     "  \"conns\": %d,\n"
+                     "  \"ops\": %ld,\n"
+                     "  \"app\": \"%s\",\n"
+                     "  \"load_seconds\": %.3f,\n"
+                     "  \"saturation_ops_per_sec\": %.1f,\n"
+                     "  \"busy_replies\": %ld,\n"
+                     "  \"transport_errors\": %ld,\n"
+                     "  \"protocol_errors\": %ld,\n"
+                     "  \"jobs\": {\"submitted\": %ld, \"completed\": "
+                     "%ld, \"failed\": %ld, \"lost\": %ld},\n"
+                     "  \"latency_ms\": {\n",
+                     conns, ops, app.c_str(), loadSeconds, throughput,
+                     busy, errors, protocolErrors, submitted,
+                     completed.load(), failedJobs.load(), lost.load());
+        for (int k = 0; k < kOps; ++k) {
+            std::fprintf(
+                f,
+                "    \"%s\": {\"count\": %zu, \"p50\": %.3f, "
+                "\"p90\": %.3f, \"p99\": %.3f}%s\n",
+                kOpName[k], merged[k].size(),
+                percentileMs(merged[k], 0.50),
+                percentileMs(merged[k], 0.90),
+                percentileMs(merged[k], 0.99), k + 1 < kOps ? "," : "");
+        }
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return lost.load() == 0 && protocolErrors == 0 ? 0 : 1;
 }
 
 /**
@@ -901,8 +1274,12 @@ main(int argc, char **argv)
             "             [knobs]\n"
             "  nowlab serve [--port P] [--jobs J] [--queue N]\n"
             "             [--cache-dir D] [--cache-only]\n"
+            "  nowlab serve --coordinator --workers H:P,H:P,...\n"
+            "             [--port P] [--replicas R] [--heartbeat-ms N]\n"
             "  nowlab submit <app> [knobs] [--host H] [--port P]\n"
-            "             [--wait]\n"
+            "             [--wait] [--max-retries N]\n"
+            "  nowlab storm [--conns C] [--ops N] [--host H] [--port P]\n"
+            "             [--app A] [--seeds K] [--out FILE]\n"
             "  nowlab get --id N [--host H] [--port P]\n"
             "  nowlab get <app> --cache-dir D [knobs]   (offline)\n"
             "  nowlab stats [--host H] [--port P] [--shutdown]\n"
@@ -938,5 +1315,7 @@ main(int argc, char **argv)
         return cmdGet(a);
     if (cmd == "stats")
         return cmdStats(a);
+    if (cmd == "storm")
+        return cmdStorm(a);
     fatal("unknown command '%s'", cmd.c_str());
 }
