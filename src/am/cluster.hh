@@ -1,12 +1,27 @@
 /**
  * @file
- * The simulated cluster: P Active-Message nodes, a contention-free
- * constant-latency interconnect, and an SPMD program launcher.
+ * The simulated cluster: P Active-Message nodes, a constant-latency or
+ * fat-tree interconnect, and an SPMD program launcher.
+ *
+ * Two execution engines share this class:
+ *
+ *   - the classic single-heap engine (params.simThreads == 0): one
+ *     Simulator, one event queue, bit-identical to the original
+ *     simulator; and
+ *   - the sharded engine (params.simThreads >= 1): nodes are
+ *     partitioned into shards, each with a private Simulator clock and
+ *     heap, run in lookahead-sized windows by sim/parallel.hh with the
+ *     minimum wire latency L as the conservative lookahead. All
+ *     cross-shard traffic (deliveries and reliability acks) crosses
+ *     through SPSC channels and is merged between windows in a fixed
+ *     shard order, which makes results a pure function of the shard
+ *     layout -- byte-identical at any thread count.
  */
 
 #ifndef NOWCLUSTER_AM_CLUSTER_HH_
 #define NOWCLUSTER_AM_CLUSTER_HH_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -16,14 +31,34 @@
 #include "net/fabric.hh"
 #include "net/fault.hh"
 #include "net/loggp.hh"
+#include "net/topology.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
 #include "sim/simulator.hh"
+#include "sim/spsc.hh"
 
 namespace nowcluster {
 
+/** A cross-shard wire event, queued on an SPSC channel and merged
+ *  into the destination shard's heap between windows. */
+struct CrossMsg
+{
+    enum class Kind : std::uint8_t
+    {
+        Delivery, ///< A packet for scheduleDelivery() on the dst shard.
+        RelAck,   ///< A reliability cumulative ack arriving at `when`.
+    };
+
+    Kind kind = Kind::Delivery;
+    Tick when = 0;
+    NodeId from = -1;
+    NodeId to = -1;
+    std::uint64_t cumSeq = 0;
+    Packet pkt;
+};
+
 /**
- * Owns the simulator, the LogGP parameters, the handler table, and one
+ * Owns the simulators, the LogGP parameters, the handler table, and one
  * AmNode + Proc per simulated processor.
  */
 class Cluster
@@ -73,12 +108,29 @@ class Cluster
 
     int nprocs() const { return nprocs_; }
     AmNode &node(int i) { return *nodes_[i]; }
-    Simulator &sim() { return sim_; }
+
+    /** Shard 0's simulator (the only one in the classic engine). */
+    Simulator &sim() { return *sims_[0]; }
+
+    /** Number of shards (1 in the classic engine). */
+    int nshards() const { return nshards_; }
+    /** Shard that owns node `id`. */
+    int shardOf(NodeId id) const { return shard_[id]; }
+    /** The simulator whose clock node `id` lives on. */
+    Simulator &simOf(NodeId id) { return *sims_[shard_[id]]; }
+
+    /** Lifetime count of executed events across every shard. */
+    std::uint64_t eventsExecuted() const;
+
     const LogGPParams &params() const { return params_; }
     std::uint64_t seed() const { return seed_; }
 
     /** Drain mode: blocking primitives return immediately. */
-    bool draining() const { return draining_; }
+    bool
+    draining() const
+    {
+        return draining_.load(std::memory_order_relaxed);
+    }
 
     /** Deliver pkt to its destination at pkt.readyAt. */
     void transmit(Packet &&pkt);
@@ -118,17 +170,25 @@ class Cluster
      * Attach a span tracer to every node (CPU fiber, NIC tx context,
      * NIC rx context) and the network. Must be called before run();
      * pass nullptr to detach. Tracing is passive -- virtual time and
-     * all results are identical with and without a tracer.
+     * all results are identical with and without a tracer. Under the
+     * sharded engine each shard records into a private tracer with a
+     * disjoint id range; they are merged into `tracer` (in shard
+     * order, so deterministically) when run() returns.
      */
     void setTracer(SpanTracer *tracer);
     SpanTracer *tracer() const { return tracer_; }
 
-    /** The fabric model, if enabled (diagnostics). */
+    /** The flat fabric model, if enabled (diagnostics). */
     const SwitchFabric *fabric() const { return fabric_.get(); }
 
-    /** The fault model, if enabled (scripting from tests, counters). */
-    FaultModel *faultModel() { return fault_.get(); }
-    const FaultModel *faultModel() const { return fault_.get(); }
+    /** The fat-tree topology model, if enabled (diagnostics). */
+    const FatTreeTopology *topology() const { return topo_.get(); }
+
+    /** The fault model, if enabled (scripting from tests, counters).
+     *  Under the sharded engine this is shard 0's model; each shard
+     *  draws from its own seeded stream. */
+    FaultModel *faultModel();
+    const FaultModel *faultModel() const;
 
     /** Per-packet trace callback: (issued, ready, src, dst, kind,
      *  payload bytes). Kept as a plain hook so the AM layer does not
@@ -136,7 +196,7 @@ class Cluster
     using TraceHook = std::function<void(Tick, Tick, NodeId, NodeId,
                                          PacketKind, std::uint32_t)>;
 
-    void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
+    void setTraceHook(TraceHook hook);
     const TraceHook &traceHook() const { return trace_; }
 
   private:
@@ -145,10 +205,37 @@ class Cluster
     /** Common delivery tail: rx occupancy + presence-bit event. */
     void scheduleDelivery(Packet &&pkt);
 
-    /** Enter drain mode, recording who was blocked and why. */
-    void startDrain(const char *why);
+    /** Presence-bit event body: downlink queueing, rx occupancy,
+     *  delivery. */
+    void arrive(Simulator &sim, const std::shared_ptr<Packet> &p);
 
-    Simulator sim_;
+    /** Route a delivery to its destination shard (channel if remote). */
+    void routeDelivery(Packet &&pkt);
+
+    /** Route a reliability ack to node `to`'s shard. */
+    void routeAck(NodeId from, NodeId to, std::uint64_t cum_seq,
+                  Tick when);
+
+    /** Drain every channel inbound to shard s into its heap. */
+    void mergeShard(int s);
+
+    /**
+     * Serial window planner (all shards quiescent): termination and
+     * drain checks, then min(nextTime) + lookahead. kTickNever stops
+     * the engine.
+     */
+    Tick planWindow(Tick max_time);
+
+    /** Enter drain mode, recording who was blocked and why. */
+    void startDrain(const char *why, Tick at);
+
+    /** Fold per-shard tracers into the user's tracer, in shard order. */
+    void mergeShardTracers();
+
+    SpanTracer *tracerFor(int s) const;
+    FaultModel *faultFor(int s) const;
+    SpscChannel<CrossMsg> &channel(int src, int dst) const;
+
     LogGPParams params_;
     MetricsRegistry metrics_;
     SpanTracer *tracer_ = nullptr;
@@ -157,14 +244,32 @@ class Cluster
     std::vector<HandlerFn> handlers_;
     std::vector<std::unique_ptr<AmNode>> nodes_;
     std::vector<std::unique_ptr<Proc>> procs_;
-    int doneCount_ = 0;
+
+    /** One simulator per shard; sims_[0] is the whole world in the
+     *  classic engine. */
+    std::vector<std::unique_ptr<Simulator>> sims_;
+    int nshards_ = 1;
+    int simThreads_ = 0;
+    Tick lookahead_ = 0;
+    /** Node -> shard (all zeros in the classic engine). */
+    std::vector<int> shard_;
+    /** nshards^2 SPSC channels, indexed src * nshards + dst. */
+    std::vector<std::unique_ptr<SpscChannel<CrossMsg>>> channels_;
+    /** One fault model per shard (one total in the classic engine). */
+    std::vector<std::unique_ptr<FaultModel>> faults_;
+    /** Private per-shard tracers (sharded engine + setTracer only). */
+    std::vector<std::unique_ptr<SpanTracer>> shardTracers_;
+    /** Per-shard max body-return time; runtime_ is their max. */
+    std::vector<Tick> shardRuntime_;
+
+    std::atomic<int> doneCount_{0};
     Tick runtime_ = 0;
-    bool draining_ = false;
+    std::atomic<bool> draining_{false};
     bool timedOut_ = false;
     bool started_ = false;
     TraceHook trace_;
     std::unique_ptr<SwitchFabric> fabric_;
-    std::unique_ptr<FaultModel> fault_;
+    std::unique_ptr<FatTreeTopology> topo_;
     std::string stallReport_;
 };
 

@@ -39,7 +39,6 @@ SampleApp::setup(int nprocs, double scale, std::uint64_t seed)
     keysPerProc_ = std::max(64, static_cast<int>(131072 * scale) / nprocs);
     nodes_.assign(nprocs, NodeState{});
     inputCopy_.clear();
-    splitters_.assign(std::max(nprocs - 1, 1), 0);
     for (int p = 0; p < nprocs; ++p) {
         Rng rng(seed, 21000 + p);
         NodeState &n = nodes_[p];
@@ -74,17 +73,22 @@ SampleApp::run(SplitC &sc)
     }
     sc.sync();
     sc.barrier();
+    // Each proc keeps its own splitter copy: under the sharded engine
+    // procs run on different threads, so a shared array everyone
+    // writes the broadcast result into would be a data race.
+    std::vector<std::uint32_t> splitters(std::max(p - 1, 1), 0);
     if (me == 0) {
         auto &s = nodes_[0].sample;
         localRadixSort(s, s.size());
         sc.compute(kLocalSortPerKey * static_cast<Tick>(s.size()));
         for (int i = 1; i < p; ++i)
-            splitters_[i - 1] = s[static_cast<std::size_t>(i) *
-                                  kOversample];
+            splitters[i - 1] = s[static_cast<std::size_t>(i) *
+                                 kOversample];
     }
     // Broadcast the splitters (word-granularity, as short messages).
     for (int i = 0; i + 1 < p; ++i)
-        splitters_[i] = sc.bcast(splitters_[i], 0);
+        splitters[i] = static_cast<std::uint32_t>(
+            sc.bcast(splitters[i], 0));
     sc.barrier();
 
     // ---- Phase 2: key distribution (unbalanced all-to-all) -----------
@@ -92,9 +96,9 @@ SampleApp::run(SplitC &sc)
     std::vector<std::int64_t> count(p, 0);
     for (std::uint32_t k : self.keys) {
         int dst = static_cast<int>(
-            std::upper_bound(splitters_.begin(),
-                             splitters_.begin() + (p - 1), k) -
-            splitters_.begin());
+            std::upper_bound(splitters.begin(),
+                             splitters.begin() + (p - 1), k) -
+            splitters.begin());
         ++count[dst];
         sc.compute(kPartitionPerKey / 2);
     }
@@ -109,9 +113,9 @@ SampleApp::run(SplitC &sc)
     std::vector<std::int64_t> cursor = base_off;
     for (std::uint32_t k : self.keys) {
         int dst = static_cast<int>(
-            std::upper_bound(splitters_.begin(),
-                             splitters_.begin() + (p - 1), k) -
-            splitters_.begin());
+            std::upper_bound(splitters.begin(),
+                             splitters.begin() + (p - 1), k) -
+            splitters.begin());
         std::int64_t off = cursor[dst]++;
         panic_if(off >= static_cast<std::int64_t>(
                      nodes_[dst].recv.size()),

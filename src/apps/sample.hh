@@ -40,7 +40,6 @@ class SampleApp : public App
     int keysPerProc_ = 0;
     std::vector<NodeState> nodes_;
     std::vector<std::uint32_t> inputCopy_;
-    std::vector<std::uint32_t> splitters_; ///< Shared after bcast.
 };
 
 } // namespace nowcluster

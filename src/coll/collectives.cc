@@ -56,26 +56,26 @@ Collectives::Collectives(int nprocs, std::size_t max_elems)
         n.boxSeen.assign(nprocs, 0);
         n.scanVal.assign(std::max(levels, 1), 0);
         n.scanSeen.assign(std::max(levels, 1), 0);
+        n.barSeen.assign(std::max(levels, 1), 0);
     }
     // Default model: Berkeley NOW numbers.
     auto p = MachineConfig::berkeleyNow().params;
     sendInterval_ = std::max(p.oSend, p.gap);
     arrivalCost_ = p.oSend + p.latency + p.oRecv;
+    buildSchedule();
 }
 
 void
 Collectives::setModel(Tick send_interval, Tick arrival_cost)
 {
-    panic_if(scheduleBuilt_, "setModel must precede the first use");
     sendInterval_ = send_interval;
     arrivalCost_ = arrival_cost;
+    buildSchedule();
 }
 
 void
-Collectives::ensureSchedule()
+Collectives::buildSchedule()
 {
-    if (scheduleBuilt_)
-        return;
     optTargets_.assign(nprocs_, {});
     auto steps =
         buildOptimalBroadcast(nprocs_, sendInterval_, arrivalCost_);
@@ -83,7 +83,6 @@ Collectives::ensureSchedule()
     // assigns each sender's slots in time order).
     for (const BroadcastStep &s : steps)
         optTargets_[s.sender].push_back(s.receiver);
-    scheduleBuilt_ = true;
 }
 
 Word
@@ -97,7 +96,6 @@ Collectives::broadcast(SplitC &sc, Word value, NodeId root, BcastAlg alg)
     const std::int64_t epoch = ++nodes_[me].myBcastEpoch;
     if (p == 1)
         return value;
-    ensureSchedule();
 
     const int rel = (me - root + p) % p;
     Word v = value;
@@ -260,6 +258,61 @@ Collectives::allToAll(SplitC &sc, const Word *send, std::size_t n,
             &m.box[static_cast<std::size_t>(src) * maxElems_] + n,
             recv + static_cast<std::size_t>(src) * n);
     }
+}
+
+void
+Collectives::barrier(SplitC &sc, BarrierAlg alg)
+{
+    const int p = sc.procs();
+    const int me = sc.myProc();
+    if (p == 1)
+        return;
+    if (alg == BarrierAlg::Auto)
+        alg = p > 64 ? BarrierAlg::Dissemination : BarrierAlg::Flat;
+
+    NodeState &mine = nodes_[me];
+    const std::int64_t epoch = ++mine.myBarEpoch;
+    const Tick t0 = sc.am().now();
+
+    if (alg == BarrierAlg::Flat) {
+        if (me == 0) {
+            // Epochs accumulate in the counter, so arrivals from the
+            // next epoch (a releasee racing ahead) can never be
+            // mistaken for this one.
+            sc.am().pollUntil(
+                [&] {
+                    return mine.barArrived >=
+                           epoch * static_cast<std::int64_t>(p - 1);
+                },
+                "flat barrier");
+            for (int q = 1; q < p; ++q)
+                sc.put(gptr(q, &nodes_[q].barRelease), epoch);
+            sc.sync();
+        } else {
+            sc.fetchAdd(gptr(0, &nodes_[0].barArrived),
+                        std::int64_t{1});
+            sc.am().pollUntil([&] { return mine.barRelease >= epoch; },
+                              "flat barrier");
+        }
+    } else {
+        // Dissemination: in round r, signal the processor 2^r to the
+        // right and wait for the one 2^r to the left. After
+        // ceil(log2 P) rounds every processor transitively depends on
+        // every other -- same guarantee as the flat barrier with no
+        // O(P) hotspot.
+        int round = 0;
+        for (int d = 1; d < p; d <<= 1, ++round) {
+            NodeId dst = static_cast<NodeId>((me + d) % p);
+            sc.put(gptr(dst, &nodes_[dst].barSeen[round]), epoch);
+            sc.sync();
+            sc.am().pollUntil(
+                [&] { return mine.barSeen[round] >= epoch; },
+                "dissemination barrier");
+        }
+    }
+    if (sc.am().obs())
+        sc.am().obs()->containerSpan(sc.am().id(), SpanCat::BarrierWait,
+                                     t0, sc.am().now());
 }
 
 std::int64_t

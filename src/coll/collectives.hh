@@ -66,6 +66,14 @@ enum class GatherAlg
     RecursiveDoubling ///< log P steps, latency-friendly.
 };
 
+/** Barrier algorithm selector. */
+enum class BarrierAlg
+{
+    Flat,          ///< Counter at rank 0 + linear release; O(P) at root.
+    Dissemination, ///< ceil(log2 P) rounds of distance-2^r signals.
+    Auto,          ///< Dissemination for P > 64, Flat below.
+};
+
 /**
  * Per-cluster collective context: owns the per-node mailboxes the
  * algorithms communicate through. Construct once (outside run()) and
@@ -102,6 +110,16 @@ class Collectives
     std::int64_t scanAdd(SplitC &sc, std::int64_t value);
 
     /**
+     * Barrier across all processors. Auto picks the dissemination
+     * algorithm above 64 processors -- at 1024 nodes the flat
+     * barrier's O(P) serialization at rank 0 dominates whole runs --
+     * and the flat one below, where its two network hops beat the
+     * dissemination rounds. Both provide identical semantics: no
+     * processor returns before every processor has entered.
+     */
+    void barrier(SplitC &sc, BarrierAlg alg = BarrierAlg::Auto);
+
+    /**
      * Set the broadcast schedule parameters used by LogPOptimal (call
      * before run(); defaults to the Berkeley NOW numbers).
      */
@@ -120,10 +138,17 @@ class Collectives
         /** Scan mailbox per tree level. */
         std::vector<std::int64_t> scanVal;
         std::vector<std::int64_t> scanSeen;
+        /** Barrier mailboxes: per-round dissemination flags, plus the
+         *  flat barrier's arrival counter and release flag (rank 0
+         *  owns the counter). */
+        std::vector<std::int64_t> barSeen;
+        std::int64_t barArrived = 0;
+        std::int64_t barRelease = 0;
         /** This processor's own epoch counters (SPMD lockstep). */
         std::int64_t myBcastEpoch = 0;
         std::int64_t myGatherEpoch = 0;
         std::int64_t myScanEpoch = 0;
+        std::int64_t myBarEpoch = 0;
     };
 
     int nprocs_;
@@ -132,9 +157,11 @@ class Collectives
     std::vector<std::vector<NodeId>> optTargets_; ///< Per sender, in order.
     Tick sendInterval_;
     Tick arrivalCost_;
-    bool scheduleBuilt_ = false;
 
-    void ensureSchedule();
+    /** (Re)build the LogP-optimal schedule; eager so the collectives
+     *  never mutate shared state lazily mid-run (the sharded engine
+     *  would race on it). */
+    void buildSchedule();
 };
 
 } // namespace nowcluster

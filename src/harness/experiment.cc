@@ -50,6 +50,22 @@ Knobs::applyTo(LogGPParams &params) const
         params.reliable = reliable != 0;
     if (retxTimeoutUs > 0)
         params.retxTimeout = usec(retxTimeoutUs);
+    if (topo == 1 || topoHosts > 0 || topoLinkMBps > 0 ||
+        topoOversub > 0 || topoHopUs >= 0) {
+        params.topo = topo != 0;
+        if (topoHosts > 0)
+            params.topoHostsPerLeaf = topoHosts;
+        if (topoLinkMBps > 0)
+            params.topoLinkMBps = topoLinkMBps;
+        if (topoOversub > 0)
+            params.topoOversub = topoOversub;
+        if (topoHopUs >= 0)
+            params.topoHopLatency = usec(topoHopUs);
+    }
+    if (simThreads >= 0)
+        params.simThreads = simThreads;
+    if (simShards >= 0)
+        params.simShards = simShards;
 }
 
 RunResult
@@ -60,6 +76,14 @@ runApp(const std::string &app_key, const RunConfig &config)
 
     LogGPParams params = config.machine.params;
     config.knobs.applyTo(params);
+    // NOW_SIM_THREADS is a fallback only: an explicit per-run knob
+    // (including an explicit 0 = classic engine) always wins.
+    if (config.knobs.simThreads < 0 && envConfig().simThreads >= 0)
+        params.simThreads = envConfig().simThreads;
+
+    fatal_if(config.trace && params.simThreads > 0,
+             "message tracing records in global send order and needs "
+             "--sim-threads 0 (span tracing via --obs works sharded)");
 
     SplitCRuntime rt(config.nprocs, params, config.seed);
     app->prepare(rt);
@@ -81,6 +105,8 @@ runApp(const std::string &app_key, const RunConfig &config)
     r.matrix = commMatrix(rt.cluster());
     r.maxMsgsPerProc = r.summary.maxMsgsPerProc;
     r.lockFailures = r.summary.lockFailures;
+    r.simEvents = rt.cluster().eventsExecuted();
+    r.simShards = rt.cluster().nshards();
     r.metrics = rt.cluster().metrics().snapshot();
     r.validated = r.ok && (!config.validate || app->validate());
     return r;
@@ -105,6 +131,13 @@ parseEnvConfig()
             c.jobs = static_cast<int>(v);
         else
             warn("ignoring invalid NOW_JOBS='%s'", s);
+    }
+    if (const char *s = std::getenv("NOW_SIM_THREADS")) {
+        long v = std::atol(s);
+        if (v >= 0)
+            c.simThreads = static_cast<int>(v);
+        else
+            warn("ignoring invalid NOW_SIM_THREADS='%s'", s);
     }
     if (const char *s = std::getenv("NOW_CACHE_DIR"))
         c.cacheDir = s;

@@ -45,6 +45,22 @@ struct Knobs
     int reliable = -1;       ///< 1 = reliable delivery, 0 = force off.
     double retxTimeoutUs = -1; ///< Retransmission timeout (0/-1 = auto).
 
+    /** Fat-tree topology model (net/topology.hh); `topo = 1` or any
+     *  topo* field enables it. */
+    int topo = -1;           ///< 1 = enable with defaults, 0 = off.
+    int topoHosts = -1;      ///< Hosts per leaf switch.
+    double topoLinkMBps = -1; ///< Edge link bandwidth.
+    double topoOversub = -1; ///< Spine oversubscription ratio.
+    double topoHopUs = -1;   ///< Extra cross-leaf wire latency (us).
+
+    /** Sharded parallel engine: worker thread count. -1 = unset (the
+     *  NOW_SIM_THREADS environment fallback applies), 0 = classic
+     *  single-heap engine, >= 1 = sharded. */
+    int simThreads = -1;
+    /** Shard count override (0/-1 = automatic). Results depend on the
+     *  shard layout, never on simThreads. */
+    int simShards = -1;
+
     /** Apply to a parameter set. */
     void applyTo(LogGPParams &params) const;
 };
@@ -78,6 +94,11 @@ struct RunResult
     CommMatrix matrix;
     std::uint64_t maxMsgsPerProc = 0;
     std::uint64_t lockFailures = 0;
+    /** Simulator events executed, summed over shards (perf metric;
+     *  deliberately excluded from the result fingerprint). */
+    std::uint64_t simEvents = 0;
+    /** Shards the run used (1 = classic engine). */
+    int simShards = 1;
     /** Snapshot of the cluster's metrics registry at run end. */
     MetricsSnapshot metrics;
 };
@@ -97,6 +118,10 @@ struct EnvConfig
     bool scaleSet = false; ///< NOW_SCALE was present and valid.
     double scale = 1.0;    ///< NOW_SCALE value (1.0 if unset).
     int jobs = 0;          ///< NOW_JOBS value (0 = auto-detect).
+    /** NOW_SIM_THREADS: sharded-engine thread count (-1 = unset; 0 =
+     *  classic engine; >= 1 = sharded). A per-run Knobs.simThreads
+     *  setting wins over this. */
+    int simThreads = -1;
     /** NOW_CACHE_DIR: result-store directory ("" = caching off). */
     std::string cacheDir;
 };

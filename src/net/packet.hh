@@ -63,6 +63,10 @@ struct Packet
     /** Observability message id (0 unless a span tracer is attached). */
     std::uint64_t obsMsg = 0;
 
+    /** Cross-leaf packet still owing its destination-leaf downlink
+     *  queueing (fat-tree topology model; cleared once applied). */
+    bool spineHop = false;
+
     bool isBulk() const { return kind == PacketKind::BulkFrag; }
 };
 

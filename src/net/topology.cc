@@ -1,0 +1,70 @@
+#include "net/topology.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+FatTreeTopology::FatTreeTopology(int nprocs, const Config &config)
+    : config_(config)
+{
+    fatal_if(config.hostsPerLeaf < 1, "need at least one host per leaf");
+    fatal_if(config.linkMBps <= 0, "link bandwidth must be positive");
+    fatal_if(config.oversub <= 0, "oversubscription ratio must be positive");
+    fatal_if(config.hopLatency < 0, "hop latency must be non-negative");
+    nLeaves_ = (nprocs + config.hostsPerLeaf - 1) / config.hostsPerLeaf;
+    upBusy_.assign(nLeaves_, 0);
+    downBusy_.assign(nLeaves_, 0);
+    upQueued_.assign(nLeaves_, 0);
+    downQueued_.assign(nLeaves_, 0);
+}
+
+Tick
+FatTreeTopology::serializationTime(std::size_t bytes) const
+{
+    bytes = std::max(bytes, config_.minPacketBytes);
+    // Oversubscription divides the spine-facing capacity, which
+    // multiplies the time each packet holds the link.
+    double ns_per_byte =
+        1e9 / (config_.linkMBps * 1e6) * config_.oversub;
+    return static_cast<Tick>(static_cast<double>(bytes) * ns_per_byte +
+                             0.5);
+}
+
+Tick
+FatTreeTopology::uplink(int leaf, std::size_t bytes, Tick inject)
+{
+    Tick ser = serializationTime(bytes);
+    Tick start = std::max(inject, upBusy_[leaf]);
+    upBusy_[leaf] = start + ser;
+    Tick queueing = start - inject;
+    upQueued_[leaf] += queueing;
+    return queueing;
+}
+
+Tick
+FatTreeTopology::downlink(int leaf, std::size_t bytes, Tick arrive)
+{
+    Tick ser = serializationTime(bytes);
+    Tick start = std::max(arrive, downBusy_[leaf]);
+    downBusy_[leaf] = start + ser;
+    Tick queueing = start - arrive;
+    downQueued_[leaf] += queueing;
+    return queueing;
+}
+
+Tick
+FatTreeTopology::totalUplinkQueueing() const
+{
+    return std::accumulate(upQueued_.begin(), upQueued_.end(), Tick{0});
+}
+
+Tick
+FatTreeTopology::totalDownlinkQueueing() const
+{
+    return std::accumulate(downQueued_.begin(), downQueued_.end(), Tick{0});
+}
+
+} // namespace nowcluster

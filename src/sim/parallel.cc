@@ -1,0 +1,55 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace nowcluster {
+
+ParallelEngine::ParallelEngine(int nshards, int nthreads)
+    : nshards_(nshards), nthreads_(std::clamp(nthreads, 1, nshards))
+{
+    panic_if(nshards < 1, "ParallelEngine needs at least one shard");
+}
+
+void
+ParallelEngine::run(const Callbacks &cb)
+{
+    const int T = nthreads_;
+    // Written only by barrier A's completion step, which the barrier
+    // orders before any thread resumes; no atomics needed.
+    Tick windowEnd = 0;
+
+    std::barrier planBar(T, [&]() noexcept { windowEnd = cb.plan(); });
+    std::barrier execBar(T);
+
+    auto worker = [&](int t) {
+        for (;;) {
+            for (int s = t; s < nshards_; s += T)
+                cb.merge(s);
+            planBar.arrive_and_wait();
+            if (windowEnd == kTickNever)
+                break;
+            for (int s = t; s < nshards_; s += T)
+                cb.exec(s, windowEnd);
+            execBar.arrive_and_wait();
+        }
+    };
+
+    if (T == 1) {
+        worker(0);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(T - 1);
+    for (int t = 1; t < T; ++t)
+        threads.emplace_back(worker, t);
+    worker(0);
+    for (auto &th : threads)
+        th.join();
+}
+
+} // namespace nowcluster

@@ -39,6 +39,13 @@ class Simulator
     void
     scheduleIn(Tick delta, InlineFn fn)
     {
+        // >=, not >: kTickNever itself is the "no event" sentinel, so
+        // landing exactly on it is as corrupt as wrapping past it.
+        panic_if(delta >= kTickNever - now_,
+                 "scheduleIn overflows the Tick clock "
+                 "(now %lld + delta %lld)",
+                 static_cast<long long>(now_),
+                 static_cast<long long>(delta));
         schedule(now_ + delta, std::move(fn));
     }
 
@@ -59,6 +66,7 @@ class Simulator
             fn();
             ++executed;
         }
+        executed_ += executed;
         return executed;
     }
 
@@ -75,6 +83,30 @@ class Simulator
         }
         if (now_ < limit)
             now_ = limit;
+        executed_ += executed;
+        return executed;
+    }
+
+    /**
+     * Run events with time strictly < limit, without advancing now()
+     * to the limit afterwards. This is the per-window workhorse of the
+     * sharded engine: the window end is the earliest tick a remote
+     * shard could still inject, so events at exactly that tick must
+     * wait for the next merge, and the clock must stay on the last
+     * executed event so merged arrivals at the window boundary are
+     * never "in the past".
+     */
+    std::uint64_t
+    runBefore(Tick limit)
+    {
+        std::uint64_t executed = 0;
+        while (!events_.empty() && events_.nextTime() < limit) {
+            auto [when, fn] = events_.pop();
+            now_ = when;
+            fn();
+            ++executed;
+        }
+        executed_ += executed;
         return executed;
     }
 
@@ -93,14 +125,19 @@ class Simulator
         auto [when, fn] = events_.pop();
         now_ = when;
         fn();
+        ++executed_;
         return true;
     }
 
     bool idle() const { return events_.empty(); }
     std::size_t pendingEvents() const { return events_.size(); }
 
+    /** Lifetime count of executed events (perf accounting). */
+    std::uint64_t executed() const { return executed_; }
+
   private:
     Tick now_ = 0;
+    std::uint64_t executed_ = 0;
     EventQueue events_;
 };
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A bounded single-producer single-consumer channel with an unbounded
+ * spill list, used for cross-shard event traffic in the parallel
+ * discrete-event engine (sim/parallel.hh).
+ *
+ * The fast path is a classic lock-free ring: the producer writes
+ * head_, the consumer writes tail_, and each side only reads the
+ * other's index with acquire ordering. When the ring fills mid-window
+ * the producer falls back to a spill vector it alone appends to; the
+ * consumer drains ring-then-spill, which preserves FIFO order because
+ * once a message has spilled every later message spills too (the ring
+ * is only emptied between windows).
+ *
+ * The spill vector itself is not synchronized: the engine's window
+ * barrier separates every producer phase from every consumer phase, so
+ * the two sides never touch it concurrently (the barrier provides the
+ * happens-before edge ThreadSanitizer needs).
+ */
+
+#ifndef NOWCLUSTER_SIM_SPSC_HH_
+#define NOWCLUSTER_SIM_SPSC_HH_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace nowcluster {
+
+template <typename T>
+class SpscChannel
+{
+  public:
+    explicit SpscChannel(std::size_t capacity = 256)
+        : buf_(capacity < 2 ? 2 : capacity)
+    {
+    }
+
+    SpscChannel(const SpscChannel &) = delete;
+    SpscChannel &operator=(const SpscChannel &) = delete;
+
+    /** Producer side. Never fails; overflow goes to the spill list. */
+    void
+    push(T &&v)
+    {
+        if (spilled_ || !tryPush(std::move(v))) {
+            spilled_ = true;
+            spill_.push_back(std::move(v));
+        }
+    }
+
+    /**
+     * Consumer side: ring first, then spill. @return false once the
+     * channel is empty (which also resets the spill list).
+     */
+    bool
+    pop(T &out)
+    {
+        if (tryPop(out))
+            return true;
+        if (spillNext_ < spill_.size()) {
+            out = std::move(spill_[spillNext_++]);
+            return true;
+        }
+        if (spillNext_) {
+            spill_.clear();
+            spillNext_ = 0;
+            spilled_ = false;
+        }
+        return false;
+    }
+
+    std::size_t capacity() const { return buf_.size() - 1; }
+
+  private:
+    bool
+    tryPush(T &&v)
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        const std::size_t n = h + 1 == buf_.size() ? 0 : h + 1;
+        if (n == tail_.load(std::memory_order_acquire))
+            return false; // Full.
+        buf_[h] = std::move(v);
+        head_.store(n, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        if (t == head_.load(std::memory_order_acquire))
+            return false; // Empty.
+        out = std::move(buf_[t]);
+        tail_.store(t + 1 == buf_.size() ? 0 : t + 1,
+                    std::memory_order_release);
+        return true;
+    }
+
+    std::vector<T> buf_;
+    std::atomic<std::size_t> head_{0};
+    std::atomic<std::size_t> tail_{0};
+
+    /** Producer-owned overflow; consumer-drained between windows. */
+    std::vector<T> spill_;
+    std::size_t spillNext_ = 0;
+    bool spilled_ = false;
+};
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_SIM_SPSC_HH_

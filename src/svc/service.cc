@@ -101,6 +101,13 @@ pointOfRequest(const JsonValue &req)
         kn.faultSeed = static_cast<long>(k->numberOr("fault-seed", -1));
         kn.reliable = static_cast<int>(k->numberOr("reliable", -1));
         kn.retxTimeoutUs = k->numberOr("rto", -1);
+        kn.topo = static_cast<int>(k->numberOr("topo", -1));
+        kn.topoHosts = static_cast<int>(k->numberOr("topo-hosts", -1));
+        kn.topoLinkMBps = k->numberOr("topo-mbps", -1);
+        kn.topoOversub = k->numberOr("topo-oversub", -1);
+        kn.topoHopUs = k->numberOr("topo-hop", -1);
+        kn.simThreads = static_cast<int>(k->numberOr("sim-threads", -1));
+        kn.simShards = static_cast<int>(k->numberOr("sim-shards", -1));
     }
     return pt;
 }
@@ -145,6 +152,13 @@ submitRequest(const RunPoint &pt)
         .field("fault-seed", static_cast<std::int64_t>(k.faultSeed))
         .field("reliable", k.reliable)
         .field("rto", k.retxTimeoutUs)
+        .field("topo", k.topo)
+        .field("topo-hosts", k.topoHosts)
+        .field("topo-mbps", k.topoLinkMBps)
+        .field("topo-oversub", k.topoOversub)
+        .field("topo-hop", k.topoHopUs)
+        .field("sim-threads", k.simThreads)
+        .field("sim-shards", k.simShards)
         .endObject();
     w.endObject();
     return w.str();

@@ -14,7 +14,7 @@ namespace {
  * measured results (event ordering, model stages, parameter defaults).
  * Stale keys then simply never hit and age out of the store via LRU.
  */
-constexpr const char *kCodeFingerprint = "nowcluster-sim-v1";
+constexpr const char *kCodeFingerprint = "nowcluster-sim-v2";
 
 void
 putU64(std::string &out, std::uint64_t v)
@@ -79,6 +79,16 @@ putParams(std::string &out, const LogGPParams &p)
     putU32(out, p.reliable ? 1 : 0);
     putI64(out, p.retxTimeout);
     putU32(out, static_cast<std::uint32_t>(p.retxMaxRetries));
+    putU32(out, p.topo ? 1 : 0);
+    putU32(out, static_cast<std::uint32_t>(p.topoHostsPerLeaf));
+    putDouble(out, p.topoLinkMBps);
+    putDouble(out, p.topoOversub);
+    putI64(out, p.topoHopLatency);
+    // simThreads is deliberately absent: results are thread-count
+    // independent by construction. The shard count does shape results
+    // (engine + layout), so it participates.
+    putU32(out, p.simThreads > 0 ? 1 : 0);
+    putU32(out, static_cast<std::uint32_t>(p.simShards));
 }
 
 void
@@ -100,6 +110,19 @@ putKnobs(std::string &out, const Knobs &k)
     putI64(out, k.faultSeed);
     putU32(out, static_cast<std::uint32_t>(k.reliable));
     putDouble(out, k.retxTimeoutUs);
+    putU32(out, static_cast<std::uint32_t>(k.topo));
+    putU32(out, static_cast<std::uint32_t>(k.topoHosts));
+    putDouble(out, k.topoLinkMBps);
+    putDouble(out, k.topoOversub);
+    putDouble(out, k.topoHopUs);
+    // Same reasoning as putParams: sharded-vs-classic and the shard
+    // layout matter; the thread count does not. An unset knob resolves
+    // through the NOW_SIM_THREADS fallback exactly as runApp() will,
+    // so the key names the engine that actually runs.
+    const int threads =
+        k.simThreads >= 0 ? k.simThreads : envConfig().simThreads;
+    putU32(out, threads > 0 ? 1 : 0);
+    putU32(out, static_cast<std::uint32_t>(k.simShards));
 }
 
 } // namespace
@@ -146,8 +169,8 @@ validateSpec(const RunPoint &pt)
         return "unknown app '" + pt.app + "'";
 
     const RunConfig &c = pt.config;
-    if (c.nprocs < 2 || c.nprocs > 512)
-        return "procs out of range [2, 512]";
+    if (c.nprocs < 2 || c.nprocs > 4096)
+        return "procs out of range [2, 4096]";
     if (!(c.scale > 0) || c.scale > 100)
         return "scale out of range (0, 100]";
     if (c.maxTime <= 0)

@@ -166,8 +166,60 @@ TEST_P(CollEachP, ScanAddIsInclusivePrefix)
     }));
 }
 
+TEST_P(CollEachP, BarrierAlgorithmsHaveIdenticalSemantics)
+{
+    const int p = GetParam();
+    // No processor may return from the barrier before every processor
+    // has entered it -- checked over several epochs, for the flat and
+    // the dissemination algorithm alike (identical semantics is the
+    // contract that lets Auto switch between them by size).
+    for (BarrierAlg alg : {BarrierAlg::Flat, BarrierAlg::Dissemination,
+                           BarrierAlg::Auto}) {
+        SplitCRuntime rt(p, baseline());
+        Collectives coll(p, 1);
+        std::vector<int> entered(p, 0);
+        ASSERT_TRUE(rt.run([&](SplitC &sc) {
+            const int me = sc.myProc();
+            for (int round = 1; round <= 3; ++round) {
+                entered[me] = round;
+                coll.barrier(sc, alg);
+                for (int q = 0; q < p; ++q)
+                    ASSERT_GE(entered[q], round)
+                        << "proc " << me << " released before " << q
+                        << " entered (round " << round << ")";
+            }
+        }));
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Sizes, CollEachP,
                          ::testing::Values(1, 2, 5, 8, 16));
+
+// Above 64 processors Auto must pick the dissemination barrier; at
+// P = 128 its log-depth rounds beat the flat barrier's O(P)
+// serialization at rank 0 by a wide margin in simulated time.
+TEST(CollPerf, DisseminationBarrierWinsAtScale)
+{
+    const int p = 128;
+    auto time_alg = [&](BarrierAlg alg) {
+        SplitCRuntime rt(p, baseline());
+        Collectives coll(p, 1);
+        Tick span = 0;
+        rt.run([&](SplitC &sc) {
+            coll.barrier(sc, alg); // Settle startup skew.
+            Tick t0 = sc.now();
+            coll.barrier(sc, alg);
+            if (sc.myProc() == 0)
+                span = sc.now() - t0;
+        });
+        return span;
+    };
+    Tick flat = time_alg(BarrierAlg::Flat);
+    Tick diss = time_alg(BarrierAlg::Dissemination);
+    Tick autoT = time_alg(BarrierAlg::Auto);
+    EXPECT_LT(diss, flat);
+    EXPECT_EQ(autoT, diss); // Auto = dissemination above 64 procs.
+}
 
 // ---------------------------------------------------------------------
 // The performance claim, measured in the simulator.

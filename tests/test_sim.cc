@@ -71,6 +71,22 @@ TEST(Simulator, ScheduleInIsRelative)
     EXPECT_EQ(seen, 75);
 }
 
+TEST(Simulator, ScheduleInPanicsOnTickOverflow)
+{
+    Simulator sim;
+    Tick seen = -1;
+    sim.schedule(100, [&] { seen = sim.now(); });
+    sim.run();
+    ASSERT_EQ(sim.now(), 100);
+    // now + delta would wrap past kTickNever: must die loudly, not
+    // schedule an event in the (negative) past.
+    EXPECT_DEATH(sim.scheduleIn(kTickNever - 50, [] {}), "overflows");
+    // A delta that lands exactly on the horizon is still rejected --
+    // kTickNever is the "no event" sentinel, not a schedulable time.
+    EXPECT_DEATH(sim.scheduleIn(kTickNever - 100, [] {}), "overflows");
+    (void)seen;
+}
+
 TEST(Simulator, RunUntilStopsAtLimit)
 {
     Simulator sim;

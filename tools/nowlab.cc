@@ -167,6 +167,17 @@ knobsOf(const Args &a)
     k.faultSeed = optLong(a, "fault-seed", -1);
     k.reliable = static_cast<int>(optLong(a, "reliable", -1));
     k.retxTimeoutUs = optDouble(a, "rto", -1);
+    // --topo as a bare flag enables the fat-tree with defaults; any
+    // --topo-* option implies it too (applyTo handles that).
+    k.topo = a.flags.count("topo")
+                 ? 1
+                 : static_cast<int>(optLong(a, "topo", -1));
+    k.topoHosts = static_cast<int>(optLong(a, "topo-hosts", -1));
+    k.topoLinkMBps = optDouble(a, "topo-mbps", -1);
+    k.topoOversub = optDouble(a, "topo-oversub", -1);
+    k.topoHopUs = optDouble(a, "topo-hop", -1);
+    k.simThreads = static_cast<int>(optLong(a, "sim-threads", -1));
+    k.simShards = static_cast<int>(optLong(a, "sim-shards", -1));
     return k;
 }
 
@@ -554,8 +565,10 @@ submitRequestOf(const Args &a)
         "occupancy", "window", "fabric-hosts",  "fabric-mbps",
         "drop",      "dup",    "corrupt",       "reorder",
         "reorder-delay", "fault-seed", "reliable", "rto",
+        "topo",      "topo-hosts", "topo-mbps", "topo-oversub",
+        "topo-hop",  "sim-threads", "sim-shards",
     };
-    bool any = false;
+    bool any = a.flags.count("topo") != 0;
     for (const char *k : kKnobKeys)
         any = any || a.options.count(k);
     if (any) {
@@ -564,6 +577,8 @@ submitRequestOf(const Args &a)
             if (a.options.count(k))
                 w.field(k, optDouble(a, k, -1));
         }
+        if (a.flags.count("topo") && !a.options.count("topo"))
+            w.field("topo", 1.0);
         w.endObject();
     }
     w.endObject();
@@ -1091,6 +1106,64 @@ cmdPerf(const Args &a)
                 serial_s / parallel_s,
                 identical ? "byte-identical" : "DIVERGENT");
 
+    // --- (4) parallel DES: one 1024-node fat-tree run -----------------
+    // Aggregate event throughput of the sharded engine at 1, 2 and
+    // hardware-concurrency threads, plus the determinism check the
+    // whole design hangs on: the fingerprint must not move.
+    const int sim_procs =
+        static_cast<int>(optLong(a, "sim-procs", 1024));
+    const double sim_scale = optDouble(a, "sim-scale", 0.02);
+    RunConfig pcfg;
+    pcfg.nprocs = sim_procs;
+    pcfg.scale = sim_scale;
+    pcfg.seed = 1;
+    pcfg.machine = machineOf(a);
+    pcfg.validate = false;
+    pcfg.knobs.topo = 1;
+    pcfg.knobs.topoOversub = 4;
+
+    std::vector<int> thread_counts{1, 2, hardwareJobs()};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+
+    struct SimRun
+    {
+        int threads;
+        double seconds;
+        double eps;
+    };
+    std::vector<SimRun> sim_runs;
+    int sim_shards = 0;
+    std::string sim_fp;
+    bool sim_identical = true;
+    for (int t : thread_counts) {
+        pcfg.knobs.simThreads = t;
+        auto ts = Clock::now();
+        RunResult r = runApp("radix", pcfg);
+        double secs = seconds_since(ts);
+        sim_runs.push_back(
+            {t, secs, static_cast<double>(r.simEvents) / secs});
+        sim_shards = r.simShards;
+        std::string fp = fingerprint(r);
+        if (sim_fp.empty())
+            sim_fp = fp;
+        else if (fp != sim_fp)
+            sim_identical = false;
+        std::printf("par sim    : %d procs, %d shards, %d thread%s: "
+                    "%.2fs, %.2f Mev/s\n",
+                    sim_procs, sim_shards, t, t == 1 ? "" : "s", secs,
+                    sim_runs.back().eps / 1e6);
+    }
+    const double sim_speedup =
+        sim_runs.back().eps / sim_runs.front().eps;
+    std::printf("par sim    : %.2fx at %d threads vs 1, fingerprints "
+                "%s\n",
+                sim_speedup, sim_runs.back().threads,
+                sim_identical ? "byte-identical" : "DIVERGENT");
+    identical = identical && sim_identical;
+
     if (a.options.count("out")) {
         const std::string &path = a.options.at("out");
         std::FILE *f = std::fopen(path.c_str(), "w");
@@ -1098,11 +1171,22 @@ cmdPerf(const Args &a)
             warn("cannot write %s", path.c_str());
             return 1;
         }
+        std::string sim_runs_json;
+        for (std::size_t i = 0; i < sim_runs.size(); ++i) {
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "%s      {\"threads\": %d, \"seconds\": %.3f, "
+                          "\"events_per_sec\": %.0f}",
+                          i ? ",\n" : "", sim_runs[i].threads,
+                          sim_runs[i].seconds, sim_runs[i].eps);
+            sim_runs_json += buf;
+        }
         std::fprintf(
             f,
             "{\n"
             "  \"bench\": \"engine\",\n"
             "  \"hw_concurrency\": %d,\n"
+            "  \"jobs_used\": %d,\n"
             "  \"event_loop\": {\n"
             "    \"events\": %ld,\n"
             "    \"new_events_per_sec\": %.0f,\n"
@@ -1124,14 +1208,25 @@ cmdPerf(const Args &a)
             "    \"parallel_seconds\": %.3f,\n"
             "    \"parallel_speedup\": %.3f,\n"
             "    \"results_byte_identical\": %s\n"
+            "  },\n"
+            "  \"parallel_sim\": {\n"
+            "    \"app\": \"radix\",\n"
+            "    \"nprocs\": %d,\n"
+            "    \"scale\": %g,\n"
+            "    \"shards\": %d,\n"
+            "    \"runs\": [\n%s\n    ],\n"
+            "    \"speedup_vs_1_thread\": %.3f,\n"
+            "    \"fingerprints_byte_identical\": %s\n"
             "  }\n"
             "}\n",
-            hardwareJobs(), events, new_eps, legacy_eps,
+            hardwareJobs(), jobs, events, new_eps, legacy_eps,
             new_eps / legacy_eps, fiber_us,
             static_cast<unsigned long long>(pool.hits()),
             static_cast<unsigned long long>(pool.misses()), app.c_str(),
             npoints, base.nprocs, base.scale, serial_s, jobs, parallel_s,
-            serial_s / parallel_s, identical ? "true" : "false");
+            serial_s / parallel_s, identical ? "true" : "false",
+            sim_procs, sim_scale, sim_shards, sim_runs_json.c_str(),
+            sim_speedup, sim_identical ? "true" : "false");
         std::fclose(f);
         std::printf("wrote %s\n", path.c_str());
     }
@@ -1289,7 +1384,14 @@ main(int argc, char **argv)
             "       --occupancy US --window N\n"
             "fault: --drop P --dup P --corrupt P --reorder P\n"
             "       --reorder-delay US --fault-seed X --reliable 0|1\n"
-            "       --rto US\n");
+            "       --rto US\n"
+            "topo:  --topo [--topo-hosts N] [--topo-mbps B]\n"
+            "       --topo-oversub R --topo-hop US  (two-level\n"
+            "       fat-tree; scales to --procs 1024 and beyond)\n"
+            "engine: --sim-threads T (0 = classic single heap;\n"
+            "       >= 1 = sharded parallel engine, results identical\n"
+            "       at any T; NOW_SIM_THREADS is the fallback)\n"
+            "       --sim-shards S (override the shard layout)\n");
         return 0;
     }
     const std::string &cmd = a.positional[0];
