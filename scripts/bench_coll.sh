@@ -1,0 +1,18 @@
+#!/bin/sh
+# Publish the tuned-collective numbers as BENCH_coll.json: the
+# predicted-vs-measured grid race at two LogGP operating points plus
+# the 1024-node naive-vs-tuned application A/B (see bench/bench_coll.cc
+# for what each section means). Exits non-zero if the cost model's
+# picks drift beyond tolerance or the tuner stops paying off.
+#
+# Usage: scripts/bench_coll.sh [out.json] [extra bench_coll args]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_coll.json}
+[ $# -gt 0 ] && shift
+
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-perf -j "$(nproc)" --target bench_coll
+
+./build-perf/bench/bench_coll --out "$OUT" "$@"

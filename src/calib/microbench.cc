@@ -128,6 +128,26 @@ Microbench::bulkBandwidthMBps(std::size_t msg_bytes, int count)
     return bytes / (toSec(elapsed) * 1e6);
 }
 
+LogGPPoint
+CalibratedParams::toPoint(std::size_t fragment) const
+{
+    LogGPPoint pt;
+    pt.oSend = usec(oSendUs);
+    pt.oRecv = usec(oRecvUs);
+    pt.gap = usec(gUs);
+    pt.latency = usec(std::max(latencyUs, 0.1));
+    pt.gPerByte = bulkMBps > 0 ? 1e9 / (bulkMBps * 1e6) : 0;
+    pt.fragment = fragment;
+    pt.valid = true;
+    return pt;
+}
+
+LogGPPoint
+Microbench::calibratedPoint()
+{
+    return calibrate().toPoint(params_.maxFragment);
+}
+
 CalibratedParams
 Microbench::calibrate()
 {

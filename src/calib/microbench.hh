@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "model/models.hh"
 #include "net/loggp.hh"
 
 namespace nowcluster {
@@ -32,6 +33,9 @@ struct CalibratedParams
     double rttUs = 0;   ///< Request/reply round trip.
     double latencyUs = 0; ///< rtt/2 - 2o.
     double bulkMBps = 0;  ///< Plateau bulk-transfer bandwidth.
+
+    /** The measured operating point, for the collective cost model. */
+    LogGPPoint toPoint(std::size_t fragment = 4096) const;
 };
 
 /** Raw data behind a Figure-3 style signature plot. */
@@ -79,6 +83,9 @@ class Microbench
 
     /** Full parameter extraction (Section 3.3 procedure). */
     CalibratedParams calibrate();
+
+    /** Calibrate and return the measured operating point directly. */
+    LogGPPoint calibratedPoint();
 
     /** Generate the Figure-3 signature data. */
     LogPSignature signature(const std::vector<double> &deltas_us,

@@ -4,17 +4,20 @@
 #include <queue>
 
 #include "base/logging.hh"
+#include "coll/cost.hh"
 
 namespace nowcluster {
 
 std::vector<BroadcastStep>
 buildOptimalBroadcast(int nprocs, Tick send_interval, Tick arrival_cost)
 {
-    panic_if(send_interval <= 0 || arrival_cost <= 0,
-             "broadcast schedule needs positive model parameters");
+    // Degenerate sizes need no schedule (and no model): accept them
+    // before validating the parameters.
     std::vector<BroadcastStep> steps;
     if (nprocs <= 1)
         return steps;
+    panic_if(send_interval <= 0 || arrival_cost <= 0,
+             "broadcast schedule needs positive model parameters");
 
     // Min-heap of (next free transmission slot, node). Greedy: the
     // next reception always uses the earliest available slot, and new
@@ -38,6 +41,8 @@ Tick
 predictedBroadcastCompletion(const std::vector<BroadcastStep> &steps,
                              Tick arrival_cost)
 {
+    if (steps.empty())
+        return 0; // A one-processor broadcast completes instantly.
     Tick done = 0;
     for (const BroadcastStep &s : steps)
         done = std::max(done, s.issueAt + arrival_cost);
@@ -74,6 +79,31 @@ Collectives::setModel(Tick send_interval, Tick arrival_cost)
 }
 
 void
+Collectives::setCostPoint(const LogGPPoint &pt)
+{
+    costPoint_ = pt;
+}
+
+BarrierAlg
+Collectives::resolveBarrier(int p) const
+{
+    if (p <= 1)
+        return BarrierAlg::Flat;
+    if (!costPoint_.valid) {
+        // No calibrated operating point: fall back to the rule of
+        // thumb (the flat barrier's O(P) hotspot at rank 0 dominates
+        // well before 1024 nodes; its two hops win at small P).
+        return p > 64 ? BarrierAlg::Dissemination : BarrierAlg::Flat;
+    }
+    const Tick flat = coll::predictCollective(
+        costPoint_, coll::Coll::Barrier, coll::CollAlg::BarFlat, p, 0);
+    const Tick diss = coll::predictCollective(
+        costPoint_, coll::Coll::Barrier, coll::CollAlg::BarDissemination,
+        p, 0);
+    return diss < flat ? BarrierAlg::Dissemination : BarrierAlg::Flat;
+}
+
+void
 Collectives::buildSchedule()
 {
     optTargets_.assign(nprocs_, {});
@@ -90,12 +120,12 @@ Collectives::broadcast(SplitC &sc, Word value, NodeId root, BcastAlg alg)
 {
     const int p = sc.procs();
     const int me = sc.myProc();
+    if (p <= 1)
+        return value;
     // Bulk-synchronous entry: the barrier doubles as the guarantee
     // that everyone consumed the previous epoch's mailbox.
     sc.barrier();
     const std::int64_t epoch = ++nodes_[me].myBcastEpoch;
-    if (p == 1)
-        return value;
 
     const int rel = (me - root + p) % p;
     Word v = value;
@@ -165,12 +195,14 @@ Collectives::allGather(SplitC &sc, const Word *mine, std::size_t n,
     const int p = sc.procs();
     const int me = sc.myProc();
     panic_if(n > maxElems_, "allGather exceeds the context's max_elems");
+    if (p <= 1) {
+        std::copy(mine, mine + n, out);
+        return;
+    }
     sc.barrier();
     const std::int64_t epoch = ++nodes_[me].myGatherEpoch;
 
     std::copy(mine, mine + n, out + static_cast<std::size_t>(me) * n);
-    if (p == 1)
-        return;
 
     auto send_block = [&](NodeId dst, int src_block, const Word *data) {
         NodeState &d = nodes_[dst];
@@ -232,6 +264,10 @@ Collectives::allToAll(SplitC &sc, const Word *send, std::size_t n,
     const int p = sc.procs();
     const int me = sc.myProc();
     panic_if(n > maxElems_, "allToAll exceeds the context's max_elems");
+    if (p <= 1) {
+        std::copy(send, send + n, recv);
+        return;
+    }
     sc.barrier();
     const std::int64_t epoch = ++nodes_[me].myGatherEpoch;
 
@@ -268,7 +304,7 @@ Collectives::barrier(SplitC &sc, BarrierAlg alg)
     if (p == 1)
         return;
     if (alg == BarrierAlg::Auto)
-        alg = p > 64 ? BarrierAlg::Dissemination : BarrierAlg::Flat;
+        alg = resolveBarrier(p);
 
     NodeState &mine = nodes_[me];
     const std::int64_t epoch = ++mine.myBarEpoch;
@@ -320,6 +356,8 @@ Collectives::scanAdd(SplitC &sc, std::int64_t value)
 {
     const int p = sc.procs();
     const int me = sc.myProc();
+    if (p <= 1)
+        return value;
     sc.barrier();
     const std::int64_t epoch = ++nodes_[me].myScanEpoch;
 

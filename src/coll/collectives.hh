@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "model/models.hh"
 #include "splitc/splitc.hh"
 
 namespace nowcluster {
@@ -71,7 +72,9 @@ enum class BarrierAlg
 {
     Flat,          ///< Counter at rank 0 + linear release; O(P) at root.
     Dissemination, ///< ceil(log2 P) rounds of distance-2^r signals.
-    Auto,          ///< Dissemination for P > 64, Flat below.
+    Auto,          ///< Cost-model argmin (see Collectives::setCostPoint),
+                   ///< falling back to Dissemination for P > 64 and
+                   ///< Flat below when no operating point is set.
 };
 
 /**
@@ -125,6 +128,17 @@ class Collectives
      */
     void setModel(Tick send_interval, Tick arrival_cost);
 
+    /**
+     * Supply the cluster's calibrated LogGP operating point (call
+     * before run()). Once set, BarrierAlg::Auto resolves by comparing
+     * the cost model's flat-vs-dissemination predictions at the actual
+     * processor count instead of the fixed P > 64 rule of thumb.
+     */
+    void setCostPoint(const LogGPPoint &pt);
+
+    /** The concrete algorithm BarrierAlg::Auto resolves to for p. */
+    BarrierAlg resolveBarrier(int p) const;
+
   private:
     struct NodeState
     {
@@ -157,6 +171,7 @@ class Collectives
     std::vector<std::vector<NodeId>> optTargets_; ///< Per sender, in order.
     Tick sendInterval_;
     Tick arrivalCost_;
+    LogGPPoint costPoint_; ///< Invalid until setCostPoint().
 
     /** (Re)build the LogP-optimal schedule; eager so the collectives
      *  never mutate shared state lazily mid-run (the sharded engine

@@ -1,0 +1,175 @@
+#include "coll/tuned/harness.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "coll/cost.hh"
+#include "coll/tuned/registry.hh"
+#include "coll/tuned/tuned.hh"
+
+namespace nowcluster {
+namespace coll {
+
+int
+ValidationReport::hits(double tol) const
+{
+    int n = 0;
+    for (const GridPoint &gp : points)
+        n += gp.within(tol) ? 1 : 0;
+    return n;
+}
+
+double
+ValidationReport::hitRate(double tol) const
+{
+    if (points.empty())
+        return 1.0;
+    return static_cast<double>(hits(tol)) /
+           static_cast<double>(points.size());
+}
+
+Tick
+measureCollective(const LogGPParams &params, Coll coll, CollAlg alg,
+                  int nprocs, std::size_t bytes, std::uint64_t seed)
+{
+    panic_if(nprocs < 1, "measureCollective: nprocs=%d", nprocs);
+    panic_if(collOf(alg) != coll, "measureCollective: %s is not a %s",
+             algName(alg), collName(coll));
+    panic_if(!algValid(alg, nprocs, bytes),
+             "measureCollective: %s invalid at p=%d bytes=%zu",
+             algName(alg), nprocs, bytes);
+
+    SplitCRuntime rt(nprocs, params, seed);
+    TunedCollectives tc(rt);
+
+    const std::size_t p = static_cast<std::size_t>(nprocs);
+    const std::size_t words = bytes / sizeof(std::int64_t);
+
+    // Per-processor buffers, sized by the collective's payload
+    // semantics (see predictCollective); allocated outside run() so
+    // remote stores always target live memory.
+    std::vector<std::vector<std::uint8_t>> bufA(p);
+    std::vector<std::vector<std::uint8_t>> bufB(p);
+    std::vector<std::vector<std::int64_t>> vec(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        switch (coll) {
+        case Coll::Broadcast:
+            bufA[i].assign(std::max<std::size_t>(bytes, 1), 0);
+            break;
+        case Coll::AllGather:
+            bufA[i].assign(std::max<std::size_t>(bytes, 1), 1);
+            bufB[i].assign(std::max<std::size_t>(p * bytes, 1), 0);
+            break;
+        case Coll::AllToAll:
+            bufA[i].assign(std::max<std::size_t>(p * bytes, 1), 1);
+            bufB[i].assign(std::max<std::size_t>(p * bytes, 1), 0);
+            break;
+        case Coll::Barrier:
+            break;
+        case Coll::AllReduce:
+            vec[i].assign(std::max<std::size_t>(words, 1), 1);
+            break;
+        }
+    }
+
+    auto invoke = [&](SplitC &sc) {
+        const int me = sc.myProc();
+        switch (coll) {
+        case Coll::Broadcast:
+            tc.broadcast(sc, bufA[me].data(), bytes, 0, alg);
+            break;
+        case Coll::AllGather:
+            tc.allGather(sc, bufA[me].data(), bytes, bufB[me].data(),
+                         alg);
+            break;
+        case Coll::AllToAll:
+            tc.allToAll(sc, bufA[me].data(), bytes, bufB[me].data(),
+                        alg);
+            break;
+        case Coll::Barrier:
+            tc.barrier(sc, alg);
+            break;
+        case Coll::AllReduce:
+            tc.allReduceAdd(sc, vec[me].data(), words, alg);
+            break;
+        }
+    };
+
+    Tick span = 0;
+    const bool ok = rt.run([&](SplitC &sc) {
+        invoke(sc); // Warm-up: grows staging, touches every path.
+        sc.barrier();
+        const Tick t0 = sc.now();
+        invoke(sc);
+        const Tick done = sc.allReduceMax(sc.now());
+        if (sc.myProc() == 0)
+            span = done - t0;
+    });
+    panic_if(!ok, "measureCollective: %s p=%d bytes=%zu timed out",
+             algName(alg), nprocs, bytes);
+    return span;
+}
+
+namespace {
+
+GridPoint
+racePoint(const LogGPParams &params, const LogGPPoint &pt, Coll coll,
+          int nprocs, std::size_t bytes)
+{
+    GridPoint gp;
+    gp.coll = coll;
+    gp.nprocs = nprocs;
+    gp.bytes = bytes;
+    gp.predictedPick = chooseAlg(pt, coll, nprocs, bytes);
+    for (CollAlg alg : algsFor(coll)) {
+        if (!algValid(alg, nprocs, bytes))
+            continue;
+        AlgMeasurement m;
+        m.alg = alg;
+        m.predicted = predictCollective(pt, coll, alg, nprocs, bytes);
+        m.measured = measureCollective(params, coll, alg, nprocs, bytes);
+        gp.algs.push_back(m);
+    }
+    panic_if(gp.algs.empty(), "no valid algorithm for %s at p=%d",
+             collName(coll), nprocs);
+    gp.measuredBest = gp.algs.front().alg;
+    gp.measuredOfBest = gp.algs.front().measured;
+    for (const AlgMeasurement &m : gp.algs) {
+        if (m.measured < gp.measuredOfBest) {
+            gp.measuredBest = m.alg;
+            gp.measuredOfBest = m.measured;
+        }
+        if (m.alg == gp.predictedPick)
+            gp.measuredOfPick = m.measured;
+    }
+    return gp;
+}
+
+} // namespace
+
+ValidationReport
+validateGrid(const LogGPParams &params, const std::vector<int> &procs,
+             const std::vector<std::size_t> &sizes)
+{
+    const LogGPPoint pt = pointFromParams(params);
+    panic_if(!pt.valid, "validateGrid: invalid LogGP point");
+
+    static const Coll kDataColls[] = {Coll::Broadcast, Coll::AllGather,
+                                      Coll::AllToAll, Coll::AllReduce};
+    ValidationReport rep;
+    for (int p : procs) {
+        if (p < 2)
+            continue; // Single-processor collectives are all no-ops.
+        for (Coll coll : kDataColls)
+            for (std::size_t bytes : sizes)
+                rep.points.push_back(
+                    racePoint(params, pt, coll, p, bytes));
+        rep.points.push_back(
+            racePoint(params, pt, Coll::Barrier, p, 0));
+    }
+    return rep;
+}
+
+} // namespace coll
+} // namespace nowcluster

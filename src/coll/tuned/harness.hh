@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Predicted-vs-measured validation for the tuned collective library:
+ * run every registered algorithm of every collective over a
+ * size x nprocs grid on a freshly built cluster, and check that the
+ * cost model's pick is (close to) the measured-best algorithm.
+ */
+
+#ifndef NOWCLUSTER_COLL_TUNED_HARNESS_HH_
+#define NOWCLUSTER_COLL_TUNED_HARNESS_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/tuned/tuner.hh"
+#include "net/loggp.hh"
+
+namespace nowcluster {
+namespace coll {
+
+/** One algorithm's measured completion span at one grid point. */
+struct AlgMeasurement
+{
+    CollAlg alg;
+    Tick predicted = 0;
+    Tick measured = 0;
+};
+
+/** One (collective, nprocs, bytes) grid point. */
+struct GridPoint
+{
+    Coll coll;
+    int nprocs = 0;
+    std::size_t bytes = 0;
+    std::vector<AlgMeasurement> algs; ///< Every valid algorithm.
+    CollAlg predictedPick;            ///< Cost-model argmin.
+    CollAlg measuredBest;             ///< Measured argmin.
+    Tick measuredOfPick = 0;
+    Tick measuredOfBest = 0;
+
+    /** Did the model's pick land within tol of the measured best? */
+    bool
+    within(double tol) const
+    {
+        return static_cast<double>(measuredOfPick) <=
+               (1.0 + tol) * static_cast<double>(measuredOfBest);
+    }
+};
+
+/** A full validation sweep at one LogGP operating point. */
+struct ValidationReport
+{
+    std::vector<GridPoint> points;
+
+    int hits(double tol) const;
+    double hitRate(double tol) const;
+};
+
+/**
+ * Measured completion span (entry barrier to last processor done) of
+ * one collective invocation, after a warm-up call, on a fresh cluster
+ * built from `params`. `bytes` follows predictCollective()'s payload
+ * semantics.
+ */
+Tick measureCollective(const LogGPParams &params, Coll coll,
+                       CollAlg alg, int nprocs, std::size_t bytes,
+                       std::uint64_t seed = 1);
+
+/**
+ * Race predicted vs measured for every registered algorithm over the
+ * procs x sizes grid (barrier measured once per nprocs).
+ */
+ValidationReport validateGrid(const LogGPParams &params,
+                              const std::vector<int> &procs,
+                              const std::vector<std::size_t> &sizes);
+
+} // namespace coll
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_COLL_TUNED_HARNESS_HH_

@@ -66,6 +66,8 @@ Knobs::applyTo(LogGPParams &params) const
         params.simThreads = simThreads;
     if (simShards >= 0)
         params.simShards = simShards;
+    if (!collAlg.empty())
+        params.collAlg = collAlg;
 }
 
 RunResult
@@ -80,6 +82,9 @@ runApp(const std::string &app_key, const RunConfig &config)
     // (including an explicit 0 = classic engine) always wins.
     if (config.knobs.simThreads < 0 && envConfig().simThreads >= 0)
         params.simThreads = envConfig().simThreads;
+    // NOW_COLL_ALG likewise: explicit per-run policy wins.
+    if (config.knobs.collAlg.empty() && !envConfig().collAlg.empty())
+        params.collAlg = envConfig().collAlg;
 
     fatal_if(config.trace && params.simThreads > 0,
              "message tracing records in global send order and needs "
@@ -139,6 +144,8 @@ parseEnvConfig()
         else
             warn("ignoring invalid NOW_SIM_THREADS='%s'", s);
     }
+    if (const char *s = std::getenv("NOW_COLL_ALG"))
+        c.collAlg = s;
     if (const char *s = std::getenv("NOW_CACHE_DIR"))
         c.cacheDir = s;
     return c;

@@ -53,6 +53,12 @@ struct Knobs
     double topoOversub = -1; ///< Spine oversubscription ratio.
     double topoHopUs = -1;   ///< Extra cross-leaf wire latency (us).
 
+    /** Collective-algorithm policy ("" = unset: the NOW_COLL_ALG
+     *  environment fallback applies, then the machine default). See
+     *  coll::CollPolicy::parse for the grammar ("naive", "tuned",
+     *  "bcast=chain,allreduce=rdouble", ...). */
+    std::string collAlg;
+
     /** Sharded parallel engine: worker thread count. -1 = unset (the
      *  NOW_SIM_THREADS environment fallback applies), 0 = classic
      *  single-heap engine, >= 1 = sharded. */
@@ -122,6 +128,9 @@ struct EnvConfig
      *  classic engine; >= 1 = sharded). A per-run Knobs.simThreads
      *  setting wins over this. */
     int simThreads = -1;
+    /** NOW_COLL_ALG: collective policy fallback ("" = unset). A
+     *  per-run Knobs.collAlg setting wins over this. */
+    std::string collAlg;
     /** NOW_CACHE_DIR: result-store directory ("" = caching off). */
     std::string cacheDir;
 };

@@ -1,8 +1,24 @@
 #include "model/models.hh"
 
 #include "base/logging.hh"
+#include "net/loggp.hh"
 
 namespace nowcluster {
+
+LogGPPoint
+pointFromParams(const LogGPParams &params)
+{
+    LogGPPoint pt;
+    pt.oSend = params.sendOverhead();
+    pt.oRecv = params.recvOverhead();
+    pt.gap = params.gap;
+    pt.latency = params.totalLatency();
+    pt.gPerByte = params.gPerByte;
+    pt.occupancy = params.occupancy;
+    pt.fragment = params.maxFragment;
+    pt.valid = true;
+    return pt;
+}
 
 Tick
 predictOverhead(Tick r_orig, std::uint64_t max_msgs, Tick delta_o)

@@ -7,11 +7,44 @@
 #ifndef NOWCLUSTER_MODEL_MODELS_HH_
 #define NOWCLUSTER_MODEL_MODELS_HH_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "base/types.hh"
 
 namespace nowcluster {
+
+struct LogGPParams;
+
+/**
+ * One calibrated (L, o, g, G) operating point -- the machine
+ * description every analytic predictor consumes. Points come from two
+ * sources: pointFromParams() reads the nominal simulator parameters,
+ * and Microbench::calibratedPoint() (src/calib) measures them the way
+ * Section 3.3 does on real hardware. `valid` distinguishes "no
+ * calibration available" (heuristic fallbacks apply) from a real point.
+ */
+struct LogGPPoint
+{
+    Tick oSend = 0;   ///< Host send overhead per message.
+    Tick oRecv = 0;   ///< Host receive overhead per message.
+    Tick gap = 0;     ///< NIC injection gap per short message/fragment.
+    Tick latency = 0; ///< One-way wire + interface latency.
+    double gPerByte = 0;       ///< Bulk Gap, ns per byte.
+    Tick occupancy = 0;        ///< Rx-controller occupancy (extension).
+    std::size_t fragment = 4096; ///< Bulk fragmentation size.
+    bool valid = false;        ///< False: no point available.
+
+    /** Send-to-usable delay of a short message, oSend + L + oRecv. */
+    Tick
+    arrival() const
+    {
+        return oSend + latency + oRecv;
+    }
+};
+
+/** The operating point implied by a simulator parameter set. */
+LogGPPoint pointFromParams(const LogGPParams &params);
 
 /**
  * Overhead model (Section 5.1):

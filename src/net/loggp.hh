@@ -127,6 +127,15 @@ struct LogGPParams
      *  a packet, restores its credit, and reports the failure. */
     int retxMaxRetries = 12;
 
+    /**
+     * Extension: collective-algorithm selection policy, parsed by
+     * coll::CollPolicy. "" or "naive" keeps the original code paths;
+     * "tuned" picks per-invocation via the LogGP cost model;
+     * "bcast=chain,allreduce=rdouble" pins individual collectives
+     * (implying tuned for the rest).
+     */
+    std::string collAlg;
+
     /** Mean LogP overhead o = (oSend + oRecv) / 2 + addedO. */
     Tick
     meanOverhead() const

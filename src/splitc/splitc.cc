@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "model/models.hh"
+
 namespace nowcluster {
 
 namespace {
@@ -49,6 +51,7 @@ SplitC::SplitC(SplitCRuntime &rt, AmNode &am)
     hGetBulk_ = h.getBulk;
     hBarrier_ = h.barrier;
     hReduce_ = h.reduce;
+    hReduceExch_ = h.reduceExch;
     hBcast_ = h.bcast;
     hFetchAdd_ = h.fetchAdd;
     hTryLock_ = h.tryLock;
@@ -119,6 +122,15 @@ SplitC::reduceWord(Word w, int op, bool is_double)
     const int p = procs();
     if (p == 1)
         return w;
+    if (rt_.reduceAlg() == coll::CollAlg::ArRecDouble)
+        return reduceWordRecDouble(w, op, is_double);
+    return reduceWordBinomial(w, op, is_double);
+}
+
+Word
+SplitC::reduceWordBinomial(Word w, int op, bool is_double)
+{
+    const int p = procs();
     ++reduceEpoch_;
     const std::uint64_t target = reduceEpoch_;
     const int me = myProc();
@@ -135,6 +147,51 @@ SplitC::reduceWord(Word w, int op, bool is_double)
         }
     }
     return bcastWord(w, 0);
+}
+
+Word
+SplitC::reduceWordRecDouble(Word w, int op, bool is_double)
+{
+    // One-pass recursive doubling: log2 rounds of symmetric
+    // exchange-and-combine instead of the binomial's reduce-then-
+    // broadcast double traversal. Ranks beyond the largest power of
+    // two fold into their mirror first and get the result back last
+    // (rounds 62/63 in the key space).
+    const int p = procs();
+    ++reduceEpoch_;
+    const std::uint64_t target = reduceEpoch_;
+    const int me = myProc();
+    int p2 = 1;
+    while (p2 * 2 <= p)
+        p2 *= 2;
+    const int extra = p - p2;
+
+    auto key = [](std::uint64_t epoch, int round) {
+        return epoch * 64 + static_cast<std::uint64_t>(round);
+    };
+    auto take = [&](std::uint64_t k) {
+        am_.pollUntil([&] { return reduceExchVals_.count(k) > 0; },
+                      "reduction");
+        auto it = reduceExchVals_.find(k);
+        Word v = it->second;
+        reduceExchVals_.erase(it);
+        return v;
+    };
+
+    if (me >= p2) {
+        am_.oneWay(me - p2, hReduceExch_, key(target, 62), w);
+        return take(key(target, 63));
+    }
+    if (me < extra)
+        w = combineWords(w, take(key(target, 62)), op, is_double);
+    for (int k = 0; (1 << k) < p2; ++k) {
+        const int partner = me ^ (1 << k);
+        am_.oneWay(partner, hReduceExch_, key(target, k), w);
+        w = combineWords(w, take(key(target, k)), op, is_double);
+    }
+    if (me < extra)
+        am_.oneWay(me + p2, hReduceExch_, key(target, 63), w);
+    return w;
 }
 
 std::int64_t
@@ -242,8 +299,24 @@ SplitC::unlock(GlobalPtr<SplitLock> l)
 
 SplitCRuntime::SplitCRuntime(int nprocs, const LogGPParams &params,
                              std::uint64_t seed)
-    : cluster_(nprocs, params, seed)
+    : cluster_(nprocs, params, seed),
+      collPolicy_(coll::CollPolicy::parse(params.collAlg))
 {
+    // Resolve the word-allreduce algorithm once: every call has the
+    // same 8-byte shape, so the pick is a property of the runtime, not
+    // of the invocation.
+    reduceAlg_ = coll::CollAlg::ArBinomial;
+    if (auto pin = collPolicy_.forcedFor(coll::Coll::AllReduce)) {
+        panic_if(*pin == coll::CollAlg::ArRabenseifner,
+                 "rabenseifner needs a vector payload; word allreduce "
+                 "supports binomial and rdouble");
+        reduceAlg_ = *pin;
+    } else if (collPolicy_.tuned()) {
+        reduceAlg_ = coll::chooseAlgAmong(
+            pointFromParams(params), coll::Coll::AllReduce, nprocs,
+            sizeof(Word),
+            {coll::CollAlg::ArBinomial, coll::CollAlg::ArRecDouble});
+    }
     h_ = registerHandlers();
     scs_.reserve(nprocs);
     for (int i = 0; i < nprocs; ++i)
@@ -372,6 +445,11 @@ SplitCRuntime::registerHandlers()
             std::size_t k = pkt.args[0];
             sc.reduceVal_[k] = pkt.args[1];
             ++sc.reduceSeen_[k];
+        });
+
+    h.reduceExch = cluster_.registerHandler(
+        [this](AmNode &self, Packet &pkt) {
+            scs_[self.id()]->reduceExchVals_[pkt.args[0]] = pkt.args[1];
         });
 
     h.bcast = cluster_.registerHandler(

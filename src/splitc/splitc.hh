@@ -26,6 +26,7 @@
 
 #include "am/cluster.hh"
 #include "base/logging.hh"
+#include "coll/tuned/tuner.hh"
 
 namespace nowcluster {
 
@@ -307,6 +308,8 @@ class SplitC
 
     Word bcastWord(Word w, NodeId root);
     Word reduceWord(Word w, int op, bool is_double);
+    Word reduceWordBinomial(Word w, int op, bool is_double);
+    Word reduceWordRecDouble(Word w, int op, bool is_double);
 
     SplitCRuntime &rt_;
     AmNode &am_;
@@ -322,6 +325,10 @@ class SplitC
     std::uint64_t reduceEpoch_ = 0;
     std::vector<std::uint64_t> reduceSeen_;
     std::vector<Word> reduceVal_;
+    /** Recursive-doubling exchange values, keyed by epoch*64 + round.
+     *  Keyed (not slotted) because an exchange partner may run a full
+     *  epoch ahead before this processor consumes the current value. */
+    std::map<std::uint64_t, Word> reduceExchVals_;
 
     // Broadcast state. Values are keyed by epoch because the parent can
     // differ per call (root rotation) and messages from different
@@ -331,7 +338,7 @@ class SplitC
 
     // Handler ids (shared across nodes; cached here for brevity).
     int hRead_, hWrite_, hPut_, hGet_, hGetBulk_, hBarrier_, hReduce_,
-        hBcast_, hFetchAdd_, hTryLock_, hUnlock_;
+        hReduceExch_, hBcast_, hFetchAdd_, hTryLock_, hUnlock_;
 };
 
 /**
@@ -358,14 +365,26 @@ class SplitCRuntime
     Tick runtime() const { return cluster_.runtime(); }
     bool timedOut() const { return cluster_.timedOut(); }
 
+    /** The collective policy parsed from params.collAlg. */
+    const coll::CollPolicy &collPolicy() const { return collPolicy_; }
+
+    /**
+     * The word-allreduce algorithm every allReduce{Add,Min,Max} call
+     * runs. Resolved once at construction: the PR-7 binomial
+     * reduce-plus-broadcast under the naive policy, the cost model's
+     * pick between it and one-pass recursive doubling under "tuned",
+     * or whatever "allreduce=..." pinned.
+     */
+    coll::CollAlg reduceAlg() const { return reduceAlg_; }
+
   private:
     friend class SplitC;
 
     struct Handlers
     {
-        int read, write, put, get, getBulk, barrier, reduce, bcast,
-            fetchAdd, tryLock, unlock, readAck, writeAck, putAck, getAck,
-            bulkDone, lockAck, faAck, unlockAck;
+        int read, write, put, get, getBulk, barrier, reduce, reduceExch,
+            bcast, fetchAdd, tryLock, unlock, readAck, writeAck, putAck,
+            getAck, bulkDone, lockAck, faAck, unlockAck;
     };
 
     Handlers registerHandlers();
@@ -373,6 +392,8 @@ class SplitCRuntime
     Cluster cluster_;
     Handlers h_;
     std::vector<std::unique_ptr<SplitC>> scs_;
+    coll::CollPolicy collPolicy_;
+    coll::CollAlg reduceAlg_;
 };
 
 } // namespace nowcluster

@@ -14,7 +14,7 @@ namespace {
  * measured results (event ordering, model stages, parameter defaults).
  * Stale keys then simply never hit and age out of the store via LRU.
  */
-constexpr const char *kCodeFingerprint = "nowcluster-sim-v2";
+constexpr const char *kCodeFingerprint = "nowcluster-sim-v3";
 
 void
 putU64(std::string &out, std::uint64_t v)
@@ -89,6 +89,7 @@ putParams(std::string &out, const LogGPParams &p)
     // (engine + layout), so it participates.
     putU32(out, p.simThreads > 0 ? 1 : 0);
     putU32(out, static_cast<std::uint32_t>(p.simShards));
+    putStr(out, p.collAlg);
 }
 
 void
@@ -123,6 +124,10 @@ putKnobs(std::string &out, const Knobs &k)
         k.simThreads >= 0 ? k.simThreads : envConfig().simThreads;
     putU32(out, threads > 0 ? 1 : 0);
     putU32(out, static_cast<std::uint32_t>(k.simShards));
+    // Resolve the collective policy through the NOW_COLL_ALG fallback
+    // the same way runApp() does, so the key names the algorithms the
+    // run will actually use.
+    putStr(out, !k.collAlg.empty() ? k.collAlg : envConfig().collAlg);
 }
 
 } // namespace

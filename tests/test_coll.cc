@@ -222,6 +222,73 @@ TEST(CollPerf, DisseminationBarrierWinsAtScale)
 }
 
 // ---------------------------------------------------------------------
+// Degenerate sizes and cost-model-driven Auto selection.
+// ---------------------------------------------------------------------
+
+TEST(CollEdge, TrivialScheduleSkipsParameterValidation)
+{
+    // A one-processor schedule needs no model, so degenerate
+    // parameters must not trip the positivity check.
+    EXPECT_TRUE(buildOptimalBroadcast(1, 0, 0).empty());
+    EXPECT_TRUE(buildOptimalBroadcast(0, -1, -1).empty());
+    EXPECT_EQ(predictedBroadcastCompletion({}, usec(10)), 0);
+}
+
+TEST(CollEdge, SingleProcessorEntryPointsShortCircuit)
+{
+    SplitCRuntime rt(1, baseline());
+    Collectives coll(1, 4);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        EXPECT_EQ(coll.broadcast(sc, 42, 0, BcastAlg::LogPOptimal),
+                  Word{42});
+        const Word mine[4] = {7, 8, 9, 10};
+        Word out[4] = {0, 0, 0, 0};
+        coll.allGather(sc, mine, 4, out, GatherAlg::Ring);
+        Word recv[4] = {0, 0, 0, 0};
+        coll.allToAll(sc, mine, 4, recv);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(out[i], mine[i]);
+            EXPECT_EQ(recv[i], mine[i]);
+        }
+        EXPECT_EQ(coll.scanAdd(sc, 11), 11);
+        coll.barrier(sc, BarrierAlg::Auto);
+    }));
+}
+
+TEST(CollEdge, CostPointDrivesAutoBarrierSelection)
+{
+    Collectives coll(8, 1);
+    // Without an operating point Auto keeps the P > 64 rule of thumb.
+    EXPECT_EQ(coll.resolveBarrier(8), BarrierAlg::Flat);
+    EXPECT_EQ(coll.resolveBarrier(65), BarrierAlg::Dissemination);
+
+    // With the calibrated point the model compares the two shapes at
+    // the actual P. Under the NOW numbers the flat barrier pays a
+    // full extra arrival (L + occupancy + a serialization slot) even
+    // at P = 2, so the model switches to dissemination well below the
+    // heuristic's threshold.
+    coll.setCostPoint(pointFromParams(baseline()));
+    EXPECT_EQ(coll.resolveBarrier(8), BarrierAlg::Dissemination);
+    EXPECT_EQ(coll.resolveBarrier(128), BarrierAlg::Dissemination);
+
+    // And Auto still provides barrier semantics with the model active.
+    const int p = 8;
+    SplitCRuntime rt(p, baseline());
+    Collectives run_coll(p, 1);
+    run_coll.setCostPoint(pointFromParams(baseline()));
+    std::vector<int> entered(p, 0);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        const int me = sc.myProc();
+        for (int round = 1; round <= 3; ++round) {
+            entered[me] = round;
+            run_coll.barrier(sc, BarrierAlg::Auto);
+            for (int q = 0; q < p; ++q)
+                ASSERT_GE(entered[q], round);
+        }
+    }));
+}
+
+// ---------------------------------------------------------------------
 // The performance claim, measured in the simulator.
 // ---------------------------------------------------------------------
 

@@ -201,6 +201,48 @@ TEST(SplitC, AllReduceMinMax)
     }));
 }
 
+TEST(SplitC, AllReduceRecursiveDoublingMatchesBinomial)
+{
+    // Pinning allreduce=rdouble must change the algorithm, not the
+    // answers -- on power-of-two and ragged processor counts alike,
+    // over many back-to-back epochs (the keyed-exchange state must
+    // tolerate partners running an epoch ahead).
+    for (int P : {2, 3, 7, 8, 16, 21}) {
+        auto params = baseline();
+        params.collAlg = "allreduce=rdouble";
+        SplitCRuntime rt(P, params);
+        EXPECT_EQ(rt.reduceAlg(), coll::CollAlg::ArRecDouble);
+        ASSERT_TRUE(rt.run([&](SplitC &sc) {
+            for (int round = 0; round < 5; ++round) {
+                std::int64_t s = sc.allReduceAdd(
+                    std::int64_t(sc.myProc() + 1 + round));
+                EXPECT_EQ(s, P * (P + 1) / 2 + P * round);
+                std::int64_t mn =
+                    sc.allReduceMin(std::int64_t(10 - sc.myProc()));
+                EXPECT_EQ(mn, 10 - (P - 1));
+                double mx = sc.allReduceMax(1.0 + sc.myProc());
+                EXPECT_DOUBLE_EQ(mx, double(P));
+            }
+        }));
+    }
+}
+
+TEST(SplitC, TunedPolicyResolvesAndStaysCorrect)
+{
+    auto params = baseline();
+    params.collAlg = "tuned";
+    const int P = 12;
+    SplitCRuntime rt(P, params);
+    // The model may pick either shape; it must be one of the two word
+    // implementations, and results must be unchanged.
+    EXPECT_TRUE(rt.reduceAlg() == coll::CollAlg::ArBinomial ||
+                rt.reduceAlg() == coll::CollAlg::ArRecDouble);
+    ASSERT_TRUE(rt.run([&](SplitC &sc) {
+        std::int64_t s = sc.allReduceAdd(std::int64_t(sc.myProc() + 1));
+        EXPECT_EQ(s, P * (P + 1) / 2);
+    }));
+}
+
 TEST(SplitC, BroadcastFromEveryRoot)
 {
     const int P = 6;

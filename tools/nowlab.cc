@@ -49,6 +49,7 @@
 #include "base/random.hh"
 #include "base/table.hh"
 #include "calib/microbench.hh"
+#include "coll/tuned/harness.hh"
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
 #include "legacy_event_queue.hh"
@@ -178,6 +179,8 @@ knobsOf(const Args &a)
     k.topoHopUs = optDouble(a, "topo-hop", -1);
     k.simThreads = static_cast<int>(optLong(a, "sim-threads", -1));
     k.simShards = static_cast<int>(optLong(a, "sim-shards", -1));
+    if (auto it = a.options.find("coll-alg"); it != a.options.end())
+        k.collAlg = it->second;
     return k;
 }
 
@@ -1341,6 +1344,160 @@ cmdReplay(const Args &a)
     return base.ok && what_if.ok ? 0 : 1;
 }
 
+MachineConfig
+machineByName(const std::string &m)
+{
+    if (m == "now")
+        return MachineConfig::berkeleyNow();
+    if (m == "paragon")
+        return MachineConfig::intelParagon();
+    if (m == "meiko")
+        return MachineConfig::meikoCs2();
+    fatal("unknown machine '%s' (now|paragon|meiko)", m.c_str());
+}
+
+std::vector<int>
+optIntList(const Args &a, const char *key, std::vector<int> fallback)
+{
+    auto it = a.options.find(key);
+    if (it == a.options.end())
+        return fallback;
+    std::vector<double> xs;
+    std::string err;
+    fatal_if(!parseDoubleList(it->second, xs, &err), "--%s: %s", key,
+             err.c_str());
+    std::vector<int> out;
+    for (double x : xs) {
+        fatal_if(x < 1 || x != static_cast<int>(x),
+                 "--%s: '%g' is not a positive integer", key, x);
+        out.push_back(static_cast<int>(x));
+    }
+    fatal_if(out.empty(), "--%s: empty list", key);
+    return out;
+}
+
+std::vector<std::size_t>
+optSizeList(const Args &a, const char *key,
+            std::vector<std::size_t> fallback)
+{
+    auto it = a.options.find(key);
+    if (it == a.options.end())
+        return fallback;
+    std::vector<double> xs;
+    std::string err;
+    fatal_if(!parseDoubleList(it->second, xs, &err), "--%s: %s", key,
+             err.c_str());
+    std::vector<std::size_t> out;
+    for (double x : xs) {
+        fatal_if(x < 0 || x != static_cast<std::size_t>(x),
+                 "--%s: '%g' is not a byte count", key, x);
+        out.push_back(static_cast<std::size_t>(x));
+    }
+    fatal_if(out.empty(), "--%s: empty list", key);
+    return out;
+}
+
+/**
+ * `nowlab coll table`: dump the tuner's decision table for a machine.
+ * `nowlab coll validate`: race predicted vs measured over a grid and
+ * check the tuner picks the measured-best algorithm (within
+ * --tolerance) on at least --min-hit of the points, per machine.
+ */
+int
+cmdColl(const Args &a)
+{
+    if (a.positional.size() < 2)
+        fatal("usage: nowlab coll table|validate [--procs 4,8]\n"
+              "       [--sizes 256,16384] [--machine M | --machines\n"
+              "       M1,M2] [--tolerance F] [--min-hit F] [--out F]");
+    const std::string &sub = a.positional[1];
+
+    if (sub == "table") {
+        auto machine = machineOf(a);
+        LogGPParams params = machine.params;
+        knobsOf(a).applyTo(params);
+        auto procs = optIntList(a, "procs", {2, 8, 64, 256, 1024});
+        auto sizes =
+            optSizeList(a, "sizes", {8, 1024, 65536, 1 << 20});
+        auto rows =
+            coll::decisionTable(pointFromParams(params), procs, sizes);
+        std::printf("decision table for '%s':\n%s",
+                    machine.name.c_str(),
+                    coll::renderDecisionTable(rows).c_str());
+        return 0;
+    }
+
+    if (sub == "validate") {
+        std::vector<std::string> machines{"now", "meiko"};
+        if (auto it = a.options.find("machines"); it != a.options.end())
+            machines = splitCsv(it->second);
+        else if (a.options.count("machine"))
+            machines = {a.options.at("machine")};
+        fatal_if(machines.empty(), "--machines: empty list");
+        auto procs = optIntList(a, "procs", {4, 8, 16});
+        auto sizes = optSizeList(a, "sizes", {256, 16384});
+        const double tol = optDouble(a, "tolerance", 0.10);
+        const double min_hit = optDouble(a, "min-hit", 0.90);
+
+        svc::JsonWriter w;
+        w.beginObject().field("bench", "coll").field("tolerance", tol);
+        w.beginArray("machines");
+        bool pass = true;
+        for (const std::string &name : machines) {
+            LogGPParams params = machineByName(name).params;
+            knobsOf(a).applyTo(params);
+            auto report = coll::validateGrid(params, procs, sizes);
+            const double hit = report.hitRate(tol);
+            std::printf("%s: %d/%zu points within %.0f%% of "
+                        "measured-best (%.1f%%)\n",
+                        name.c_str(), report.hits(tol),
+                        report.points.size(), tol * 100, hit * 100);
+            w.beginObject()
+                .field("machine", name)
+                .field("hitRate", hit);
+            w.beginArray("points");
+            for (const auto &gp : report.points) {
+                if (!gp.within(tol))
+                    std::printf(
+                        "  MISS %-9s p=%-4d bytes=%-8zu picked %s "
+                        "(%.2f us) best %s (%.2f us)\n",
+                        coll::collName(gp.coll), gp.nprocs, gp.bytes,
+                        coll::algName(gp.predictedPick),
+                        toUsec(gp.measuredOfPick),
+                        coll::algName(gp.measuredBest),
+                        toUsec(gp.measuredOfBest));
+                w.beginObject()
+                    .field("coll", coll::collName(gp.coll))
+                    .field("nprocs", gp.nprocs)
+                    .field("bytes",
+                           static_cast<std::uint64_t>(gp.bytes))
+                    .field("pick", coll::algName(gp.predictedPick))
+                    .field("best", coll::algName(gp.measuredBest))
+                    .field("pickUs", toUsec(gp.measuredOfPick))
+                    .field("bestUs", toUsec(gp.measuredOfBest))
+                    .field("hit", gp.within(tol))
+                    .endObject();
+            }
+            w.endArray().endObject();
+            if (hit < min_hit) {
+                std::printf("%s: FAIL (hit rate %.1f%% < %.0f%%)\n",
+                            name.c_str(), hit * 100, min_hit * 100);
+                pass = false;
+            }
+        }
+        w.endArray().field("pass", pass).endObject();
+        if (auto it = a.options.find("out"); it != a.options.end()) {
+            FILE *f = std::fopen(it->second.c_str(), "w");
+            fatal_if(!f, "cannot write %s", it->second.c_str());
+            std::fprintf(f, "%s\n", w.str().c_str());
+            std::fclose(f);
+            std::printf("wrote %s\n", it->second.c_str());
+        }
+        return pass ? 0 : 1;
+    }
+    fatal("unknown coll subcommand '%s' (table|validate)", sub.c_str());
+}
+
 } // namespace
 
 int
@@ -1378,6 +1535,11 @@ main(int argc, char **argv)
             "  nowlab get --id N [--host H] [--port P]\n"
             "  nowlab get <app> --cache-dir D [knobs]   (offline)\n"
             "  nowlab stats [--host H] [--port P] [--shutdown]\n"
+            "  nowlab coll table [--machine M] [--procs list]\n"
+            "             [--sizes list] [knobs]\n"
+            "  nowlab coll validate [--machines M1,M2] [--procs list]\n"
+            "             [--sizes list] [--tolerance F] [--min-hit F]\n"
+            "             [--out BENCH_coll.json]\n"
             "sweep/run also honour --cache-dir D / NOW_CACHE_DIR: the\n"
             "content-addressed result store serves repeated points.\n"
             "knobs: --overhead US --gap US --latency US --mbps B\n"
@@ -1391,7 +1553,9 @@ main(int argc, char **argv)
             "engine: --sim-threads T (0 = classic single heap;\n"
             "       >= 1 = sharded parallel engine, results identical\n"
             "       at any T; NOW_SIM_THREADS is the fallback)\n"
-            "       --sim-shards S (override the shard layout)\n");
+            "       --sim-shards S (override the shard layout)\n"
+            "coll:  --coll-alg naive|tuned|\"bcast=chain,...\"\n"
+            "       (NOW_COLL_ALG is the fallback)\n");
         return 0;
     }
     const std::string &cmd = a.positional[0];
@@ -1419,5 +1583,7 @@ main(int argc, char **argv)
         return cmdStats(a);
     if (cmd == "storm")
         return cmdStorm(a);
+    if (cmd == "coll")
+        return cmdColl(a);
     fatal("unknown command '%s'", cmd.c_str());
 }
