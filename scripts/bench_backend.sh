@@ -1,0 +1,19 @@
+#!/bin/sh
+# Publish the analytic-backend payoff numbers as BENCH_backend.json:
+# the L x o sweep grid answered by the simulator and by the LP model
+# (see bench/bench_backend.cc). Exits non-zero when any grid point
+# drifts past 10% runtime error, the dT/dL slope sign disagrees, or
+# the per-point speedup falls under 100x -- the subsystem's acceptance
+# bar.
+#
+# Usage: scripts/bench_backend.sh [out.json] [extra bench_backend args]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_backend.json}
+[ $# -gt 0 ] && shift
+
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-perf -j "$(nproc)" --target bench_backend
+
+./build-perf/bench/bench_backend --out "$OUT" "$@"

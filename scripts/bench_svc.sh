@@ -5,12 +5,20 @@
 # three worker nowlabds behind a sharded coordinator, the same topology
 # the fleet smoke kills workers out of.
 #
+# NOW_SVC_BACKEND=analytic starts every worker with the analytic LogGP
+# backend (DESIGN.md §16) so the numbers show served-QPS with the
+# cheap engine in front (sim fall-back stays transparent); the storm
+# stamps the mode into the JSON.
+#
 # Usage: scripts/bench_svc.sh [out.json] [extra `nowlab storm` args]
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_svc.json}
 [ $# -gt 0 ] && shift
+BACKEND=${NOW_SVC_BACKEND:-sim}
+WORKER_FLAGS=""
+[ "$BACKEND" = analytic ] && WORKER_FLAGS="--backend analytic"
 
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-perf -j "$(nproc)" --target nowlab
@@ -42,8 +50,9 @@ port_of() {
 
 WORKERS=""
 for i in 1 2 3; do
+    # shellcheck disable=SC2086
     "$NOWLAB" serve --port 0 --jobs 2 --cache-dir "$WORK/w$i" \
-        > "$WORK/w$i.log" 2>&1 &
+        $WORKER_FLAGS > "$WORK/w$i.log" 2>&1 &
     PIDS="$PIDS $!"
     PORT=$(port_of "$WORK/w$i.log")
     WORKERS="${WORKERS:+$WORKERS,}127.0.0.1:$PORT"
@@ -55,6 +64,6 @@ PIDS="$PIDS $!"
 COORD=$(port_of "$WORK/coord.log")
 
 "$NOWLAB" storm --port "$COORD" --conns 32 --ops 2000 --seeds 24 \
-    --out "$OUT" "$@"
+    --backend "$BACKEND" --out "$OUT" "$@"
 "$NOWLAB" stats --port "$COORD"
 echo "service numbers written to $OUT"

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * LpDag implementation: Kahn topological order + weighted longest path.
+ */
+
+#include "backend/lp.hh"
+
+#include <algorithm>
+
+namespace nowcluster::backend {
+
+int
+LpDag::addNode()
+{
+    prepared_ = false;
+    return static_cast<int>(nodeCount_++);
+}
+
+void
+LpDag::addEdge(int src, int dst, const LinCost &cost)
+{
+    prepared_ = false;
+    edges_.push_back({src, dst, cost});
+}
+
+bool
+LpDag::prepare()
+{
+    const int n = static_cast<int>(nodeCount_);
+    std::vector<int> indeg(nodeCount_, 0);
+    for (const Edge &e : edges_) {
+        if (e.dst < 0 || e.dst >= n)
+            return false;
+        if (e.src < kSource || e.src >= n)
+            return false;
+        if (e.src != kSource)
+            indeg[e.dst]++;
+    }
+
+    topo_.clear();
+    topo_.reserve(nodeCount_);
+    std::vector<int> frontier;
+    for (int v = 0; v < n; v++)
+        if (indeg[v] == 0)
+            frontier.push_back(v);
+    // Out-adjacency, built once for the sort only.
+    std::vector<std::vector<int>> out(nodeCount_);
+    for (const Edge &e : edges_)
+        if (e.src != kSource)
+            out[e.src].push_back(e.dst);
+    while (!frontier.empty()) {
+        int v = frontier.back();
+        frontier.pop_back();
+        topo_.push_back(v);
+        for (int w : out[v])
+            if (--indeg[w] == 0)
+                frontier.push_back(w);
+    }
+    if (topo_.size() != nodeCount_) {
+        prepared_ = false;
+        return false;
+    }
+
+    // Lay the in-edges out contiguously in *visit* order: the solve
+    // loop then streams csrSrc_/csrCost_ front to back, one cache-
+    // friendly pass per operating point.
+    std::vector<int> count(nodeCount_, 0);
+    for (const Edge &e : edges_)
+        count[e.dst]++;
+    std::vector<int> slot(nodeCount_ + 1, 0);
+    csrOff_.assign(nodeCount_ + 1, 0);
+    for (std::size_t k = 0; k < topo_.size(); k++)
+        csrOff_[k + 1] = csrOff_[k] + count[topo_[k]];
+    std::vector<int> pos(nodeCount_, 0); // node id -> topo position
+    for (std::size_t k = 0; k < topo_.size(); k++)
+        pos[topo_[k]] = static_cast<int>(k);
+    csrSrc_.assign(edges_.size(), 0);
+    cFixed_.assign(edges_.size(), 0);
+    cPerL_.assign(edges_.size(), 0);
+    cPerO_.assign(edges_.size(), 0);
+    cPerG_.assign(edges_.size(), 0);
+    cPerGb_.assign(edges_.size(), 0);
+    for (std::size_t k = 0; k < topo_.size(); k++)
+        slot[k] = csrOff_[k];
+    for (std::size_t i = 0; i < edges_.size(); i++) {
+        const Edge &e = edges_[i];
+        int at = slot[pos[e.dst]]++;
+        // Sources are stored as *topo positions*: the solve loop then
+        // walks one dense array front to back and its predecessor
+        // loads land on recently written, still-cached slots.
+        csrSrc_[at] = e.src == kSource ? kSource : pos[e.src];
+        cFixed_[at] = static_cast<float>(e.cost.fixed);
+        cPerL_[at] = static_cast<float>(e.cost.perL);
+        cPerO_[at] = static_cast<float>(e.cost.perO);
+        cPerG_[at] = static_cast<float>(e.cost.perG);
+        cPerGb_[at] = static_cast<float>(e.cost.perGb);
+    }
+    prepared_ = true;
+    return true;
+}
+
+LpSolution
+LpDag::solve(const LpParams &params) const
+{
+    LpSolution sol;
+    if (!prepared_)
+        return sol;
+    sol.ok = true;
+    if (nodeCount_ == 0)
+        return sol;
+
+    // Longest path: every node is reachable from the virtual source
+    // (zero-indegree nodes start at time 0, matching the LP's implicit
+    // start >= 0 constraint). Scratch is thread-local so concurrent
+    // sweep points neither share state nor reallocate per solve.
+    thread_local std::vector<double> dist;
+    thread_local std::vector<int> pred; // binding csr slot, or -1
+    dist.resize(nodeCount_); // every entry is written in pass 2
+    pred.resize(nodeCount_);
+
+    // Pass 1: evaluate every edge weight at the operating point. One
+    // flat loop over parallel arrays, which the compiler vectorizes.
+    const std::size_t m = csrSrc_.size();
+    thread_local std::vector<float> w;
+    w.resize(m);
+    {
+        const float pL = static_cast<float>(params.L);
+        const float pO = static_cast<float>(params.o);
+        const float pG = static_cast<float>(params.g);
+        const float pGb = static_cast<float>(params.Gb);
+        const float *fx = cFixed_.data(), *cl = cPerL_.data();
+        const float *co = cPerO_.data(), *cg = cPerG_.data();
+        const float *cb = cPerGb_.data();
+        for (std::size_t s = 0; s < m; s++) {
+            float v = fx[s] + cl[s] * pL + co[s] * pO + cg[s] * pG +
+                      cb[s] * pGb;
+            w[s] = v > 0 ? v : 0;
+        }
+    }
+
+    // Pass 2: longest-path propagation in topo position order.
+    int argmax = -1;
+    double maxDist = -1.0;
+    const std::size_t n = topo_.size();
+    for (std::size_t k = 0; k < n; k++) {
+        double best = 0.0;
+        int bestSlot = -1;
+        const int lo = csrOff_[k], hi = csrOff_[k + 1];
+        for (int s = lo; s < hi; s++) {
+            const int src = csrSrc_[s];
+            const double d =
+                (src == kSource ? 0.0 : dist[src]) + w[s];
+            if (d > best) {
+                best = d;
+                bestSlot = s;
+            }
+        }
+        dist[k] = best;
+        pred[k] = bestSlot;
+        if (best > maxDist) {
+            maxDist = best;
+            argmax = static_cast<int>(k);
+        }
+    }
+    if (argmax < 0)
+        return sol;
+    sol.makespan = maxDist;
+
+    // Walk the binding path back to the source, summing coefficients.
+    // A clamped edge (its weight hit the zero floor) contributes no
+    // slope: its weight is locally constant in every parameter.
+    int v = argmax;
+    while (v >= 0 && pred[v] >= 0) {
+        const int s = pred[v];
+        if (w[s] > 0) {
+            sol.gradient.fixed += cFixed_[s];
+            sol.gradient.perL += cPerL_[s];
+            sol.gradient.perO += cPerO_[s];
+            sol.gradient.perG += cPerG_[s];
+            sol.gradient.perGb += cPerGb_[s];
+        }
+        sol.pathEdges++;
+        v = csrSrc_[s];
+    }
+    return sol;
+}
+
+} // namespace nowcluster::backend

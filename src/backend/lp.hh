@@ -1,0 +1,149 @@
+/**
+ * @file
+ * A small linear-program solver for LogGP sweep evaluation.
+ *
+ * The message-dependency graph of one traced run is a DAG whose edge
+ * weights are *linear functions* of the four LogGP parameters: an edge
+ * costs `fixed + perL*L + perO*o + perG*g + perGb*G`. The LP over
+ * per-event start times ("every event starts no earlier than each
+ * predecessor's start plus the connecting edge's cost, minimize the
+ * makespan") therefore needs no external solver: its optimum is the
+ * weighted longest path from source to sink, computable in one
+ * topological pass, and the dual solution -- how much the makespan
+ * moves per unit of each parameter -- is the sum of the binding path's
+ * edge coefficients. That sum is exactly the paper's intuition made
+ * precise: dT/dL is the number of wire crossings on the critical path,
+ * dT/do the number of overhead phases on it, and so on.
+ *
+ * Built once per traced run (src/backend/model.hh), solved once per
+ * sweep point: every (L, o, g, G) evaluation is O(V + E) over the
+ * prepared graph -- milliseconds where a simulation costs seconds.
+ */
+
+#ifndef NOWCLUSTER_BACKEND_LP_HH_
+#define NOWCLUSTER_BACKEND_LP_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace nowcluster::backend {
+
+/** One LogGP operating point, in the solver's native units (ticks for
+ *  L/o/g, ticks-per-byte for G). */
+struct LpParams
+{
+    double L = 0;  ///< Total one-way latency.
+    double o = 0;  ///< Added per-side overhead (the knob's addedO).
+    double g = 0;  ///< Injection gap.
+    double Gb = 0; ///< Bulk gap per byte.
+};
+
+/** An edge weight that is linear in the LogGP parameters. */
+struct LinCost
+{
+    double fixed = 0; ///< Parameter-independent part (ticks).
+    double perL = 0;  ///< Wire crossings: coefficient of L.
+    double perO = 0;  ///< Overhead phases: coefficient of added o.
+    double perG = 0;  ///< Gap stalls: coefficient of g.
+    double perGb = 0; ///< Bulk bytes serialized: coefficient of G.
+
+    /** Evaluate at an operating point (clamped at zero: a knob below
+     *  the recorded baseline cannot make an edge take negative time). */
+    double
+    eval(const LpParams &p) const
+    {
+        double w = fixed + perL * p.L + perO * p.o + perG * p.g +
+                   perGb * p.Gb;
+        return w > 0 ? w : 0;
+    }
+
+    LinCost &
+    operator+=(const LinCost &c)
+    {
+        fixed += c.fixed;
+        perL += c.perL;
+        perO += c.perO;
+        perG += c.perG;
+        perGb += c.perGb;
+        return *this;
+    }
+};
+
+/** The solved LP: the makespan and its parameter sensitivities. */
+struct LpSolution
+{
+    bool ok = false;
+    double makespan = 0;
+    /** Coefficient sums along the binding (critical) path: the dual.
+     *  gradient.perL is dT/dL, gradient.perO is dT/do, and so on;
+     *  gradient.fixed is the path's parameter-independent time. */
+    LinCost gradient;
+    /** Edges on the critical path. */
+    std::size_t pathEdges = 0;
+};
+
+/**
+ * The dependency DAG. Nodes are events (span starts plus one sink);
+ * edges carry LinCost weights. addEdge accepts kSource as a source to
+ * anchor an event to virtual time zero. prepare() topologically orders
+ * the graph once; solve() then evaluates any operating point without
+ * touching the structure, so it is const and safe to call from many
+ * threads concurrently.
+ */
+class LpDag
+{
+  public:
+    static constexpr int kSource = -1;
+
+    /** Add an event; returns its id (dense, starting at 0). */
+    int addNode();
+
+    /** Constrain start(dst) >= start(src) + cost(params). */
+    void addEdge(int src, int dst, const LinCost &cost);
+
+    /**
+     * Topologically order the graph. Must be called (once) before
+     * solve(); returns false if the edges form a cycle, which a
+     * well-formed trace cannot produce (timestamps only move forward)
+     * but a corrupt binary trace could.
+     */
+    bool prepare();
+
+    /** Longest source-to-anywhere path at one operating point. The
+     *  makespan is the largest completion time over all nodes; the
+     *  gradient follows the binding path back to the source. */
+    LpSolution solve(const LpParams &params) const;
+
+    std::size_t nodeCount() const { return nodeCount_; }
+    std::size_t edgeCount() const { return edges_.size(); }
+
+  private:
+    struct Edge
+    {
+        int src;
+        int dst;
+        LinCost cost;
+    };
+
+    std::size_t nodeCount_ = 0;
+    std::vector<Edge> edges_;
+    /** Node order that respects every edge (filled by prepare). */
+    std::vector<int> topo_;
+    // Compressed in-edge adjacency (filled by prepare): solve() is the
+    // per-sweep-point hot loop. Edge weights are evaluated in one
+    // vectorizable pass over five parallel float coefficient arrays,
+    // then a second tight pass propagates longest-path distances in
+    // topological position order, so predecessor loads land on
+    // recently written slots. Floats are plenty: coefficients are
+    // O(path-count) values whose rounding error is parts-per-ten-
+    // million of the makespan, and the residual calibration in the
+    // model layer absorbs it exactly at the base point.
+    std::vector<int> csrOff_; ///< nodeCount_+1 offsets into csr*.
+    std::vector<int> csrSrc_; ///< Source *topo position* (or kSource).
+    std::vector<float> cFixed_, cPerL_, cPerO_, cPerG_, cPerGb_;
+    bool prepared_ = false;
+};
+
+} // namespace nowcluster::backend
+
+#endif // NOWCLUSTER_BACKEND_LP_HH_

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * AnalyticModel: lower one traced run into the sweep-evaluation LP.
+ *
+ * The span tracer records two things the model needs: the per-node CPU
+ * timelines (what each processor did, in order) and one ObsMessage per
+ * message with the NIC timestamp algebra
+ *
+ *   issued --(queue wait: g)--> inject --(size*G)--> wire --(L)--> ready
+ *
+ * Lowering turns each leaf CPU span into an LP event whose outgoing
+ * edge weight is a linear function of the LogGP parameters (an OSend
+ * span costs `duration - base.addedO + 1*o`, a GapStall span costs
+ * `duration/base.gap * g`, compute is constant), and each message into
+ * a cross-node edge from its send-overhead span to its receive-overhead
+ * span weighted by the parameterized queue wait, bulk serialization,
+ * and one wire crossing (`perL = 1`). Solving the LP at the traced
+ * operating point reproduces the traced schedule; solving it anywhere
+ * else predicts how the schedule re-times when the knobs move, exactly
+ * the question every sweep in the paper asks.
+ *
+ * The prediction is calibrated: whatever part of the measured runtime
+ * the graph cannot explain (untraced credit waits, polling slack) is
+ * captured as a constant residual at build time, so the model is exact
+ * at its own base point and the error budget is spent only on the
+ * *change* in runtime.
+ */
+
+#ifndef NOWCLUSTER_BACKEND_MODEL_HH_
+#define NOWCLUSTER_BACKEND_MODEL_HH_
+
+#include <cstddef>
+
+#include "backend/lp.hh"
+#include "net/loggp.hh"
+#include "obs/tracer.hh"
+
+namespace nowcluster::backend {
+
+/** One evaluated sweep point: predicted runtime plus the closed-form
+ *  sensitivity slopes from the LP dual (critical-path crossings). */
+struct AnalyticPrediction
+{
+    bool ok = false;
+    double runtime = 0; ///< Predicted end-to-end ticks.
+    double dTdL = 0;    ///< Ticks of runtime per tick of L.
+    double dTdO = 0;    ///< Ticks of runtime per tick of added o.
+    double dTdG = 0;    ///< Ticks of runtime per tick of g.
+    double dTdGb = 0;   ///< Ticks of runtime per ns/byte of G.
+};
+
+/** How the lowering went (surfaced by `nowlab backend validate`). */
+struct ModelBuildStats
+{
+    std::size_t cpuSpans = 0;        ///< Leaf CPU spans lowered.
+    std::size_t messagesLinked = 0;  ///< Messages with a receive edge.
+    std::size_t messagesUnlinked = 0; ///< No ORecv span (bulk frags).
+    std::size_t lpNodes = 0;
+    std::size_t lpEdges = 0;
+    double residual = 0; ///< measured - raw LP makespan, in ticks.
+};
+
+/**
+ * The lowered model for one traced (app, nprocs, topology) run.
+ * build() once, predict() from any thread (solve is const).
+ */
+class AnalyticModel
+{
+  public:
+    /**
+     * Lower `tracer` recorded under `base` parameters into the LP and
+     * calibrate against the run's measured runtime.
+     * @return false if the trace has no CPU spans or the dependency
+     *         graph is not a DAG (corrupt trace).
+     */
+    bool build(const SpanTracer &tracer, const LogGPParams &base,
+               Tick measuredRuntime);
+
+    /** Evaluate the model at a target operating point. */
+    AnalyticPrediction predict(const LogGPParams &target) const;
+
+    bool ready() const { return ok_; }
+    const ModelBuildStats &stats() const { return stats_; }
+
+    /** The LP coordinates of a parameter set: (totalLatency, addedO,
+     *  gap, gPerByte). */
+    static LpParams pointOf(const LogGPParams &p);
+
+  private:
+    LinCost spanCost(const Span &s) const;
+
+    LpDag dag_;
+    LogGPParams base_;
+    double residual_ = 0;
+    ModelBuildStats stats_;
+    bool ok_ = false;
+};
+
+} // namespace nowcluster::backend
+
+#endif // NOWCLUSTER_BACKEND_MODEL_HH_

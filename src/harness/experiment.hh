@@ -83,6 +83,13 @@ struct RunConfig
      *  paper's "N/A" entries, e.g. livelocked Barnes). */
     Tick maxTime = 600 * kSec;
     bool validate = true;
+    /**
+     * Which engine produced (or must produce) the result: 0 = the
+     * discrete-event simulator, 1 = the analytic LP backend
+     * (src/backend). Part of the canonical spec so analytic and
+     * simulated results never alias in the content-addressed store.
+     */
+    int origin = 0;
     /** Optional message trace sink (not owned). */
     MessageTrace *trace = nullptr;
     /** Optional span tracer (not owned): records per-track timelines
@@ -133,6 +140,9 @@ struct EnvConfig
     std::string collAlg;
     /** NOW_CACHE_DIR: result-store directory ("" = caching off). */
     std::string cacheDir;
+    /** NOW_BACKEND: experiment-backend fallback for tools that take
+     *  --backend ("" = unset, meaning sim). */
+    std::string backend;
 };
 
 /** Parse the environment right now (testing; most code wants the

@@ -47,6 +47,14 @@ analyzeCriticalPath(const SpanTracer &tracer)
 {
     CritPathReport r;
 
+    // Degenerate traces -- nothing recorded at all, or a run so small
+    // it produced no message edges -- must come back ok=false or as a
+    // pure-compute path, never touch msg lookups, and never underflow
+    // the backward walk. The guards below are exercised directly by
+    // the regression tests in tests/test_obs.cc.
+    if (tracer.spans().empty())
+        return r;
+
     std::map<NodeId, Timeline> timelines;
     for (const Span &s : tracer.spans()) {
         if (s.container)
@@ -92,7 +100,14 @@ analyzeCriticalPath(const SpanTracer &tracer)
         tracer.spans().size() + tracer.messages().size() + 16;
 
     while (cursor > 0 && guard-- > 0) {
-        const Timeline &tl = timelines[node];
+        // find(), not operator[]: a message hop can land on a node
+        // that recorded no CPU spans (a sender filtered out of a
+        // partial trace), and the walk must not grow the map while
+        // standing on references into it.
+        auto tli = timelines.find(node);
+        if (tli == timelines.end())
+            break;
+        const Timeline &tl = tli->second;
         // Last CPU span ending at or before the cursor.
         auto it = std::upper_bound(
             tl.cpu.begin(), tl.cpu.end(), cursor,

@@ -109,6 +109,10 @@ pointOfRequest(const JsonValue &req)
         kn.simThreads = static_cast<int>(k->numberOr("sim-threads", -1));
         kn.simShards = static_cast<int>(k->numberOr("sim-shards", -1));
     }
+    // The result's provenance (0 = simulated, 1 = analytic). Round-
+    // tripped so a coordinator re-forwarding a dead worker's job
+    // names the same canonical spec the original result was keyed by.
+    pt.config.origin = static_cast<int>(req.numberOr("origin", 0));
     return pt;
 }
 
@@ -134,7 +138,8 @@ submitRequest(const RunPoint &pt)
         .field("seed", c.seed)
         .field("validate", c.validate)
         .field("max_ms", toMsec(c.maxTime))
-        .field("machine", machine);
+        .field("machine", machine)
+        .field("origin", c.origin);
     w.beginObject("knobs")
         .field("overhead", k.overheadUs)
         .field("gap", k.gapUs)
@@ -191,6 +196,7 @@ resultReply(std::uint64_t id, const char *state, bool cached,
         .field("procs", pt.config.nprocs)
         .field("run_ok", r.ok)
         .field("validated", r.validated)
+        .field("backend", pt.config.origin == 1 ? "analytic" : "sim")
         .field("runtime_ticks", static_cast<std::int64_t>(r.runtime))
         .field("runtime_ms", toMsec(r.runtime))
         .field("avg_msgs_per_proc", r.summary.avgMsgsPerProc)
@@ -208,6 +214,8 @@ ServiceCore::ServiceCore(const ServiceConfig &config)
                  : std::make_unique<ResultStore>(config.cacheDir,
                                                  config.cacheMaxBytes)),
       cache_(store_ ? std::make_unique<StoreCache>(*store_) : nullptr),
+      analytic_(std::make_unique<backend::AnalyticBackend>(
+          backend::BackendOptions{config.driftTolerance, true})),
       runner_(config.jobs, config.maxQueue),
       reqTotal_(metrics_.counter("svc.requests")),
       reqBad_(metrics_.counter("svc.requests.bad")),
@@ -219,6 +227,8 @@ ServiceCore::ServiceCore(const ServiceConfig &config)
       jobsFailed_(metrics_.counter("svc.jobs.failed")),
       pulls_(metrics_.counter("svc.repl.pulls")),
       puts_(metrics_.counter("svc.repl.puts")),
+      analyticServed_(metrics_.counter("svc.backend.analytic_served")),
+      backendFallbacks_(metrics_.counter("svc.backend.fallbacks")),
       queueWaitUs_(metrics_.histogram("svc.queue_wait", latencyBounds())),
       runUs_(metrics_.histogram("svc.run_time", latencyBounds()))
 {
@@ -314,6 +324,8 @@ ServiceCore::handleSubmit(const JsonValue &req)
     Job &job = jobs_[id];
     job.point = pt;
     job.state = JobState::kQueued;
+    job.analytic = config_.backend == "analytic" ||
+                   req.stringOr("backend", "") == "analytic";
     job.submitNs = wallNs();
     lock.unlock();
 
@@ -337,6 +349,7 @@ void
 ServiceCore::runJob(std::uint64_t id)
 {
     RunPoint pt;
+    bool wantAnalytic = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = jobs_.find(id);
@@ -344,6 +357,7 @@ ServiceCore::runJob(std::uint64_t id)
             return;
         it->second.state = JobState::kRunning;
         pt = it->second.point;
+        wantAnalytic = it->second.analytic;
         queueWaitUs_.observe((wallNs() - it->second.submitNs) / 1000 *
                              kUsec);
     }
@@ -351,12 +365,32 @@ ServiceCore::runJob(std::uint64_t id)
     std::int64_t t0 = wallNs();
     RunResult r;
     bool completed = false;
+    bool viaAnalytic = false;
     try {
-        r = runApp(pt.app, pt.config);
+        // Serve from the analytic model when the job asked for it and
+        // the spec is eligible. The first point of a model identity
+        // pays for the traced base run and the validation probe; every
+        // later point is an LP solve. ready() after run() is the
+        // fall-back test: a model that failed to build or whose probe
+        // drifted past tolerance is not ready, and the job silently
+        // drops to a real simulation.
+        if (wantAnalytic && analytic_->canServe(pt).empty()) {
+            RunResult ar = analytic_->run(pt);
+            if (analytic_->ready(pt)) {
+                r = std::move(ar);
+                viaAnalytic = true;
+            }
+        }
+        if (!viaAnalytic)
+            r = runApp(pt.app, pt.config);
         completed = true;
     } catch (...) {
         // Fall through: the job is marked failed below.
     }
+    // The stored origin records how the job was *actually* served, so
+    // the v4 cache key and the get reply never alias a model-derived
+    // number with a measured one.
+    pt.config.origin = viaAnalytic ? 1 : 0;
     if (completed && cache_)
         cache_->insert(pt, r);
 
@@ -364,9 +398,12 @@ ServiceCore::runJob(std::uint64_t id)
     auto it = jobs_.find(id);
     if (it == jobs_.end())
         return;
+    it->second.point = pt;
     it->second.result = std::move(r);
     it->second.state = completed ? JobState::kDone : JobState::kFailed;
     (completed ? jobsDone_ : jobsFailed_) += 1;
+    if (completed && wantAnalytic)
+        (viaAnalytic ? analyticServed_ : backendFallbacks_) += 1;
     runUs_.observe((wallNs() - t0) / 1000 * kUsec);
 }
 
@@ -500,6 +537,8 @@ ServiceCore::handleStats()
                           runner_.activeCount()));
     w.field("draining", shuttingDown_);
     w.field("cache_only", config_.cacheOnly);
+    w.field("backend",
+            config_.backend.empty() ? "sim" : config_.backend);
     w.beginObject("counters");
     for (const auto &[name, v] : snap.counters)
         w.field(name, v);

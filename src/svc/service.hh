@@ -14,7 +14,12 @@
  *            Cache hits complete instantly; cache misses are queued on
  *            the Runner pool. A full queue is answered with
  *            {"ok":false,"error":"busy","retry_after_ms":N}: bounded
- *            memory, clients retry.
+ *            memory, clients retry. An optional "backend":"analytic"
+ *            field (or serving with --backend analytic) asks for the
+ *            LogGP-model engine: eligible jobs are answered from one
+ *            traced run per model identity, ineligible or drifted ones
+ *            transparently fall back to a real simulation, and the
+ *            get reply's "backend" field says which engine answered.
  *   status   {"op":"status","id":N} -> {"ok":true,"state":...}
  *   get      {"op":"get","id":N} -> the measured result, including the
  *            canonical fingerprint (byte-identical cached vs computed).
@@ -51,6 +56,7 @@
 #include <mutex>
 #include <string>
 
+#include "backend/backend.hh"
 #include "harness/runner.hh"
 #include "obs/metrics.hh"
 #include "svc/json.hh"
@@ -91,6 +97,13 @@ struct ServiceConfig
     std::uint64_t cacheMaxBytes = ResultStore::kDefaultMaxBytes;
     bool cacheOnly = false;     ///< Offline mode: never simulate.
     int retryAfterMs = 250;     ///< Hint in busy replies.
+    /** Default serving engine: "" or "sim" simulates every job;
+     *  "analytic" answers eligible jobs from the LogGP model (one
+     *  traced run per model identity, then milliseconds per point)
+     *  and transparently falls back to sim for specs the model
+     *  cannot serve or whose validation probe drifted. */
+    std::string backend;
+    double driftTolerance = 0.10; ///< Analytic probe-drift bound.
 };
 
 /** The maximum request line the service accepts (oversized lines are
@@ -172,6 +185,9 @@ class ServiceCore : public LineHandler
         RunPoint point;
         JobState state = JobState::kQueued;
         bool cached = false;
+        /** Serve via the analytic model if eligible (request asked for
+         *  it, or the service default is "analytic"). */
+        bool analytic = false;
         RunResult result;
         std::int64_t submitNs = 0; ///< Wall clock, for queue-wait.
     };
@@ -189,6 +205,10 @@ class ServiceCore : public LineHandler
     ServiceConfig config_;
     std::unique_ptr<ResultStore> store_;
     std::unique_ptr<StoreCache> cache_;
+    /** Always present (an empty model map is free): jobs use it when
+     *  the submit asked for "backend":"analytic" or the service was
+     *  started with that default. */
+    std::unique_ptr<backend::AnalyticBackend> analytic_;
     Runner runner_;
 
     mutable std::mutex mu_;
@@ -209,6 +229,8 @@ class ServiceCore : public LineHandler
     std::uint64_t &jobsFailed_;
     std::uint64_t &pulls_;
     std::uint64_t &puts_;
+    std::uint64_t &analyticServed_;
+    std::uint64_t &backendFallbacks_;
     Histogram &queueWaitUs_;
     Histogram &runUs_;
 };

@@ -14,7 +14,7 @@ namespace {
  * measured results (event ordering, model stages, parameter defaults).
  * Stale keys then simply never hit and age out of the store via LRU.
  */
-constexpr const char *kCodeFingerprint = "nowcluster-sim-v3";
+constexpr const char *kCodeFingerprint = "nowcluster-sim-v4";
 
 void
 putU64(std::string &out, std::uint64_t v)
@@ -155,6 +155,10 @@ canonicalSpec(const RunPoint &pt)
     putStr(out, c.machine.name);
     putParams(out, c.machine.params);
     putKnobs(out, c.knobs);
+    // v4: the producing backend is part of the spec -- a model-derived
+    // runtime and a simulated one for the same knobs are different
+    // results and must never alias under one key.
+    putU32(out, static_cast<std::uint32_t>(c.origin));
     return out;
 }
 
@@ -180,6 +184,8 @@ validateSpec(const RunPoint &pt)
         return "scale out of range (0, 100]";
     if (c.maxTime <= 0)
         return "maxTime must be positive";
+    if (c.origin != 0 && c.origin != 1)
+        return "origin must be 0 (sim) or 1 (analytic)";
 
     // Mirror the fatal_if checks in LogGPParams::setDesired*Usec so a
     // bad knob is a protocol error, not a dead server.

@@ -314,6 +314,63 @@ TEST(CritPath, PingPongPathCrossesTheWireEveryRound)
     EXPECT_NE(text.find("dT/dL"), std::string::npos);
 }
 
+TEST(CritPath, EmptyTraceReportsNotOkInsteadOfWalking)
+{
+    SpanTracer empty;
+    CritPathReport cp = analyzeCriticalPath(empty);
+    EXPECT_FALSE(cp.ok);
+    EXPECT_EQ(cp.endTick, 0);
+    EXPECT_EQ(cp.segments, 0u);
+    EXPECT_NE(cp.render().find("no CPU spans"), std::string::npos);
+}
+
+TEST(CritPath, SingleSpanTraceIsAPureComputePath)
+{
+    // No message edges at all: the path is the one span plus idle
+    // time back to t=0, with zero wire crossings.
+    SpanTracer t;
+    t.span(0, TrackKind::Cpu, SpanCat::Compute, usec(2), usec(7));
+    CritPathReport cp = analyzeCriticalPath(t);
+    ASSERT_TRUE(cp.ok);
+    EXPECT_EQ(cp.endTick, usec(7));
+    EXPECT_EQ(cp.segments, 1u);
+    EXPECT_EQ(cp.lCrossings, 0u);
+    EXPECT_EQ(cp.perCat[static_cast<int>(SpanCat::Compute)], usec(5));
+    EXPECT_EQ(cp.waitOther, usec(2)); // Idle before the span.
+}
+
+TEST(CritPath, ContainerOnlyTraceReportsNotOk)
+{
+    // Container spans label waits; without leaf CPU spans there is no
+    // path to walk.
+    SpanTracer t;
+    t.containerSpan(0, SpanCat::BarrierWait, 0, usec(10));
+    EXPECT_FALSE(analyzeCriticalPath(t).ok);
+}
+
+TEST(CritPath, MessageHopToSpanlessSenderTerminatesCleanly)
+{
+    // A partial trace can record a receive whose sender contributed no
+    // CPU spans; the walk must stop there, not grow its map or loop.
+    SpanTracer t;
+    std::uint64_t id = t.newMsgId();
+    t.span(1, TrackKind::Cpu, SpanCat::ORecv, usec(20), usec(24), id);
+    ObsMessage m;
+    m.id = id;
+    m.src = 0;
+    m.dst = 1;
+    m.issued = usec(1);
+    m.inject = usec(2);
+    m.wire = usec(3);
+    m.ready = usec(19);
+    m.wireLatency = usec(16);
+    t.message(m);
+    CritPathReport cp = analyzeCriticalPath(t);
+    ASSERT_TRUE(cp.ok);
+    EXPECT_EQ(cp.lCrossings, 1u);
+    EXPECT_EQ(cp.segments, 1u);
+}
+
 /** Traced baseline + measured latency sweep for one app. */
 struct SlopeCheck
 {

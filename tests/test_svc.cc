@@ -601,6 +601,85 @@ TEST(ServiceCore, CacheOnlyModeNeverSimulates)
     EXPECT_EQ(v.find("counters")->numberOr("svc.jobs.done", -1), 0);
 }
 
+TEST(ServiceCore, AnalyticBackendServesEligibleJobs)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 2;
+    cfg.backend = "analytic";
+    svc::ServiceCore core(cfg);
+
+    svc::JsonValue v = parsed(core.handleLine(kSubmitRadix));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    core.drain();
+
+    // The get reply names the engine that actually answered, and the
+    // analytic result matches the simulator within the validation
+    // probe's tolerance (both at the model's own base point here, so
+    // the residual calibration makes them agree exactly).
+    v = parsed(core.handleLine("{\"op\":\"get\",\"id\":1}"));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    EXPECT_TRUE(v.boolOr("run_ok", false));
+    EXPECT_EQ(v.stringOr("backend", ""), "analytic");
+    EXPECT_FALSE(v.boolOr("validated", true)); // Model-derived.
+    RunPoint pt = smallPoint();
+    RunResult local = runApp(pt.app, pt.config);
+    EXPECT_EQ(static_cast<Tick>(v.numberOr("runtime_ticks", 0)),
+              local.runtime);
+
+    v = parsed(core.handleLine("{\"op\":\"stats\"}"));
+    EXPECT_EQ(v.stringOr("backend", ""), "analytic");
+    EXPECT_EQ(v.find("counters")->numberOr(
+                  "svc.backend.analytic_served", 0),
+              1);
+    EXPECT_EQ(v.find("counters")->numberOr("svc.backend.fallbacks", -1),
+              0);
+}
+
+TEST(ServiceCore, AnalyticBackendFallsBackToSimForIneligibleSpecs)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.backend = "analytic";
+    svc::ServiceCore core(cfg);
+
+    // Fault injection is stochastic per point: the model must refuse
+    // and the job must transparently drop to a real simulation.
+    svc::JsonValue v = parsed(core.handleLine(
+        "{\"op\":\"submit\",\"app\":\"radix\",\"procs\":4,"
+        "\"scale\":0.1,\"knobs\":{\"drop\":0.01,\"reliable\":1}}"));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    core.drain();
+
+    v = parsed(core.handleLine("{\"op\":\"get\",\"id\":1}"));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    EXPECT_TRUE(v.boolOr("run_ok", false));
+    EXPECT_EQ(v.stringOr("backend", ""), "sim");
+
+    v = parsed(core.handleLine("{\"op\":\"stats\"}"));
+    EXPECT_EQ(v.find("counters")->numberOr("svc.backend.fallbacks", 0),
+              1);
+    EXPECT_EQ(v.find("counters")->numberOr(
+                  "svc.backend.analytic_served", -1),
+              0);
+}
+
+TEST(ServiceCore, PerRequestBackendFieldOverridesSimDefault)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    svc::ServiceCore core(cfg); // Default engine: sim.
+
+    svc::JsonValue v = parsed(core.handleLine(
+        "{\"op\":\"submit\",\"app\":\"radix\",\"procs\":4,"
+        "\"scale\":0.1,\"backend\":\"analytic\"}"));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    core.drain();
+
+    v = parsed(core.handleLine("{\"op\":\"get\",\"id\":1}"));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    EXPECT_EQ(v.stringOr("backend", ""), "analytic");
+}
+
 // ---- the TCP server, end to end -------------------------------------
 
 TEST(Server, SubmitPollGetOverTcpMatchesLocalRun)

@@ -33,6 +33,7 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +45,7 @@
 #include <vector>
 
 #include "apps/app.hh"
+#include "backend/backend.hh"
 #include "base/logging.hh"
 #include "base/parse.hh"
 #include "base/random.hh"
@@ -341,7 +343,8 @@ int
 cmdSweep(const Args &a)
 {
     if (a.positional.size() < 2)
-        fatal("usage: nowlab sweep <app> --knob K --values a,b,c");
+        fatal("usage: nowlab sweep <app> --knob K --values a,b,c "
+              "[--backend sim|analytic|cache]");
     std::string key = a.positional[1];
     CacheScope cache(a);
     auto t0 = std::chrono::steady_clock::now();
@@ -362,8 +365,43 @@ cmdSweep(const Args &a)
     // costs a diagnostic, not minutes of simulation.
     const int jobs = static_cast<int>(optLong(a, "jobs", 0));
 
+    // Engine selection: --backend wins, NOW_BACKEND is the fallback,
+    // sim the default. The analytic engine answers eligible points
+    // from the LP model and drops ineligible ones back to sim; the
+    // cache engine answers from the store only (misses print N/A).
+    backend::BackendKind bk;
+    {
+        std::string err;
+        auto it = a.options.find("backend");
+        fatal_if(!backend::resolveBackendKind(
+                     it != a.options.end() ? it->second : "", bk, err),
+                 "%s", err.c_str());
+    }
+    std::unique_ptr<backend::ExperimentBackend> be;
+    backend::AnalyticBackend *ana = nullptr;
+    if (bk == backend::BackendKind::kAnalytic) {
+        auto p = std::make_unique<backend::AnalyticBackend>();
+        ana = p.get();
+        be = std::move(p);
+    } else if (bk != backend::BackendKind::kSim) {
+        be = backend::makeBackend(bk);
+    }
+
     RunConfig base = configOf(a);
-    RunResult b = runPointCached(RunPoint{key, base});
+    RunPoint basePt{key, base};
+    RunResult b;
+    bool baseViaModel = false;
+    if (ana && ana->canServe(basePt).empty()) {
+        // The baseline doubles as the model build: one traced run plus
+        // one validation probe, after which every point is an LP solve.
+        RunResult mb = ana->run(basePt);
+        if (ana->ready(basePt)) {
+            b = std::move(mb);
+            baseViaModel = true;
+        }
+    }
+    if (!baseViaModel)
+        b = runPointCached(basePt);
     std::printf("%s baseline: %.3f ms (m = %llu msgs/proc)\n",
                 b.summary.app.c_str(), toMsec(b.runtime),
                 static_cast<unsigned long long>(b.maxMsgsPerProc));
@@ -395,10 +433,59 @@ cmdSweep(const Args &a)
         c.maxTime = b.runtime * 200 + kSec;
         points.push_back(RunPoint{key, c});
     }
-    std::vector<RunResult> rs = runPoints(points, jobs);
 
+    std::vector<RunResult> rs;
+    std::vector<backend::AnalyticPrediction> preds(points.size());
+    std::size_t served = 0, fellBack = 0;
+    std::string firstReason;
+    if (!be) {
+        rs = runPoints(points, jobs);
+    } else {
+        rs.resize(points.size());
+        std::vector<RunPoint> misses;
+        std::vector<std::size_t> missAt;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            // canServe after run is the health re-check: a model whose
+            // validation probe drifted past tolerance refuses further
+            // service, and the point falls back to the simulator.
+            std::string why = be->canServe(points[i]);
+            if (why.empty()) {
+                rs[i] = be->run(points[i]);
+                why = be->canServe(points[i]);
+            }
+            if (why.empty()) {
+                ++served;
+                if (ana)
+                    preds[i] = ana->predict(points[i]);
+            } else {
+                if (firstReason.empty())
+                    firstReason = why;
+                if (ana) {
+                    misses.push_back(points[i]);
+                    missAt.push_back(i);
+                }
+            }
+        }
+        if (!misses.empty()) {
+            std::vector<RunResult> fr = runPoints(misses, jobs);
+            for (std::size_t j = 0; j < misses.size(); ++j)
+                rs[missAt[j]] = fr[j];
+            fellBack = misses.size();
+        }
+    }
+
+    // The analytic engine knows the sweep's local derivative for free
+    // (the LP dual along the binding path); surface it for the LogGP
+    // knobs where it is defined.
+    const bool slopes = ana && (knob == "latency" || knob == "overhead" ||
+                                knob == "gap");
     Table t;
-    t.row().cell(knob).cell("runtime (ms)").cell("slowdown");
+    {
+        auto hdr = t.row();
+        hdr.cell(knob).cell("runtime (ms)").cell("slowdown");
+        if (slopes)
+            hdr.cell("dT/d" + knob);
+    }
     for (std::size_t i = 0; i < xs.size(); ++i) {
         const RunResult &r = rs[i];
         auto row = t.row();
@@ -409,8 +496,27 @@ cmdSweep(const Args &a)
                 .cell(slowdown(r.runtime, b.runtime), 2);
         else
             row.cell(std::string("N/A")).cell(std::string("N/A"));
+        if (slopes) {
+            const backend::AnalyticPrediction &p = preds[i];
+            double s = knob == "latency"
+                           ? p.dTdL
+                           : knob == "overhead" ? p.dTdO : p.dTdG;
+            if (p.ok)
+                row.cell(s, 1);
+            else
+                row.cell(std::string("-"));
+        }
     }
     t.print();
+    if (be && fellBack)
+        std::printf("backend    : %s served %zu/%zu points, %zu fell "
+                    "back to sim\n",
+                    be->name(), served, points.size(), fellBack);
+    else if (be)
+        std::printf("backend    : %s served %zu/%zu points\n",
+                    be->name(), served, points.size());
+    if (!firstReason.empty())
+        std::printf("  reason   : %s\n", firstReason.c_str());
     std::printf("wall clock : %.2f s\n",
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
@@ -457,6 +563,15 @@ cmdServe(const Args &a)
     cfg.cacheOnly = a.flags.count("cache-only") != 0;
     fatal_if(cfg.cacheOnly && cfg.cacheDir.empty(),
              "--cache-only needs --cache-dir (or NOW_CACHE_DIR)");
+    if (auto it = a.options.find("backend"); it != a.options.end()) {
+        fatal_if(it->second != "sim" && it->second != "analytic",
+                 "serve --backend must be sim or analytic (got '%s')",
+                 it->second.c_str());
+        if (it->second == "analytic")
+            cfg.backend = "analytic";
+    }
+    cfg.driftTolerance =
+        optDouble(a, "drift-tolerance", cfg.driftTolerance);
     const int port =
         static_cast<int>(optLong(a, "port", svc::kDefaultPort));
 
@@ -509,11 +624,12 @@ cmdServe(const Args &a)
     std::signal(SIGTERM, handleStopSignal);
     std::signal(SIGINT, handleStopSignal);
 
-    std::printf("nowlabd on 127.0.0.1:%d (%d workers, queue %zu%s%s%s)\n",
+    std::printf("nowlabd on 127.0.0.1:%d (%d workers, queue %zu%s%s%s%s)\n",
                 server.port(), resolveJobs(cfg.jobs), cfg.maxQueue,
                 cfg.cacheDir.empty() ? "" : ", store ",
                 cfg.cacheDir.c_str(),
-                cfg.cacheOnly ? ", cache-only" : "");
+                cfg.cacheOnly ? ", cache-only" : "",
+                cfg.backend == "analytic" ? ", analytic backend" : "");
     std::fflush(stdout); // Port line must reach pipes before we block.
     server.wait(); // Returns once stopped and fully drained.
     gServer = nullptr;
@@ -752,6 +868,17 @@ cmdStorm(const Args &a)
         hostIt != a.options.end() ? hostIt->second : "127.0.0.1";
     const int port =
         static_cast<int>(optLong(a, "port", svc::kDefaultPort));
+    // --backend analytic stamps every submit with the analytic engine
+    // request: the server answers eligible jobs from the LogGP model
+    // (falling back to sim transparently), which is how BENCH_svc.json
+    // shows served-QPS with the cheap backend.
+    std::string stormBackend = "sim";
+    if (auto it = a.options.find("backend"); it != a.options.end()) {
+        fatal_if(it->second != "sim" && it->second != "analytic",
+                 "storm --backend must be sim or analytic (got '%s')",
+                 it->second.c_str());
+        stormBackend = it->second;
+    }
 
     enum
     {
@@ -781,8 +908,10 @@ cmdStorm(const Args &a)
             .field("procs", procs)
             .field("scale", scale)
             .field("seed", s)
-            .field("validate", false)
-            .endObject();
+            .field("validate", false);
+        if (stormBackend == "analytic")
+            w.field("backend", "analytic");
+        w.endObject();
         return w.str();
     };
     auto idLine = [](const char *op, std::uint64_t id) {
@@ -849,8 +978,9 @@ cmdStorm(const Args &a)
         }
     };
 
-    std::printf("storm: %d connections, %ld ops against %s:%d\n", conns,
-                ops, host.c_str(), port);
+    std::printf("storm: %d connections, %ld ops against %s:%d "
+                "(%s backend)\n",
+                conns, ops, host.c_str(), port, stormBackend.c_str());
     auto t0 = Clock::now();
     std::vector<std::thread> threads;
     for (int t = 0; t < conns; ++t)
@@ -968,6 +1098,7 @@ cmdStorm(const Args &a)
                      "  \"bench\": \"svc\",\n"
                      "  \"conns\": %d,\n"
                      "  \"ops\": %ld,\n"
+                     "  \"backend\": \"%s\",\n"
                      "  \"app\": \"%s\",\n"
                      "  \"load_seconds\": %.3f,\n"
                      "  \"saturation_ops_per_sec\": %.1f,\n"
@@ -977,9 +1108,10 @@ cmdStorm(const Args &a)
                      "  \"jobs\": {\"submitted\": %ld, \"completed\": "
                      "%ld, \"failed\": %ld, \"lost\": %ld},\n"
                      "  \"latency_ms\": {\n",
-                     conns, ops, app.c_str(), loadSeconds, throughput,
-                     busy, errors, protocolErrors, submitted,
-                     completed.load(), failedJobs.load(), lost.load());
+                     conns, ops, stormBackend.c_str(), app.c_str(),
+                     loadSeconds, throughput, busy, errors,
+                     protocolErrors, submitted, completed.load(),
+                     failedJobs.load(), lost.load());
         for (int k = 0; k < kOps; ++k) {
             std::fprintf(
                 f,
@@ -1498,6 +1630,106 @@ cmdColl(const Args &a)
     fatal("unknown coll subcommand '%s' (table|validate)", sub.c_str());
 }
 
+/**
+ * `nowlab backend validate`: the analytic backend's CI gate. For each
+ * app it builds the LP model (which runs the built-in latency probe),
+ * then independently stretches overhead and gap and races the model
+ * against the simulator. Any unhealthy model or drift beyond
+ * --tolerance exits non-zero, so a lowering regression fails the build
+ * instead of silently skewing every analytic sweep.
+ */
+int
+cmdBackend(const Args &a)
+{
+    if (a.positional.size() < 2 || a.positional[1] != "validate")
+        fatal("usage: nowlab backend validate [--apps A,B] [--procs N]\n"
+              "       [--scale S] [--tolerance F] [--out F]");
+    std::vector<std::string> apps{"radix", "em3d-read"};
+    if (auto it = a.options.find("apps"); it != a.options.end())
+        apps = splitCsv(it->second);
+    fatal_if(apps.empty(), "--apps: empty list");
+    const int procs = static_cast<int>(optLong(a, "procs", 4));
+    const double scale = optDouble(a, "scale", 0.1);
+    const double tol = optDouble(a, "tolerance", 0.10);
+
+    backend::AnalyticBackend be(backend::BackendOptions{tol, true});
+    svc::JsonWriter w;
+    w.beginObject()
+        .field("bench", "backend-validate")
+        .field("tolerance", tol)
+        .field("procs", procs)
+        .field("scale", scale);
+    w.beginArray("apps");
+    bool pass = true;
+    for (const std::string &app : apps) {
+        RunPoint pt;
+        pt.app = app;
+        pt.config.nprocs = procs;
+        pt.config.scale = scale;
+        pt.config.validate = false;
+
+        be.run(pt); // Builds the model and runs the latency probe.
+        const bool healthy = be.ready(pt);
+        const std::string reason = healthy ? "" : be.canServe(pt);
+        backend::ModelBuildStats stats = be.modelStats(pt);
+
+        // Drift at points the build probe does not cover: stretch one
+        // knob well past its machine baseline and race model vs sim.
+        auto driftAt = [&](const Knobs &kn) {
+            if (!healthy)
+                return -1.0;
+            RunPoint q = pt;
+            q.config.knobs = kn;
+            backend::AnalyticPrediction pr = be.predict(q);
+            RunResult sim = runPointCached(q);
+            if (!pr.ok || !sim.ok)
+                return -1.0;
+            return std::fabs(pr.runtime -
+                             static_cast<double>(sim.runtime)) /
+                   static_cast<double>(sim.runtime);
+        };
+        Knobs ko;
+        ko.overheadUs = 10;
+        const double dOver = driftAt(ko);
+        Knobs kg;
+        kg.gapUs = 15;
+        const double dGap = driftAt(kg);
+
+        const bool app_pass = healthy && dOver >= 0 && dOver <= tol &&
+                              dGap >= 0 && dGap <= tol;
+        pass = pass && app_pass;
+        if (healthy)
+            std::printf("%-10s model %zu nodes / %zu edges, overhead "
+                        "drift %.1f%%, gap drift %.1f%% -> %s\n",
+                        app.c_str(), stats.lpNodes, stats.lpEdges,
+                        dOver * 100, dGap * 100,
+                        app_pass ? "pass" : "FAIL");
+        else
+            std::printf("%-10s unhealthy: %s -> FAIL\n", app.c_str(),
+                        reason.c_str());
+        w.beginObject()
+            .field("app", app)
+            .field("healthy", healthy)
+            .field("reason", reason)
+            .field("lpNodes", static_cast<std::uint64_t>(stats.lpNodes))
+            .field("lpEdges", static_cast<std::uint64_t>(stats.lpEdges))
+            .field("overheadDriftPct", dOver * 100)
+            .field("gapDriftPct", dGap * 100)
+            .field("pass", app_pass)
+            .endObject();
+    }
+    w.endArray().field("pass", pass).endObject();
+    if (auto it = a.options.find("out"); it != a.options.end()) {
+        FILE *f = std::fopen(it->second.c_str(), "w");
+        fatal_if(!f, "cannot write %s", it->second.c_str());
+        std::fprintf(f, "%s\n", w.str().c_str());
+        std::fclose(f);
+        std::printf("wrote %s\n", it->second.c_str());
+    }
+    std::printf("backend validate: %s\n", pass ? "pass" : "FAIL");
+    return pass ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -1517,7 +1749,7 @@ main(int argc, char **argv)
             "             [--machine M] [knobs] [--matrix] [--pgm F]\n"
             "             [--trace FILE.csv]\n"
             "  nowlab sweep <app> --knob K --values a,b,c [--jobs J]\n"
-            "             [...]\n"
+            "             [--backend sim|analytic|cache] [...]\n"
             "  nowlab perf [--app A] [--points K] [--jobs J]\n"
             "             [--events N] [--out FILE]\n"
             "  nowlab trace <app> [--out F.json] [--bin F] [--procs N]\n"
@@ -1526,12 +1758,14 @@ main(int argc, char **argv)
             "             [knobs]\n"
             "  nowlab serve [--port P] [--jobs J] [--queue N]\n"
             "             [--cache-dir D] [--cache-only]\n"
+            "             [--backend analytic] [--drift-tolerance F]\n"
             "  nowlab serve --coordinator --workers H:P,H:P,...\n"
             "             [--port P] [--replicas R] [--heartbeat-ms N]\n"
             "  nowlab submit <app> [knobs] [--host H] [--port P]\n"
             "             [--wait] [--max-retries N]\n"
             "  nowlab storm [--conns C] [--ops N] [--host H] [--port P]\n"
-            "             [--app A] [--seeds K] [--out FILE]\n"
+            "             [--app A] [--seeds K] [--backend analytic]\n"
+            "             [--out FILE]\n"
             "  nowlab get --id N [--host H] [--port P]\n"
             "  nowlab get <app> --cache-dir D [knobs]   (offline)\n"
             "  nowlab stats [--host H] [--port P] [--shutdown]\n"
@@ -1540,6 +1774,8 @@ main(int argc, char **argv)
             "  nowlab coll validate [--machines M1,M2] [--procs list]\n"
             "             [--sizes list] [--tolerance F] [--min-hit F]\n"
             "             [--out BENCH_coll.json]\n"
+            "  nowlab backend validate [--apps A,B] [--procs N]\n"
+            "             [--scale S] [--tolerance F] [--out F]\n"
             "sweep/run also honour --cache-dir D / NOW_CACHE_DIR: the\n"
             "content-addressed result store serves repeated points.\n"
             "knobs: --overhead US --gap US --latency US --mbps B\n"
@@ -1555,7 +1791,12 @@ main(int argc, char **argv)
             "       at any T; NOW_SIM_THREADS is the fallback)\n"
             "       --sim-shards S (override the shard layout)\n"
             "coll:  --coll-alg naive|tuned|\"bcast=chain,...\"\n"
-            "       (NOW_COLL_ALG is the fallback)\n");
+            "       (NOW_COLL_ALG is the fallback)\n"
+            "backend: --backend sim|analytic|cache (NOW_BACKEND is the\n"
+            "       fallback). analytic answers LogGP sweep points from\n"
+            "       an LP lowered from one traced run -- milliseconds\n"
+            "       per point, with dT/dL-style slopes -- and falls\n"
+            "       back to sim for ineligible or drifted specs.\n");
         return 0;
     }
     const std::string &cmd = a.positional[0];
@@ -1585,5 +1826,7 @@ main(int argc, char **argv)
         return cmdStorm(a);
     if (cmd == "coll")
         return cmdColl(a);
+    if (cmd == "backend")
+        return cmdBackend(a);
     fatal("unknown command '%s'", cmd.c_str());
 }
