@@ -34,4 +34,14 @@ echo "== traced smoke run =="
 python3 -m json.tool results/radix_trace.json > /dev/null \
     && echo "results/radix_trace.json: valid JSON"
 
+# Wavefront smoke: inject a one-off stall, diff against the baseline,
+# and validate the idle-wave Perfetto export (clamped spans and the
+# synthesized idle-wave track must still be loadable JSON).
+echo "== wavefront smoke =="
+"$BUILD"/tools/nowlab wavefront radix --procs 8 --scale 0.05 \
+    --out results/radix_wavefront.json \
+    2>&1 | tee results/nowlab_wavefront.txt
+python3 -m json.tool results/radix_wavefront.json > /dev/null \
+    && echo "results/radix_wavefront.json: valid JSON"
+
 echo "All outputs in results/ (Figure 4 images in fig4/)"

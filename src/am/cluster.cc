@@ -147,6 +147,103 @@ Cluster::faultModel() const
     return faults_.empty() ? nullptr : faults_[0].get();
 }
 
+int
+Cluster::faultShardOf(NodeId src, NodeId dst, PacketClass cls) const
+{
+    if (cls == PacketClass::Data)
+        return shard_[src]; // transmit() offers on the sender's shard.
+    // Acks: in reliable mode the cumulative ack is offered by the shard
+    // executing sendAck(from=src, ...) -- the ack's source; with bare
+    // credit acks scheduleCreditAck() runs on the data sender's shard
+    // and offers (dst_of_data -> src_of_data), i.e. the ack's
+    // destination. The two mechanisms are mutually exclusive per run
+    // (am_node.cc), so each link's ack stream lives whole in one model.
+    return params_.reliable ? shard_[src] : shard_[dst];
+}
+
+void
+Cluster::scriptDrop(NodeId src, NodeId dst, PacketClass cls,
+                    std::uint64_t nth)
+{
+    panic_if(faults_.empty(),
+             "scriptDrop needs params.fault.enabled = true");
+    panic_if(src < 0 || src >= nprocs_ || dst < 0 || dst >= nprocs_,
+             "scriptDrop link %d->%d out of range", src, dst);
+    faults_[faultShardOf(src, dst, cls)]->dropNth(src, dst, cls, nth);
+}
+
+void
+Cluster::scriptBlackhole(NodeId src, NodeId dst, Tick from, Tick until)
+{
+    panic_if(faults_.empty(),
+             "scriptBlackhole needs params.fault.enabled = true");
+    for (auto &fm : faults_)
+        fm->blackhole(src, dst, from, until);
+}
+
+void
+Cluster::scriptDelay(NodeId node, Tick at, Tick duration)
+{
+    panic_if(started_, "scriptDelay() must be called before run()");
+    panic_if(node < 0 || node >= nprocs_, "scriptDelay node %d out of "
+             "range", node);
+    panic_if(faults_.empty(),
+             "scriptDelay needs params.fault.enabled = true");
+    faults_[shard_[node]]->delayNode(node, at, duration);
+}
+
+std::uint64_t
+Cluster::faultOfferedOn(NodeId src, NodeId dst, PacketClass cls) const
+{
+    std::uint64_t n = 0;
+    for (const auto &fm : faults_)
+        n += fm->offeredOn(src, dst, cls);
+    return n;
+}
+
+FaultCounters
+Cluster::faultCounters() const
+{
+    FaultCounters sum;
+    for (const auto &fm : faults_) {
+        const FaultCounters &c = fm->counters();
+        for (int i = 0; i < 2; ++i) {
+            sum.offered[i] += c.offered[i];
+            sum.dropped[i] += c.dropped[i];
+            sum.corrupted[i] += c.corrupted[i];
+            sum.duplicated[i] += c.duplicated[i];
+            sum.delayed[i] += c.delayed[i];
+        }
+    }
+    return sum;
+}
+
+void
+Cluster::installDelays()
+{
+    // The scripted one-off delays: the parameter set's list plus every
+    // shard model's delayNode() script (so scripting through
+    // faultModel() keeps working when that node lives on another
+    // shard). Stall windows are pure per-node scenario state installed
+    // before any proc starts, which is what keeps delayed runs
+    // byte-identical at any --sim-threads count.
+    auto install = [this](const DelaySpec &d) {
+        fatal_if(d.node < 0 || d.node >= nprocs_,
+                 "one-off delay names node %d outside [0, %d)", d.node,
+                 nprocs_);
+        fatal_if(d.at < 0 || d.duration < 0,
+                 "one-off delay at %lld for %lld is negative",
+                 static_cast<long long>(d.at),
+                 static_cast<long long>(d.duration));
+        procs_[d.node]->injectStall(d.at, d.duration);
+    };
+    for (const DelaySpec &d : params_.fault.delays)
+        install(d);
+    for (const auto &fm : faults_)
+        for (const DelaySpec &d : fm->delayScript())
+            install(d);
+}
+
 SpanTracer *
 Cluster::tracerFor(int s) const
 {
@@ -197,8 +294,12 @@ Cluster::run(std::function<void(AmNode &)> main, Tick max_time)
             }));
         nodes_[i]->proc_ = procs_[i].get();
         procs_[i]->attachObs(tracerFor(shard_[i]));
-        procs_[i]->start(0);
     }
+    // Stall windows must exist before the first activation is
+    // scheduled: start() defers an activation landing inside one.
+    installDelays();
+    for (int i = 0; i < nprocs_; ++i)
+        procs_[i]->start(0);
 
     if (nshards_ == 1) {
         Simulator &sim = *sims_[0];

@@ -186,9 +186,43 @@ class Cluster
 
     /** The fault model, if enabled (scripting from tests, counters).
      *  Under the sharded engine this is shard 0's model; each shard
-     *  draws from its own seeded stream. */
+     *  draws from its own seeded stream. Scripted drops installed here
+     *  only see shard 0's wire events -- use scriptDrop() /
+     *  scriptBlackhole(), which route to the owning shard's model, for
+     *  scripts that must fire identically at any --sim-threads. One-off
+     *  delays are exempt: delayNode() entries are collected from every
+     *  shard model at run() start. */
     FaultModel *faultModel();
     const FaultModel *faultModel() const;
+
+    /**
+     * Script a one-shot drop of the nth event of class `cls` on the
+     * src->dst link, routed to the shard whose FaultModel actually
+     * offers that link's events. Per-link offer counts are kept per
+     * shard model, and each (link, class) stream is offered by exactly
+     * one deterministic shard -- Data by the sender's, credit acks by
+     * the data sender's (the ack's destination), reliability acks by
+     * the data receiver's (the ack's source) -- so a script installed
+     * here fires on the same packet at any thread count.
+     */
+    void scriptDrop(NodeId src, NodeId dst, PacketClass cls,
+                    std::uint64_t nth);
+
+    /** Script a blackhole window (see FaultModel::blackhole). Installed
+     *  on every shard model: each wire event is offered exactly once
+     *  globally, so time-window matching cannot double-fire. */
+    void scriptBlackhole(NodeId src, NodeId dst, Tick from, Tick until);
+
+    /** Script a one-off processor stall (see FaultModel::delayNode). */
+    void scriptDelay(NodeId node, Tick at, Tick duration);
+
+    /** Events offered so far on one link, summed over the shard models
+     *  in shard order (each stream lives whole in one model). */
+    std::uint64_t faultOfferedOn(NodeId src, NodeId dst,
+                                 PacketClass cls) const;
+
+    /** Fault tallies merged across the shard models, in shard order. */
+    FaultCounters faultCounters() const;
 
     /** Per-packet trace callback: (issued, ready, src, dst, kind,
      *  payload bytes). Kept as a plain hook so the AM layer does not
@@ -234,6 +268,10 @@ class Cluster
 
     SpanTracer *tracerFor(int s) const;
     FaultModel *faultFor(int s) const;
+    /** Shard whose model offers events of class `cls` on src->dst. */
+    int faultShardOf(NodeId src, NodeId dst, PacketClass cls) const;
+    /** Install every scripted one-off delay as proc stall windows. */
+    void installDelays();
     SpscChannel<CrossMsg> &channel(int src, int dst) const;
 
     LogGPParams params_;

@@ -201,6 +201,8 @@ AnalyticBackend::canServe(const RunPoint &pt)
         return "fault injection is stochastic per parameter point";
     if (k.reliable == 1 || c.machine.params.reliable)
         return "retransmission schedules do not re-time linearly";
+    if (k.delayNode >= 0 || !c.machine.params.fault.delays.empty())
+        return "one-off delay injection needs a real simulation";
 
     // A model already built but poisoned by probe drift refuses
     // loudly so the caller falls back to sim instead of trusting it.

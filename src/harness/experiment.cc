@@ -46,6 +46,14 @@ Knobs::applyTo(LogGPParams &params) const
         params.fault.reorderMaxDelay = usec(reorderMaxDelayUs);
     if (faultSeed >= 0)
         params.fault.seed = static_cast<std::uint64_t>(faultSeed);
+    if (delayNode >= 0 && delayUs > 0) {
+        // Scripted-only: rates stay zero, so enabling the model here
+        // draws no randomness and the run stays exactly deterministic.
+        params.fault.enabled = true;
+        params.fault.delays.push_back(
+            {static_cast<NodeId>(delayNode),
+             usec(delayAtUs > 0 ? delayAtUs : 0), usec(delayUs)});
+    }
     if (reliable >= 0)
         params.reliable = reliable != 0;
     if (retxTimeoutUs > 0)

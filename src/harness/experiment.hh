@@ -45,6 +45,16 @@ struct Knobs
     int reliable = -1;       ///< 1 = reliable delivery, 0 = force off.
     double retxTimeoutUs = -1; ///< Retransmission timeout (0/-1 = auto).
 
+    /** One-off delay injection (the Afzal-style transient
+     *  perturbation): stall processor `delayNode` at virtual time
+     *  `delayAtUs` for `delayUs` microseconds. Setting `delayNode`
+     *  enables the fault model (scripted-only: all rates stay zero, so
+     *  the run consumes no fault randomness and stays exactly
+     *  deterministic). */
+    long delayNode = -1;   ///< Node to stall (-1 = no delay).
+    double delayAtUs = -1; ///< Stall start, microseconds (-1 = t 0).
+    double delayUs = -1;   ///< Stall duration, microseconds.
+
     /** Fat-tree topology model (net/topology.hh); `topo = 1` or any
      *  topo* field enables it. */
     int topo = -1;           ///< 1 = enable with defaults, 0 = off.

@@ -38,6 +38,21 @@ enum class PacketClass : std::uint8_t
 };
 
 /**
+ * One scripted one-off delay: processor `node` is preempted (stalled)
+ * from virtual time `at` for `duration` ticks. The stall models
+ * OS-jitter style CPU interference -- the NIC contexts keep moving, but
+ * the fiber neither computes nor reacts to wakes inside the window.
+ * Deterministic by construction (no randomness involved), so the same
+ * (app, seed, delay spec) triple always produces the same run.
+ */
+struct DelaySpec
+{
+    NodeId node = 0;
+    Tick at = 0;
+    Tick duration = 0;
+};
+
+/**
  * Probabilistic fault configuration. All rates are independent per-event
  * probabilities in [0, 1]; the default (all zero) is the perfect fabric.
  * Lives inside LogGPParams so every existing construction path (tests,
@@ -56,6 +71,9 @@ struct FaultConfig
     Tick reorderMaxDelay = usec(50);
     /** Seed of the fault model's private PRNG stream. */
     std::uint64_t seed = 1;
+    /** Scripted one-off processor stalls (Afzal-style transient
+     *  perturbations), applied by the Cluster at run() start. */
+    std::vector<DelaySpec> delays;
 
     /** True if any probabilistic fault can occur. */
     bool
@@ -123,6 +141,24 @@ class FaultModel
     }
 
     /**
+     * Script: stall processor `node` at virtual time `at` for
+     * `duration` ticks (a one-off delay, exact and deterministic like
+     * dropNth). The entry is collected by Cluster::run() -- from every
+     * shard's model, so scripting through Cluster::faultModel() stays
+     * correct under the sharded engine -- and installed as a stall
+     * window on the owning Proc. Zero-duration entries are ignored.
+     */
+    void
+    delayNode(NodeId node, Tick at, Tick duration)
+    {
+        if (duration > 0)
+            delays_.push_back({node, at, duration});
+    }
+
+    /** Scripted one-off delays accumulated via delayNode(). */
+    const std::vector<DelaySpec> &delayScript() const { return delays_; }
+
+    /**
      * Offer one wire event to the model at virtual time now.
      * Scripted drops take precedence over the probabilistic dice so
      * regression tests stay exact regardless of configured rates.
@@ -171,6 +207,7 @@ class FaultModel
     FaultCounters ctrs_;
     std::vector<ScriptedDrop> scripted_;
     std::vector<Blackhole> blackholes_;
+    std::vector<DelaySpec> delays_;
     std::map<std::tuple<NodeId, NodeId, int>, std::uint64_t> linkCount_;
 };
 

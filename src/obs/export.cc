@@ -69,7 +69,12 @@ perfettoJson(const SpanTracer &tracer)
 
     for (const Span &s : tracer.spans()) {
         int tid = static_cast<int>(s.track);
-        if (s.end <= s.begin) {
+        // Clamp degenerate records: SpanTracer::span() never stores
+        // end < begin, but readBinaryTrace() trusts the file, and a
+        // negative "dur" makes a trace_event viewer reject the whole
+        // document. Clamped spans render as instant events.
+        const Tick end = s.end < s.begin ? s.begin : s.end;
+        if (end == s.begin) {
             // Zero-duration record (retransmit) -> instant event.
             std::snprintf(buf, sizeof(buf),
                           "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,"
@@ -86,7 +91,7 @@ perfettoJson(const SpanTracer &tracer)
                           "\"ts\":%s,\"dur\":%s,\"name\":\"%s\","
                           "\"cat\":\"%s\",\"args\":{\"msg\":%llu}}",
                           s.node, tid, us(s.begin).c_str(),
-                          us(s.end - s.begin).c_str(),
+                          us(end - s.begin).c_str(),
                           spanCatName(s.cat), spanCatName(s.cat),
                           static_cast<unsigned long long>(s.msg));
         } else {
@@ -95,7 +100,7 @@ perfettoJson(const SpanTracer &tracer)
                           "\"ts\":%s,\"dur\":%s,\"name\":\"%s\","
                           "\"cat\":\"%s%s\"}",
                           s.node, tid, us(s.begin).c_str(),
-                          us(s.end - s.begin).c_str(),
+                          us(end - s.begin).c_str(),
                           spanCatName(s.cat), spanCatName(s.cat),
                           s.container ? ",container" : "");
         }

@@ -33,6 +33,8 @@ spanCatName(SpanCat cat)
         return "retransmit";
       case SpanCat::BarrierWait:
         return "barrier-wait";
+      case SpanCat::IdleWave:
+        return "idle-wave";
     }
     return "?";
 }

@@ -41,9 +41,10 @@ enum class SpanCat : std::uint8_t
     GStall,      ///< Bulk DMA transfer time (size * G).
     Retransmit,  ///< Reliability-protocol retransmission (instant).
     BarrierWait, ///< Waiting inside a barrier round.
+    IdleWave,    ///< Wavefront analyzer: excess idle vs the baseline.
 };
 
-constexpr int kNumSpanCats = 8;
+constexpr int kNumSpanCats = 9;
 
 /** Timeline a span belongs to; each node has one of each. */
 enum class TrackKind : std::uint8_t

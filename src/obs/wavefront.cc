@@ -1,0 +1,264 @@
+#include "obs/wavefront.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <utility>
+
+namespace nowcluster {
+
+namespace {
+
+using Interval = std::pair<Tick, Tick>;
+
+/**
+ * Merged, sorted busy intervals of one node's CPU track. Leaf spans
+ * only: container spans (barrier-wait, credit-wait) label waiting, and
+ * synthesized IdleWave spans must not feed back into the diff.
+ */
+std::vector<Interval>
+busyIntervals(const SpanTracer &tr, NodeId node)
+{
+    std::vector<Interval> iv;
+    for (const Span &s : tr.spans()) {
+        if (s.node != node || s.track != TrackKind::Cpu || s.container ||
+            s.cat == SpanCat::IdleWave || s.end <= s.begin)
+            continue;
+        iv.push_back({s.begin, s.end});
+    }
+    std::sort(iv.begin(), iv.end());
+    std::vector<Interval> merged;
+    merged.reserve(iv.size());
+    for (const Interval &w : iv) {
+        if (!merged.empty() && w.first <= merged.back().second)
+            merged.back().second =
+                std::max(merged.back().second, w.second);
+        else
+            merged.push_back(w);
+    }
+    return merged;
+}
+
+/** All interval endpoints of both sets, sorted and deduplicated, with
+ *  0 and `horizon` as sentinels. Between consecutive points each set is
+ *  uniformly busy or idle, so the excess-idle slope is constant. */
+std::vector<Tick>
+breakpoints(const std::vector<Interval> &a, const std::vector<Interval> &b,
+            Tick horizon)
+{
+    std::vector<Tick> pts;
+    pts.reserve(2 * (a.size() + b.size()) + 2);
+    pts.push_back(0);
+    for (const Interval &w : a) {
+        pts.push_back(w.first);
+        pts.push_back(w.second);
+    }
+    for (const Interval &w : b) {
+        pts.push_back(w.first);
+        pts.push_back(w.second);
+    }
+    pts.push_back(horizon);
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+    while (!pts.empty() && pts.back() > horizon)
+        pts.pop_back();
+    return pts;
+}
+
+/** True if the set is busy throughout (t, next breakpoint); the cursor
+ *  index advances monotonically across a sweep. */
+bool
+busyAt(const std::vector<Interval> &iv, std::size_t &i, Tick t)
+{
+    while (i < iv.size() && iv[i].second <= t)
+        ++i;
+    return i < iv.size() && iv[i].first <= t;
+}
+
+/** Hop distances from `from` over the baseline's directed message
+ *  edges (influence travels the same links the messages did). */
+std::vector<int>
+hopDistances(const SpanTracer &baseline, int nprocs, NodeId from)
+{
+    std::vector<std::vector<int>> adj(nprocs);
+    for (const ObsMessage &m : baseline.messages())
+        if (m.src >= 0 && m.src < nprocs && m.dst >= 0 && m.dst < nprocs)
+            adj[m.src].push_back(m.dst);
+    std::vector<int> hops(nprocs, -1);
+    if (from < 0 || from >= nprocs)
+        return hops;
+    std::deque<NodeId> q;
+    hops[from] = 0;
+    q.push_back(from);
+    while (!q.empty()) {
+        NodeId n = q.front();
+        q.pop_front();
+        for (NodeId d : adj[n]) {
+            if (hops[d] >= 0)
+                continue;
+            hops[d] = hops[n] + 1;
+            q.push_back(d);
+        }
+    }
+    return hops;
+}
+
+} // namespace
+
+WavefrontReport
+analyzeWavefront(const SpanTracer &baseline, const SpanTracer &perturbed,
+                 int nprocs, const WavefrontConfig &config)
+{
+    WavefrontReport rep;
+    rep.config = config;
+    rep.nodes.resize(nprocs);
+    rep.excessRuntime = perturbed.lastTick() - baseline.lastTick();
+
+    Tick thr = static_cast<Tick>(config.threshold *
+                                 static_cast<double>(config.delayDuration));
+    if (thr <= 0)
+        thr = 1;
+    const Tick horizon =
+        std::max(baseline.lastTick(), perturbed.lastTick());
+    const std::vector<int> hops =
+        hopDistances(baseline, nprocs, config.delayedNode);
+
+    for (int n = 0; n < nprocs; ++n) {
+        NodeWave &w = rep.nodes[n];
+        w.node = n;
+        w.hops = hops[n];
+
+        const std::vector<Interval> base = busyIntervals(baseline, n);
+        const std::vector<Interval> pert = busyIntervals(perturbed, n);
+        const std::vector<Tick> pts = breakpoints(base, pert, horizon);
+
+        // Sweep: E(t) = busy_base(0..t) - busy_pert(0..t) is the
+        // excess idle of the perturbed run; slope per segment is
+        // (base busy?) - (pert busy?). E returns to ~0 once both runs
+        // finish (equal total work), so the node's damage is the peak,
+        // not the final value. E is piecewise linear, so the peak sits
+        // on a breakpoint.
+        Tick excess = 0, peak = 0;
+        std::size_t bi = 0, pi = 0;
+        for (std::size_t k = 0; k + 1 < pts.size(); ++k) {
+            const Tick t0 = pts[k], t1 = pts[k + 1];
+            const int slope = (busyAt(base, bi, t0) ? 1 : 0) -
+                              (busyAt(pert, pi, t0) ? 1 : 0);
+            const Tick next = excess + slope * (t1 - t0);
+            if (w.arrival < 0 && slope > 0 && next >= thr)
+                w.arrival = t0 + (thr - excess); // slope is exactly +1
+            excess = next;
+            peak = std::max(peak, excess);
+        }
+        w.excessIdle = peak;
+    }
+
+    // Reached set, decay distance, and the propagation-speed fit
+    // (hops against arrival time, least squares; the slope is in
+    // hops per millisecond of virtual time).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int npts = 0;
+    for (const NodeWave &w : rep.nodes) {
+        if (w.excessIdle >= thr) {
+            ++rep.reached;
+            if (w.hops > rep.decayHops)
+                rep.decayHops = w.hops;
+        }
+        if (w.arrival < 0 || w.hops < 0)
+            continue;
+        const double x = static_cast<double>(w.arrival) / kMsec;
+        const double y = w.hops;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        ++npts;
+    }
+    if (npts >= 2) {
+        const double varx = sxx - sx * sx / npts;
+        if (varx > 1e-12) {
+            rep.speedHopsPerMs = (sxy - sx * sy / npts) / varx;
+            rep.speedFinite = true;
+        }
+    }
+    return rep;
+}
+
+void
+exportIdleWave(const SpanTracer &baseline, const SpanTracer &perturbed,
+               int nprocs, SpanTracer &out)
+{
+    const Tick horizon =
+        std::max(baseline.lastTick(), perturbed.lastTick());
+    for (int n = 0; n < nprocs; ++n) {
+        const std::vector<Interval> base = busyIntervals(baseline, n);
+        const std::vector<Interval> pert = busyIntervals(perturbed, n);
+        const std::vector<Tick> pts = breakpoints(base, pert, horizon);
+        std::size_t bi = 0, pi = 0;
+        Tick waveBegin = -1;
+        for (std::size_t k = 0; k + 1 < pts.size(); ++k) {
+            const Tick t0 = pts[k];
+            const bool rising = busyAt(base, bi, t0) &&
+                                !busyAt(pert, pi, t0);
+            if (rising && waveBegin < 0)
+                waveBegin = t0;
+            if (!rising && waveBegin >= 0) {
+                out.span(n, TrackKind::Cpu, SpanCat::IdleWave, waveBegin,
+                         t0);
+                waveBegin = -1;
+            }
+        }
+        if (waveBegin >= 0)
+            out.span(n, TrackKind::Cpu, SpanCat::IdleWave, waveBegin,
+                     horizon);
+    }
+}
+
+std::string
+WavefrontReport::render() const
+{
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "wavefront: delay node %d at %.3f us for %.3f us "
+                  "(threshold %.1f%%)\n",
+                  config.delayedNode,
+                  static_cast<double>(config.delayAt) / kUsec,
+                  static_cast<double>(config.delayDuration) / kUsec,
+                  100.0 * config.threshold);
+    out += buf;
+    out += "  node  hops    arrival_us  excess_idle_us  reached\n";
+    const Tick thrRaw = static_cast<Tick>(
+        config.threshold * static_cast<double>(config.delayDuration));
+    const Tick thr = thrRaw > 0 ? thrRaw : 1;
+    for (const NodeWave &w : nodes) {
+        char arrival[32];
+        if (w.arrival >= 0)
+            std::snprintf(arrival, sizeof(arrival), "%12.3f",
+                          static_cast<double>(w.arrival) / kUsec);
+        else
+            std::snprintf(arrival, sizeof(arrival), "%12s", "-");
+        std::snprintf(buf, sizeof(buf),
+                      "  %4d  %4d  %s  %14.3f  %s\n", w.node, w.hops,
+                      arrival,
+                      static_cast<double>(w.excessIdle) / kUsec,
+                      w.excessIdle >= thr ? "yes" : "no");
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  excess runtime : %.3f us\n  reached        : "
+                  "%d/%zu nodes\n  decay distance : %d hops\n",
+                  static_cast<double>(excessRuntime) / kUsec, reached,
+                  nodes.size(), decayHops);
+    out += buf;
+    if (speedFinite)
+        std::snprintf(buf, sizeof(buf),
+                      "  speed          : %.3f hops/ms\n",
+                      speedHopsPerMs);
+    else
+        std::snprintf(buf, sizeof(buf), "  speed          : n/a\n");
+    out += buf;
+    return out;
+}
+
+} // namespace nowcluster

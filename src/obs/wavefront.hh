@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The perturbation-wavefront analyzer: given a baseline trace and a
+ * trace of the same run with a one-off delay injected on one node,
+ * diff the two per-node CPU timelines to measure how the disturbance
+ * propagates through the cluster and where it dies out.
+ *
+ * The observable is *excess idle*: E_n(t) = idle_pert(t) - idle_base(t)
+ * on node n's CPU track, a piecewise-linear function whose slope is
+ * +1 where the perturbed node sits idle while the baseline was
+ * computing. A node is "reached" when E_n crosses a threshold fraction
+ * of the injected delay; the crossing time is the wavefront's arrival.
+ * Fitting arrival time against message-graph hop distance from the
+ * delayed node gives a propagation speed (hops/ms), and the farthest
+ * reached hop is the decay distance -- the pair of numbers the delay
+ * propagation literature (Afzal et al.) characterizes clusters by.
+ */
+
+#ifndef NOWCLUSTER_OBS_WAVEFRONT_HH_
+#define NOWCLUSTER_OBS_WAVEFRONT_HH_
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "obs/tracer.hh"
+
+namespace nowcluster {
+
+/** What was injected, and when a node counts as reached. */
+struct WavefrontConfig
+{
+    NodeId delayedNode = 0; ///< Node that received the one-off stall.
+    Tick delayAt = 0;       ///< Stall start (virtual time).
+    Tick delayDuration = 0; ///< Stall length.
+    /** A node is reached when its excess idle exceeds this fraction of
+     *  the injected delay. */
+    double threshold = 0.05;
+};
+
+/** Per-node wavefront measurement. */
+struct NodeWave
+{
+    NodeId node = -1;
+    /** Message-graph hop distance from the delayed node (BFS over the
+     *  baseline trace's src->dst message edges; -1 = unreachable). */
+    int hops = -1;
+    /** First virtual time the excess idle crossed the threshold
+     *  (-1 = the wavefront never arrived here). */
+    Tick arrival = -1;
+    /** Peak excess idle over the run -- the node's share of the
+     *  damage. (Excess idle returns to ~0 by run end: both runs do the
+     *  same total work, so only the peak shows the wave's height.) */
+    Tick excessIdle = 0;
+};
+
+/** The analyzer's verdict on one baseline/perturbed trace pair. */
+struct WavefrontReport
+{
+    WavefrontConfig config;
+    std::vector<NodeWave> nodes; ///< Indexed by node id.
+    int reached = 0;       ///< Nodes whose excess idle crossed threshold.
+    int decayHops = -1;    ///< Farthest reached hop (-1 = none reached).
+    double speedHopsPerMs = 0; ///< Least-squares hops-vs-arrival slope.
+    bool speedFinite = false;  ///< >= 2 distinct arrivals to fit.
+    Tick excessRuntime = 0;    ///< Perturbed end minus baseline end.
+
+    /** Human-readable table (byte-stable for determinism checks). */
+    std::string render() const;
+};
+
+/**
+ * Diff a perturbed trace against its baseline. Both traces must come
+ * from the same (app, nprocs, seed, knobs) run, differing only in the
+ * injected delay; nodes are 0..nprocs-1.
+ */
+WavefrontReport analyzeWavefront(const SpanTracer &baseline,
+                                 const SpanTracer &perturbed, int nprocs,
+                                 const WavefrontConfig &config);
+
+/**
+ * Synthesize SpanCat::IdleWave spans into `out`: for each node, the
+ * intervals where the perturbed run sat idle while the baseline was
+ * busy -- exactly where excess idle accrues, i.e. the visible shape of
+ * the wave. Typically `out` has already absorb()ed the perturbed trace
+ * so the wave renders on top of the real timeline.
+ */
+void exportIdleWave(const SpanTracer &baseline,
+                    const SpanTracer &perturbed, int nprocs,
+                    SpanTracer &out);
+
+} // namespace nowcluster
+
+#endif // NOWCLUSTER_OBS_WAVEFRONT_HH_

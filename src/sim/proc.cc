@@ -1,5 +1,7 @@
 #include "sim/proc.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace nowcluster {
@@ -15,7 +17,46 @@ Proc::start(Tick at)
 {
     panic_if(state_ != ProcState::Created, "proc %d started twice", id_);
     state_ = ProcState::Ready;
-    sim_.schedule(at, [this] { activate(); });
+    sim_.schedule(deferPastStalls(at), [this] { activate(); });
+}
+
+void
+Proc::injectStall(Tick from, Tick duration)
+{
+    panic_if(from < 0 || duration < 0,
+             "stall window [%lld, +%lld) on proc %d is negative",
+             static_cast<long long>(from),
+             static_cast<long long>(duration), id_);
+    if (duration == 0)
+        return;
+    stalls_.push_back({from, from + duration});
+    std::sort(stalls_.begin(), stalls_.end(),
+              [](const StallWindow &a, const StallWindow &b) {
+                  return a.from < b.from;
+              });
+    // Keep the list disjoint and ordered so the sweeps below can walk
+    // it once: overlapping or touching windows merge into one.
+    std::vector<StallWindow> merged;
+    merged.reserve(stalls_.size());
+    for (const StallWindow &w : stalls_) {
+        if (!merged.empty() && w.from <= merged.back().until)
+            merged.back().until = std::max(merged.back().until, w.until);
+        else
+            merged.push_back(w);
+    }
+    stalls_.swap(merged);
+}
+
+Tick
+Proc::deferPastStalls(Tick at) const
+{
+    for (const StallWindow &w : stalls_) {
+        if (at < w.from)
+            break;
+        if (at < w.until)
+            return w.until;
+    }
+    return at;
 }
 
 void
@@ -37,15 +78,56 @@ Proc::compute(Tick dt, SpanCat cat, std::uint64_t msg)
     panic_if(!isCurrent(), "compute() outside proc %d's fiber", id_);
     panic_if(dt < 0, "negative compute time %lld",
              static_cast<long long>(dt));
-    busyTime_ += dt;
+    busyTime_ += dt; // Work time only: stall windows are idle.
     if (dt == 0)
         return;
     const Tick t0 = sim_.now();
+    Tick end = t0 + dt;
+    if (!stalls_.empty()) {
+        // Preemption sweep: spend the work in the gaps between stall
+        // windows; each overlapped window pushes the finish out by its
+        // full extent.
+        Tick cursor = t0, remaining = dt;
+        for (const StallWindow &w : stalls_) {
+            if (w.until <= cursor)
+                continue;
+            const Tick avail = w.from > cursor ? w.from - cursor : 0;
+            if (remaining <= avail) {
+                cursor += remaining;
+                remaining = 0;
+                break;
+            }
+            remaining -= avail;
+            cursor = w.until;
+        }
+        end = cursor + remaining;
+    }
     state_ = ProcState::Ready;
-    sim_.scheduleIn(dt, [this] { activate(); });
+    sim_.scheduleIn(end - t0, [this] { activate(); });
     Fiber::yield();
-    if (obs_)
-        obs_->span(id_, TrackKind::Cpu, cat, t0, t0 + dt, msg);
+    if (!obs_)
+        return;
+    if (end == t0 + dt) {
+        obs_->span(id_, TrackKind::Cpu, cat, t0, end, msg);
+        return;
+    }
+    // Preempted: record one span per busy segment so the timeline (and
+    // the wavefront analyzer's idle diff) shows the injected gap.
+    Tick cursor = t0, remaining = dt;
+    for (const StallWindow &w : stalls_) {
+        if (w.until <= cursor)
+            continue;
+        const Tick avail = w.from > cursor ? w.from - cursor : 0;
+        const Tick run = std::min(remaining, avail);
+        if (run > 0)
+            obs_->span(id_, TrackKind::Cpu, cat, cursor, cursor + run,
+                       msg);
+        remaining -= run;
+        if (remaining == 0)
+            return;
+        cursor = w.until;
+    }
+    obs_->span(id_, TrackKind::Cpu, cat, cursor, cursor + remaining, msg);
 }
 
 void
@@ -70,7 +152,7 @@ Proc::wake(Tick at)
     switch (state_) {
       case ProcState::Blocked:
         state_ = ProcState::Ready;
-        sim_.schedule(at, [this] { activate(); });
+        sim_.schedule(deferPastStalls(at), [this] { activate(); });
         break;
       case ProcState::Running:
         // Wake posted from this proc's own call chain (during poll);

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "base/types.hh"
 #include "obs/tracer.hh"
@@ -78,6 +79,18 @@ class Proc
      */
     void wake(Tick at = -1);
 
+    /**
+     * Install a one-off stall window [from, from+duration): the
+     * processor is preempted for the window's full extent. compute()
+     * intervals overlapping a window stretch by the overlap, and
+     * activations (wake/start) landing inside one are deferred to its
+     * end. The stall models OS-jitter style CPU interference only --
+     * NIC contexts keep running -- and is pure scenario state, so runs
+     * stay deterministic at any thread count. Windows must be installed
+     * before virtual time reaches `from`; overlaps are merged.
+     */
+    void injectStall(Tick from, Tick duration);
+
     NodeId id() const { return id_; }
     ProcState state() const { return state_; }
     bool done() const { return state_ == ProcState::Done; }
@@ -97,8 +110,17 @@ class Proc
     bool isCurrent() const { return Fiber::current() == fiber_.get(); }
 
   private:
+    struct StallWindow
+    {
+        Tick from;
+        Tick until; ///< Exclusive: time `until` is runnable again.
+    };
+
     /** Event body: switch into the fiber. */
     void activate();
+
+    /** First runnable instant at or after `at` (stall deferral). */
+    Tick deferPastStalls(Tick at) const;
 
     Simulator &sim_;
     NodeId id_;
@@ -110,6 +132,8 @@ class Proc
     // Wake bookkeeping: earliest requested wake while blocked.
     bool wakePending_ = false;
     Tick wakeAt_ = 0;
+    /** One-off stall windows, sorted by `from` and disjoint. */
+    std::vector<StallWindow> stalls_;
 };
 
 } // namespace nowcluster

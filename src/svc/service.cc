@@ -101,6 +101,9 @@ pointOfRequest(const JsonValue &req)
         kn.faultSeed = static_cast<long>(k->numberOr("fault-seed", -1));
         kn.reliable = static_cast<int>(k->numberOr("reliable", -1));
         kn.retxTimeoutUs = k->numberOr("rto", -1);
+        kn.delayNode = static_cast<long>(k->numberOr("delay-node", -1));
+        kn.delayAtUs = k->numberOr("delay-at", -1);
+        kn.delayUs = k->numberOr("delay-us", -1);
         kn.topo = static_cast<int>(k->numberOr("topo", -1));
         kn.topoHosts = static_cast<int>(k->numberOr("topo-hosts", -1));
         kn.topoLinkMBps = k->numberOr("topo-mbps", -1);
@@ -157,6 +160,9 @@ submitRequest(const RunPoint &pt)
         .field("fault-seed", static_cast<std::int64_t>(k.faultSeed))
         .field("reliable", k.reliable)
         .field("rto", k.retxTimeoutUs)
+        .field("delay-node", static_cast<std::int64_t>(k.delayNode))
+        .field("delay-at", k.delayAtUs)
+        .field("delay-us", k.delayUs)
         .field("topo", k.topo)
         .field("topo-hosts", k.topoHosts)
         .field("topo-mbps", k.topoLinkMBps)
@@ -366,6 +372,7 @@ ServiceCore::runJob(std::uint64_t id)
     RunResult r;
     bool completed = false;
     bool viaAnalytic = false;
+    std::string fallbackWhy;
     try {
         // Serve from the analytic model when the job asked for it and
         // the spec is eligible. The first point of a model identity
@@ -374,11 +381,16 @@ ServiceCore::runJob(std::uint64_t id)
         // fall-back test: a model that failed to build or whose probe
         // drifted past tolerance is not ready, and the job silently
         // drops to a real simulation.
-        if (wantAnalytic && analytic_->canServe(pt).empty()) {
-            RunResult ar = analytic_->run(pt);
-            if (analytic_->ready(pt)) {
-                r = std::move(ar);
-                viaAnalytic = true;
+        if (wantAnalytic) {
+            fallbackWhy = analytic_->canServe(pt);
+            if (fallbackWhy.empty()) {
+                RunResult ar = analytic_->run(pt);
+                if (analytic_->ready(pt)) {
+                    r = std::move(ar);
+                    viaAnalytic = true;
+                } else {
+                    fallbackWhy = "model not ready";
+                }
             }
         }
         if (!viaAnalytic)
@@ -402,8 +414,15 @@ ServiceCore::runJob(std::uint64_t id)
     it->second.result = std::move(r);
     it->second.state = completed ? JobState::kDone : JobState::kFailed;
     (completed ? jobsDone_ : jobsFailed_) += 1;
-    if (completed && wantAnalytic)
+    if (completed && wantAnalytic) {
         (viaAnalytic ? analyticServed_ : backendFallbacks_) += 1;
+        // Tally every refusal reason, not just the first: a sweep that
+        // mixes "fault injection" points with "window too small" points
+        // must show both in the stats reply.
+        if (!viaAnalytic)
+            ++fallbackReasons_[fallbackWhy.empty() ? "unknown"
+                                                   : fallbackWhy];
+    }
     runUs_.observe((wallNs() - t0) / 1000 * kUsec);
 }
 
@@ -542,6 +561,13 @@ ServiceCore::handleStats()
     w.beginObject("counters");
     for (const auto &[name, v] : snap.counters)
         w.field(name, v);
+    w.endObject();
+    // Per-reason analytic-backend refusal tallies (the aggregate count
+    // is svc.backend.fallbacks above). std::map keeps the keys sorted,
+    // so the reply is deterministic.
+    w.beginObject("fallback_reasons");
+    for (const auto &[why, n] : fallbackReasons_)
+        w.field(why, n);
     w.endObject();
     w.beginObject("histograms");
     for (const auto &[name, h] : snap.histograms) {

@@ -231,6 +231,9 @@ class ServiceCore : public LineHandler
     std::uint64_t &puts_;
     std::uint64_t &analyticServed_;
     std::uint64_t &backendFallbacks_;
+    /** Analytic-backend refusal reason -> count (guarded by mu_).
+     *  Reported per reason in the stats reply, not first-reason-only. */
+    std::map<std::string, std::uint64_t> fallbackReasons_;
     Histogram &queueWaitUs_;
     Histogram &runUs_;
 };

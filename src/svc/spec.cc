@@ -14,7 +14,7 @@ namespace {
  * measured results (event ordering, model stages, parameter defaults).
  * Stale keys then simply never hit and age out of the store via LRU.
  */
-constexpr const char *kCodeFingerprint = "nowcluster-sim-v4";
+constexpr const char *kCodeFingerprint = "nowcluster-sim-v5";
 
 void
 putU64(std::string &out, std::uint64_t v)
@@ -76,6 +76,13 @@ putParams(std::string &out, const LogGPParams &p)
     putDouble(out, p.fault.reorderRate);
     putI64(out, p.fault.reorderMaxDelay);
     putU64(out, p.fault.seed);
+    // v5: scripted one-off delay windows shape results.
+    putU32(out, static_cast<std::uint32_t>(p.fault.delays.size()));
+    for (const DelaySpec &d : p.fault.delays) {
+        putU32(out, static_cast<std::uint32_t>(d.node));
+        putI64(out, d.at);
+        putI64(out, d.duration);
+    }
     putU32(out, p.reliable ? 1 : 0);
     putI64(out, p.retxTimeout);
     putU32(out, static_cast<std::uint32_t>(p.retxMaxRetries));
@@ -111,6 +118,9 @@ putKnobs(std::string &out, const Knobs &k)
     putI64(out, k.faultSeed);
     putU32(out, static_cast<std::uint32_t>(k.reliable));
     putDouble(out, k.retxTimeoutUs);
+    putI64(out, k.delayNode);
+    putDouble(out, k.delayAtUs);
+    putDouble(out, k.delayUs);
     putU32(out, static_cast<std::uint32_t>(k.topo));
     putU32(out, static_cast<std::uint32_t>(k.topoHosts));
     putDouble(out, k.topoLinkMBps);
@@ -205,6 +215,10 @@ validateSpec(const RunPoint &pt)
     if (badRate(k.dropRate) || badRate(k.dupRate) ||
         badRate(k.corruptRate) || badRate(k.reorderRate))
         return "fault rates must be <= 1";
+    if (k.delayNode >= c.nprocs)
+        return "delay node out of range";
+    if (k.delayNode >= 0 && !(k.delayUs > 0))
+        return "delay duration must be positive";
     return "";
 }
 

@@ -365,12 +365,13 @@ TEST(Analytic, AgreesWithSimAcrossTheGridForRadixAndEm3dRead)
 }
 
 // ----------------------------------------------------------------------
-// v4 cache keys: analytic and simulated results never alias.
+// v5 cache keys: analytic and simulated results never alias, and
+// delay-injected points never alias clean ones.
 // ----------------------------------------------------------------------
 
-TEST(Spec, V4KeysSeparateBackendOrigins)
+TEST(Spec, V5KeysSeparateBackendOrigins)
 {
-    EXPECT_EQ(svc::codeFingerprint(), "nowcluster-sim-v4");
+    EXPECT_EQ(svc::codeFingerprint(), "nowcluster-sim-v5");
     RunPoint sim_pt = smallPoint("radix");
     RunPoint ana_pt = sim_pt;
     ana_pt.config.origin = 1;
@@ -379,6 +380,24 @@ TEST(Spec, V4KeysSeparateBackendOrigins)
     EXPECT_EQ(svc::validateSpec(ana_pt), "");
     ana_pt.config.origin = 7;
     EXPECT_NE(svc::validateSpec(ana_pt), "");
+}
+
+TEST(Spec, V5KeysSeparateDelayInjectedPoints)
+{
+    RunPoint clean = smallPoint("radix");
+    RunPoint delayed = clean;
+    delayed.config.knobs.delayNode = 1;
+    delayed.config.knobs.delayAtUs = 100;
+    delayed.config.knobs.delayUs = 500;
+    EXPECT_NE(svc::cacheKey(clean), svc::cacheKey(delayed));
+    EXPECT_EQ(svc::validateSpec(delayed), "");
+
+    // Out-of-range node and non-positive duration are spec errors.
+    delayed.config.knobs.delayNode = 4096;
+    EXPECT_NE(svc::validateSpec(delayed), "");
+    delayed.config.knobs.delayNode = 1;
+    delayed.config.knobs.delayUs = 0;
+    EXPECT_NE(svc::validateSpec(delayed), "");
 }
 
 } // namespace

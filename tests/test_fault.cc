@@ -317,6 +317,225 @@ TEST(Reliable, LossyRunsAreDeterministic)
 }
 
 // ----------------------------------------------------------------------
+// One-off delay injection (the Afzal-style transient perturbation)
+// ----------------------------------------------------------------------
+
+namespace {
+
+/** Serialized ping-pong runtime with an optional one-off delay. */
+Tick
+pingPongRuntime(const LogGPParams &p, int rounds = 20)
+{
+    Cluster c(2, p);
+    bool got = false;
+    int done = c.registerHandler([&](AmNode &, Packet &) { got = true; });
+    int echo = c.registerHandler([done](AmNode &self, Packet &pkt) {
+        self.reply(pkt, done);
+    });
+    bool stop = false;
+    EXPECT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 0) {
+            for (int i = 0; i < rounds; ++i) {
+                got = false;
+                n.request(1, echo);
+                n.pollUntil([&] { return got; }, "reply wait");
+            }
+            stop = true;
+            n.oneWay(1, done);
+        } else {
+            n.pollUntil([&] { return stop; }, "server loop");
+        }
+    }, 60 * kSec));
+    return c.runtime();
+}
+
+} // namespace
+
+TEST(DelayInjection, StallAtStartShiftsTheWholeRun)
+{
+    LogGPParams p = baseline();
+    const Tick base = pingPongRuntime(p);
+
+    // A stall covering time 0 on the initiating node defers its first
+    // activation to the window's end; the serialized chain then plays
+    // out unchanged, so the end shifts by exactly the duration.
+    const Tick d = usec(150);
+    p.fault.enabled = true;
+    p.fault.delays.push_back({0, 0, d});
+    EXPECT_EQ(pingPongRuntime(p), base + d);
+}
+
+TEST(DelayInjection, MidRunStallDelaysAtMostItsDuration)
+{
+    LogGPParams p = baseline();
+    const Tick base = pingPongRuntime(p);
+
+    const Tick d = usec(200);
+    p.fault.enabled = true;
+    p.fault.delays.push_back({1, base / 2, d});
+    const Tick delayed = pingPongRuntime(p);
+    EXPECT_GT(delayed, base);
+    EXPECT_LE(delayed, base + d);
+}
+
+TEST(DelayInjection, ConfigDelaysWorkWithoutTheFaultModel)
+{
+    // params.fault.delays is scenario state installed by the Cluster
+    // directly on the procs; it must take effect even when the wire
+    // fault model itself is disabled.
+    LogGPParams p = baseline();
+    const Tick base = pingPongRuntime(p);
+    const Tick d = usec(100);
+    ASSERT_FALSE(p.fault.enabled);
+    p.fault.delays.push_back({0, 0, d});
+    EXPECT_EQ(pingPongRuntime(p), base + d);
+}
+
+TEST(DelayInjection, ScriptDelayMatchesConfigDelays)
+{
+    LogGPParams p = baseline();
+    p.fault.enabled = true;
+    const Tick d = usec(120);
+
+    auto run_with = [&](bool scripted) {
+        LogGPParams q = p;
+        if (!scripted)
+            q.fault.delays.push_back({1, usec(50), d});
+        Cluster c(2, q);
+        if (scripted)
+            c.scriptDelay(1, usec(50), d);
+        int counted = 0;
+        int count = c.registerHandler(
+            [&](AmNode &, Packet &) { ++counted; });
+        EXPECT_TRUE(c.run([&](AmNode &n) {
+            if (n.id() == 0) {
+                for (int i = 0; i < 30; ++i)
+                    n.oneWay(1, count);
+            } else {
+                n.pollUntil([&] { return counted == 30; }, "count wait");
+            }
+        }, 60 * kSec));
+        return c.runtime();
+    };
+
+    EXPECT_EQ(run_with(true), run_with(false));
+}
+
+TEST(DelayInjection, SameSpecIsDeterministic)
+{
+    LogGPParams p = baseline();
+    p.fault.enabled = true;
+    p.fault.delays.push_back({1, usec(300), usec(250)});
+    const Tick a = pingPongRuntime(p);
+    const Tick b = pingPongRuntime(p);
+    EXPECT_EQ(a, b);
+}
+
+TEST(DelayInjection, OverlappingWindowsMerge)
+{
+    // Two overlapping windows on one node act like their union: the
+    // runtime must match a single merged window, not double-charge.
+    LogGPParams p = baseline();
+    const Tick base = pingPongRuntime(p);
+    p.fault.enabled = true;
+    p.fault.delays.push_back({0, 0, usec(100)});
+    p.fault.delays.push_back({0, usec(60), usec(80)}); // Merges to 140.
+    LogGPParams q = baseline();
+    q.fault.enabled = true;
+    q.fault.delays.push_back({0, 0, usec(140)});
+    const Tick merged = pingPongRuntime(p);
+    EXPECT_EQ(merged, pingPongRuntime(q));
+    EXPECT_EQ(merged, base + usec(140));
+}
+
+// ----------------------------------------------------------------------
+// Scripted-fault routing under the sharded engine (regression: scripts
+// installed through Cluster::scriptDrop must fire on the same packet at
+// any thread count, even when the link's events are offered on a shard
+// other than shard 0's model)
+// ----------------------------------------------------------------------
+
+namespace {
+
+/** One-way stream src -> dst with a scripted drop, at `threads`. */
+std::pair<Tick, FaultCounters>
+shardedDropRun(int threads, NodeId src, NodeId dst, std::uint64_t nth)
+{
+    LogGPParams p = reliableParams();
+    p.simThreads = threads;
+    Cluster c(8, p);
+    c.scriptDrop(src, dst, PacketClass::Data, nth);
+    int counted = 0;
+    int count = c.registerHandler(
+        [&](AmNode &, Packet &) { ++counted; });
+    const int kMsgs = 24;
+    EXPECT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == src) {
+            for (int i = 0; i < kMsgs; ++i)
+                n.oneWay(dst, count);
+        } else if (n.id() == dst) {
+            n.pollUntil([&] { return counted == kMsgs; }, "count wait");
+        }
+    }, 60 * kSec));
+    EXPECT_EQ(counted, kMsgs);
+    return {c.runtime(), c.faultCounters()};
+}
+
+} // namespace
+
+TEST(ShardedFaults, ScriptDropFiresOnNonZeroShardLinks)
+{
+    // Node 5's transmit events live on node 5's shard model under the
+    // sharded engine; a drop script for 5 -> 6 installed through the
+    // legacy faultModel() (shard 0's model) would never fire. The
+    // routed scriptDrop must drop exactly one packet at every thread
+    // count and recover identically.
+    auto [t1, f1] = shardedDropRun(1, 5, 6, 2);
+    auto [t4, f4] = shardedDropRun(4, 5, 6, 2);
+    EXPECT_EQ(f1.dropped[0], 1u);
+    EXPECT_EQ(f4.dropped[0], 1u);
+    EXPECT_EQ(t1, t4);
+    EXPECT_EQ(f1.offered[0], f4.offered[0]);
+    EXPECT_EQ(f1.offered[1], f4.offered[1]);
+}
+
+TEST(ShardedFaults, ClassicEngineAgreesWithScriptDrop)
+{
+    // scriptDrop on the classic single-heap engine routes to the one
+    // and only model; it must behave exactly like dropNth always has.
+    auto [t0, f0] = shardedDropRun(0, 5, 6, 2);
+    auto [t1, f1] = shardedDropRun(1, 5, 6, 2);
+    EXPECT_EQ(f0.dropped[0], 1u);
+    EXPECT_EQ(f0.offered[0], f1.offered[0]);
+    (void)t0;
+    (void)t1;
+}
+
+TEST(ShardedFaults, OfferedCountsSumAcrossShardModels)
+{
+    LogGPParams p = reliableParams();
+    p.simThreads = 4;
+    Cluster c(8, p);
+    int counted = 0;
+    int count = c.registerHandler(
+        [&](AmNode &, Packet &) { ++counted; });
+    ASSERT_TRUE(c.run([&](AmNode &n) {
+        if (n.id() == 3) {
+            for (int i = 0; i < 10; ++i)
+                n.oneWay(7, count);
+        } else if (n.id() == 7) {
+            n.pollUntil([&] { return counted == 10; }, "count wait");
+        }
+    }, 60 * kSec));
+    // Every data packet 3 -> 7 was offered exactly once globally, on
+    // whichever shard model owns the link.
+    EXPECT_GE(c.faultOfferedOn(3, 7, PacketClass::Data), 10u);
+    EXPECT_EQ(c.faultOfferedOn(7, 3, PacketClass::Data), 0u);
+    FaultCounters sum = c.faultCounters();
+    EXPECT_GE(sum.offered[0] + sum.offered[1], 10u);
+}
+
+// ----------------------------------------------------------------------
 // Timeout diagnostics (stall report)
 // ----------------------------------------------------------------------
 

@@ -28,6 +28,7 @@
 #include "apps/app.hh"
 #include "base/random.hh"
 #include "harness/experiment.hh"
+#include "harness/runner.hh"
 #include "splitc/splitc.hh"
 #include "svc/json.hh"
 #include "svc/server.hh"
@@ -359,6 +360,53 @@ TEST_P(LossyApps, CompletesAndValidatesUnderLoss)
 
 INSTANTIATE_TEST_SUITE_P(AllApps, LossyApps,
                          ::testing::ValuesIn(appKeys()));
+
+// ----------------------------------------------------------------------
+// Delay-injection fuzzing: random one-off stall specs must never
+// deadlock a run, never corrupt the computed answer, and must stay
+// deterministic (same spec, same fingerprint) at any thread count.
+// ----------------------------------------------------------------------
+
+class DelayFuzzCase : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(DelayFuzzCase, RandomStallSpecsNeverBreakOrDiverge)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed, 424242);
+
+    RunConfig base;
+    base.nprocs = 8;
+    base.scale = 0.05;
+    base.maxTime = 600 * kSec;
+    const char *apps[] = {"radix", "em3d-read", "sample"};
+
+    for (int trial = 0; trial < 4; ++trial) {
+        RunConfig c = base;
+        const char *app = apps[rng.below(3)];
+        c.knobs.delayNode = static_cast<long>(rng.below(8));
+        c.knobs.delayAtUs = static_cast<double>(rng.below(40000));
+        c.knobs.delayUs = 1 + static_cast<double>(rng.below(20000));
+        c.knobs.simThreads = 1;
+
+        RunResult r = runApp(app, c);
+        EXPECT_TRUE(r.ok) << app << " deadlocked, seed " << seed
+                          << " trial " << trial;
+        EXPECT_TRUE(r.validated)
+            << app << " wrong output with a stall, seed " << seed
+            << " trial " << trial;
+
+        // Same spec, more threads: byte-identical result.
+        RunConfig c4 = c;
+        c4.knobs.simThreads = 4;
+        EXPECT_EQ(fingerprint(runApp(app, c4)), fingerprint(r))
+            << app << " diverged across threads, seed " << seed
+            << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelayFuzzCase,
+                         ::testing::Values(11ull, 22ull, 33ull));
 
 // ----------------------------------------------------------------------
 // nowlabd protocol fuzzing: adversarial bytes through the JSON parser

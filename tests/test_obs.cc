@@ -19,6 +19,7 @@
 #include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
+#include "obs/wavefront.hh"
 
 namespace nowcluster {
 namespace {
@@ -427,6 +428,182 @@ TEST(CritPath, PredictedDTdLMatchesMeasuredSlopesForRadixAndEm3d)
     // suffers more from latency.
     EXPECT_EQ(radix.predicted < em3d.predicted,
               radix.measured < em3d.measured);
+}
+
+// ----------------------------------------------------------------------
+// Wavefront analyzer (delay propagation & decay).
+// ----------------------------------------------------------------------
+
+namespace wavefront_fixture {
+
+/**
+ * Hand-built trace pair with an exactly-known wave: node 0 is stalled
+ * for 20 us at t = 0 and the disturbance reaches node 1 at 30 us and
+ * node 2 at 60 us (via messages 0 -> 1 -> 2); node 3 exchanges no
+ * messages and is untouched.
+ */
+void
+buildTraces(SpanTracer &base, SpanTracer &pert)
+{
+    for (NodeId n = 0; n < 4; ++n)
+        base.span(n, TrackKind::Cpu, SpanCat::Compute, 0, usec(100));
+
+    pert.span(0, TrackKind::Cpu, SpanCat::Compute, usec(20), usec(120));
+    pert.span(1, TrackKind::Cpu, SpanCat::Compute, 0, usec(30));
+    pert.span(1, TrackKind::Cpu, SpanCat::Compute, usec(50), usec(120));
+    pert.span(2, TrackKind::Cpu, SpanCat::Compute, 0, usec(60));
+    pert.span(2, TrackKind::Cpu, SpanCat::Compute, usec(80), usec(120));
+    pert.span(3, TrackKind::Cpu, SpanCat::Compute, 0, usec(100));
+
+    ObsMessage m;
+    m.id = 1;
+    m.src = 0;
+    m.dst = 1;
+    base.message(m);
+    m.id = 2;
+    m.src = 1;
+    m.dst = 2;
+    base.message(m);
+}
+
+WavefrontConfig
+config()
+{
+    WavefrontConfig wc;
+    wc.delayedNode = 0;
+    wc.delayAt = 0;
+    wc.delayDuration = usec(20);
+    wc.threshold = 0.05; // Threshold excess idle: 1 us.
+    return wc;
+}
+
+} // namespace wavefront_fixture
+
+TEST(Wavefront, ArrivalPeakAndHopsOnAKnownWave)
+{
+    SpanTracer base, pert;
+    wavefront_fixture::buildTraces(base, pert);
+    WavefrontReport rep =
+        analyzeWavefront(base, pert, 4, wavefront_fixture::config());
+
+    ASSERT_EQ(rep.nodes.size(), 4u);
+    // BFS hop distances over the directed message edges 0->1->2.
+    EXPECT_EQ(rep.nodes[0].hops, 0);
+    EXPECT_EQ(rep.nodes[1].hops, 1);
+    EXPECT_EQ(rep.nodes[2].hops, 2);
+    EXPECT_EQ(rep.nodes[3].hops, -1);
+
+    // Excess idle rises at +1 per tick from the wave's onset, so each
+    // arrival is onset + threshold (1 us); the peak is the full stall.
+    EXPECT_EQ(rep.nodes[0].arrival, usec(1));
+    EXPECT_EQ(rep.nodes[1].arrival, usec(31));
+    EXPECT_EQ(rep.nodes[2].arrival, usec(61));
+    EXPECT_EQ(rep.nodes[3].arrival, -1);
+    for (int n = 0; n < 3; ++n)
+        EXPECT_EQ(rep.nodes[n].excessIdle, usec(20)) << "node " << n;
+    EXPECT_EQ(rep.nodes[3].excessIdle, 0);
+
+    EXPECT_EQ(rep.reached, 3);
+    EXPECT_EQ(rep.decayHops, 2);
+    EXPECT_EQ(rep.excessRuntime, usec(20));
+
+    // Arrivals 1/31/61 us at hops 0/1/2: exactly one hop per 30 us.
+    ASSERT_TRUE(rep.speedFinite);
+    EXPECT_NEAR(rep.speedHopsPerMs, 1000.0 / 30.0, 1e-6);
+}
+
+TEST(Wavefront, ExcessIdleIsThePeakNotTheFinalValue)
+{
+    // Both runs do the same total work, so E(t) returns to ~0 by run
+    // end; a final-value analyzer would report nothing reached.
+    SpanTracer base, pert;
+    wavefront_fixture::buildTraces(base, pert);
+    WavefrontReport rep =
+        analyzeWavefront(base, pert, 4, wavefront_fixture::config());
+    for (int n = 0; n < 3; ++n)
+        EXPECT_GT(rep.nodes[n].excessIdle, 0) << "node " << n;
+}
+
+TEST(Wavefront, RenderIsByteStable)
+{
+    SpanTracer base, pert;
+    wavefront_fixture::buildTraces(base, pert);
+    WavefrontConfig wc = wavefront_fixture::config();
+    std::string a = analyzeWavefront(base, pert, 4, wc).render();
+    std::string b = analyzeWavefront(base, pert, 4, wc).render();
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("decay distance"), std::string::npos);
+    EXPECT_NE(a.find("hops/ms"), std::string::npos);
+}
+
+TEST(Wavefront, IdenticalTracesReportNothingReached)
+{
+    SpanTracer base, pert;
+    for (NodeId n = 0; n < 4; ++n) {
+        base.span(n, TrackKind::Cpu, SpanCat::Compute, 0, usec(100));
+        pert.span(n, TrackKind::Cpu, SpanCat::Compute, 0, usec(100));
+    }
+    WavefrontReport rep =
+        analyzeWavefront(base, pert, 4, wavefront_fixture::config());
+    EXPECT_EQ(rep.reached, 0);
+    EXPECT_EQ(rep.decayHops, -1);
+    EXPECT_FALSE(rep.speedFinite);
+    EXPECT_EQ(rep.excessRuntime, 0);
+}
+
+TEST(Wavefront, ExportSynthesizesIdleWaveSpansWhereExcessAccrues)
+{
+    SpanTracer base, pert, out;
+    wavefront_fixture::buildTraces(base, pert);
+    exportIdleWave(base, pert, 4, out);
+
+    // Exactly one wave span per disturbed node, covering the interval
+    // where the perturbed run idled while the baseline computed.
+    ASSERT_EQ(out.spans().size(), 3u);
+    for (const Span &s : out.spans()) {
+        EXPECT_EQ(s.cat, SpanCat::IdleWave);
+        EXPECT_EQ(s.track, TrackKind::Cpu);
+    }
+    EXPECT_EQ(out.spans()[0].node, 0);
+    EXPECT_EQ(out.spans()[0].begin, 0);
+    EXPECT_EQ(out.spans()[0].end, usec(20));
+    EXPECT_EQ(out.spans()[1].node, 1);
+    EXPECT_EQ(out.spans()[1].begin, usec(30));
+    EXPECT_EQ(out.spans()[1].end, usec(50));
+    EXPECT_EQ(out.spans()[2].node, 2);
+    EXPECT_EQ(out.spans()[2].begin, usec(60));
+    EXPECT_EQ(out.spans()[2].end, usec(80));
+
+    // The synthesized spans must not feed back into a second analysis.
+    SpanTracer stacked;
+    stacked.absorb(pert);
+    exportIdleWave(base, pert, 4, stacked);
+    WavefrontReport again =
+        analyzeWavefront(base, stacked, 4, wavefront_fixture::config());
+    EXPECT_EQ(again.reached, 3);
+    EXPECT_EQ(again.nodes[1].arrival, usec(31));
+}
+
+// ----------------------------------------------------------------------
+// Exporter robustness: malformed span timestamps.
+// ----------------------------------------------------------------------
+
+TEST(Export, MalformedSpanDurationsAreClampedNotEmitted)
+{
+    // Only Retransmit records may be zero length, and a trace file
+    // (readBinaryTrace trusts timestamps) can carry end < begin; both
+    // must clamp to instant events -- a negative "dur" makes Perfetto
+    // reject the whole document.
+    SpanTracer t;
+    t.span(0, TrackKind::Cpu, SpanCat::Retransmit, usec(10), usec(4));
+    t.span(0, TrackKind::Cpu, SpanCat::Retransmit, usec(7), usec(7));
+    t.span(0, TrackKind::Cpu, SpanCat::Compute, usec(1), usec(3));
+    ASSERT_EQ(t.spans().size(), 3u);
+
+    std::string json = perfettoJson(t);
+    EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
 } // namespace

@@ -215,5 +215,65 @@ TEST(ParallelDes, ThreadKnobSelectsEngine)
     EXPECT_GT(runApp("sample", c).simShards, 1);
 }
 
+// One-off delay injection is scenario state: the stall window lands on
+// the same virtual instant regardless of how many host threads drive
+// the shards, so the fingerprint must not move by a byte.
+TEST(ParallelDes, DelayInjectionFingerprintAcrossThreadCounts)
+{
+    RunConfig c = smallConfig(8, 0.05, 1);
+    c.knobs.delayNode = 4;
+    c.knobs.delayAtUs = 500;
+    c.knobs.delayUs = 2000;
+    for (const char *key : {"radix", "em3d-read"}) {
+        std::string base = fingerprint(runApp(key, c));
+        for (int threads : {2, 4}) {
+            RunConfig cc = c;
+            cc.knobs.simThreads = threads;
+            EXPECT_EQ(fingerprint(runApp(key, cc)), base)
+                << key << " at " << threads << " threads";
+        }
+    }
+}
+
+// The wavefront workflow traces both the baseline and the perturbed
+// run; the tracer must observe the stall without perturbing it.
+TEST(ParallelDes, DelayInjectionUnperturbedByTracing)
+{
+    RunConfig plain = smallConfig(8, 0.05, 2);
+    plain.knobs.delayNode = 4;
+    plain.knobs.delayAtUs = 500;
+    plain.knobs.delayUs = 2000;
+    std::string base = fingerprint(runApp("radix", plain));
+
+    for (int threads : {1, 2, 4}) {
+        SpanTracer tracer;
+        RunConfig c = plain;
+        c.knobs.simThreads = threads;
+        c.obs = &tracer;
+        EXPECT_EQ(fingerprint(runApp("radix", c)), base)
+            << "traced delayed run diverged at " << threads
+            << " threads";
+        EXPECT_FALSE(tracer.spans().empty());
+    }
+}
+
+// A delayed run must cost wall-clock-visible virtual time: runtime
+// strictly above the undelayed run, by at most the stall duration.
+TEST(ParallelDes, DelayInjectionStretchesRuntime)
+{
+    RunConfig c = smallConfig(8, 0.05, 2);
+    RunResult base = runApp("radix", c);
+    ASSERT_TRUE(base.ok);
+
+    RunConfig d = c;
+    d.knobs.delayNode = 4;
+    d.knobs.delayAtUs = 500;
+    d.knobs.delayUs = 4000;
+    RunResult delayed = runApp("radix", d);
+    ASSERT_TRUE(delayed.ok);
+    EXPECT_GT(delayed.runtime, base.runtime);
+    EXPECT_LE(delayed.runtime, base.runtime + usec(4000));
+}
+
 } // namespace
 } // namespace nowcluster

@@ -663,6 +663,41 @@ TEST(ServiceCore, AnalyticBackendFallsBackToSimForIneligibleSpecs)
               0);
 }
 
+TEST(ServiceCore, StatsBreakFallbacksDownByReason)
+{
+    svc::ServiceConfig cfg;
+    cfg.jobs = 1;
+    cfg.backend = "analytic";
+    svc::ServiceCore core(cfg);
+
+    // Two distinct refusal reasons: stochastic faults, and a one-off
+    // delay injection. The stats reply must count each separately
+    // (the old first-reason-only string hid everything after job 1).
+    svc::JsonValue v = parsed(core.handleLine(
+        "{\"op\":\"submit\",\"app\":\"radix\",\"procs\":4,"
+        "\"scale\":0.1,\"knobs\":{\"drop\":0.01,\"reliable\":1}}"));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    v = parsed(core.handleLine(
+        "{\"op\":\"submit\",\"app\":\"radix\",\"procs\":4,"
+        "\"scale\":0.1,\"knobs\":{\"delay-node\":1,\"delay-at\":100,"
+        "\"delay-us\":500}}"));
+    ASSERT_TRUE(v.boolOr("ok", false));
+    core.drain();
+
+    v = parsed(core.handleLine("{\"op\":\"stats\"}"));
+    EXPECT_EQ(v.find("counters")->numberOr("svc.backend.fallbacks", 0),
+              2);
+    const svc::JsonValue *reasons = v.find("fallback_reasons");
+    ASSERT_NE(reasons, nullptr);
+    EXPECT_EQ(reasons->numberOr(
+                  "fault injection is stochastic per parameter point",
+                  0),
+              1);
+    EXPECT_EQ(reasons->numberOr(
+                  "one-off delay injection needs a real simulation", 0),
+              1);
+}
+
 TEST(ServiceCore, PerRequestBackendFieldOverridesSimDefault)
 {
     svc::ServiceConfig cfg;

@@ -12,6 +12,8 @@
  *   nowlab perf [--app A] [--points K] [--jobs J] [--events N]
  *               [--out FILE]
  *   nowlab trace <app> [--out F.json] [--bin F] [knobs]
+ *   nowlab wavefront <app> [--node N] [--at US] [--delays a,b,c]
+ *                    [--threshold F] [--out F.json] [knobs]
  *   nowlab replay --trace FILE.csv | --obs FILE [--procs N] [knobs]
  *   nowlab serve [--port P] [--jobs J] [--queue N] [--cache-dir D]
  *                [--cache-only]
@@ -30,6 +32,7 @@
  * Fault knobs:          --drop P --dup P --corrupt P --reorder P
  *                       --reorder-delay US --fault-seed X
  *                       --reliable 0|1 --rto US
+ * Delay injection:      --delay-node N --delay-at US --delay-us US
  */
 
 #include <chrono>
@@ -60,6 +63,7 @@
 #include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
+#include "obs/wavefront.hh"
 #include "replay/replay.hh"
 #include "sim/fiber.hh"
 #include "sim/simulator.hh"
@@ -170,6 +174,9 @@ knobsOf(const Args &a)
     k.faultSeed = optLong(a, "fault-seed", -1);
     k.reliable = static_cast<int>(optLong(a, "reliable", -1));
     k.retxTimeoutUs = optDouble(a, "rto", -1);
+    k.delayNode = optLong(a, "delay-node", -1);
+    k.delayAtUs = optDouble(a, "delay-at", -1);
+    k.delayUs = optDouble(a, "delay-us", -1);
     // --topo as a bare flag enables the fat-tree with defaults; any
     // --topo-* option implies it too (applyTo handles that).
     k.topo = a.flags.count("topo")
@@ -437,7 +444,11 @@ cmdSweep(const Args &a)
     std::vector<RunResult> rs;
     std::vector<backend::AnalyticPrediction> preds(points.size());
     std::size_t served = 0, fellBack = 0;
-    std::string firstReason;
+    // Every refusal reason with its count: a sweep can mix refusals
+    // (window too small here, fault injection there) and reporting
+    // only the first would hide the rest. std::map iterates sorted,
+    // so the report order is deterministic.
+    std::map<std::string, std::size_t> reasons;
     if (!be) {
         rs = runPoints(points, jobs);
     } else {
@@ -458,8 +469,7 @@ cmdSweep(const Args &a)
                 if (ana)
                     preds[i] = ana->predict(points[i]);
             } else {
-                if (firstReason.empty())
-                    firstReason = why;
+                ++reasons[why];
                 if (ana) {
                     misses.push_back(points[i]);
                     missAt.push_back(i);
@@ -515,8 +525,9 @@ cmdSweep(const Args &a)
     else if (be)
         std::printf("backend    : %s served %zu/%zu points\n",
                     be->name(), served, points.size());
-    if (!firstReason.empty())
-        std::printf("  reason   : %s\n", firstReason.c_str());
+    for (const auto &[why, n] : reasons)
+        std::printf("  reason   : %s (%zu point%s)\n", why.c_str(), n,
+                    n == 1 ? "" : "s");
     std::printf("wall clock : %.2f s\n",
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
@@ -684,6 +695,7 @@ submitRequestOf(const Args &a)
         "occupancy", "window", "fabric-hosts",  "fabric-mbps",
         "drop",      "dup",    "corrupt",       "reorder",
         "reorder-delay", "fault-seed", "reliable", "rto",
+        "delay-node", "delay-at", "delay-us",
         "topo",      "topo-hosts", "topo-mbps", "topo-oversub",
         "topo-hop",  "sim-threads", "sim-shards",
     };
@@ -1427,6 +1439,127 @@ cmdTrace(const Args &a)
     return r.ok ? 0 : 1;
 }
 
+/**
+ * wavefront: the delay propagation & decay scenario. One traced
+ * baseline run, then one traced perturbed run per delay size (a
+ * one-off stall on --node at --at), each diffed against the baseline
+ * by the wavefront analyzer. Prints the per-delay summary sweep, the
+ * full per-node table for the largest delay, and optionally exports
+ * that run's timeline with the idle wave overlaid (--out).
+ */
+int
+cmdWavefront(const Args &a)
+{
+    if (a.positional.size() < 2)
+        fatal("usage: nowlab wavefront <app> [--node N] [--at US] "
+              "[--delays a,b,c] [--threshold F] [--out F.json] "
+              "[options]");
+    std::string key = a.positional[1];
+    RunConfig base = configOf(a);
+    fatal_if(base.knobs.delayNode >= 0,
+             "wavefront injects its own delays; use --node/--at/"
+             "--delays, not --delay-*");
+
+    std::vector<double> delaysUs;
+    if (auto it = a.options.find("delays"); it != a.options.end()) {
+        std::string err;
+        fatal_if(!parseDoubleList(it->second, delaysUs, &err),
+                 "--delays: %s", err.c_str());
+        for (double d : delaysUs)
+            fatal_if(!(d > 0), "--delays entries must be positive");
+    }
+    const double threshold = optDouble(a, "threshold", 0.05);
+    fatal_if(!(threshold > 0) || threshold >= 1,
+             "--threshold must be in (0, 1)");
+    const NodeId node = static_cast<NodeId>(
+        optLong(a, "node", base.nprocs / 2));
+    fatal_if(node < 0 || node >= base.nprocs,
+             "--node %d out of range [0, %d)", node, base.nprocs);
+
+    SpanTracer baseTrace;
+    base.obs = &baseTrace;
+    RunResult br = runApp(key, base);
+    fatal_if(!br.ok, "baseline %s run did not complete", key.c_str());
+    std::printf("%s baseline on %d procs: %.3f ms\n",
+                br.summary.app.c_str(), base.nprocs, toMsec(br.runtime));
+
+    // Deterministic defaults derived from the baseline: inject at 30%
+    // of the run, sweep delays of 2%, 8%, and 32% of the runtime.
+    const double runtimeUs = static_cast<double>(br.runtime) / kUsec;
+    const double atUs = optDouble(a, "at", 0.30 * runtimeUs);
+    fatal_if(atUs < 0, "--at must be non-negative");
+    if (delaysUs.empty())
+        delaysUs = {0.02 * runtimeUs, 0.08 * runtimeUs,
+                    0.32 * runtimeUs};
+
+    Table t;
+    t.row()
+        .cell("delay (us)")
+        .cell("excess (us)")
+        .cell("reached")
+        .cell("decay (hops)")
+        .cell("speed (hops/ms)");
+    std::vector<WavefrontReport> reps;
+    SpanTracer largest; // Perturbed trace of the largest delay (--out).
+    std::size_t largestAt = 0;
+    for (std::size_t i = 0; i < delaysUs.size(); ++i)
+        if (delaysUs[i] > delaysUs[largestAt])
+            largestAt = i;
+    for (std::size_t i = 0; i < delaysUs.size(); ++i) {
+        RunConfig c = base;
+        SpanTracer pert;
+        c.obs = &pert;
+        c.knobs.delayNode = node;
+        c.knobs.delayAtUs = atUs;
+        c.knobs.delayUs = delaysUs[i];
+        // The delay only pushes work later; budget for the stretch.
+        c.maxTime = base.maxTime + 4 * usec(delaysUs[i]);
+        RunResult r = runApp(key, c);
+        fatal_if(!r.ok, "perturbed %s run (delay %.1f us) timed out",
+                 key.c_str(), delaysUs[i]);
+        WavefrontConfig wc;
+        wc.delayedNode = node;
+        wc.delayAt = usec(atUs);
+        wc.delayDuration = usec(delaysUs[i]);
+        wc.threshold = threshold;
+        WavefrontReport rep =
+            analyzeWavefront(baseTrace, pert, base.nprocs, wc);
+        char speed[32];
+        if (rep.speedFinite)
+            std::snprintf(speed, sizeof(speed), "%.3f",
+                          rep.speedHopsPerMs);
+        else
+            std::snprintf(speed, sizeof(speed), "n/a");
+        char reach[32];
+        std::snprintf(reach, sizeof(reach), "%d/%d", rep.reached,
+                      base.nprocs);
+        t.row()
+            .cell(delaysUs[i], 1)
+            .cell(static_cast<double>(rep.excessRuntime) / kUsec, 1)
+            .cell(std::string(reach))
+            .cell(rep.decayHops)
+            .cell(std::string(speed));
+        reps.push_back(std::move(rep));
+        if (i == largestAt) {
+            largest.absorb(pert);
+            exportIdleWave(baseTrace, pert, base.nprocs, largest);
+        }
+    }
+    t.print();
+    std::printf("\nper-node wavefront for the largest delay:\n%s",
+                reps[largestAt].render().c_str());
+
+    if (auto out = a.options.find("out"); out != a.options.end()) {
+        if (writePerfettoJson(largest, out->second))
+            std::printf("wrote %s (idle wave on the cpu tracks; load "
+                        "in ui.perfetto.dev)\n",
+                        out->second.c_str());
+        else
+            warn("could not write %s", out->second.c_str());
+    }
+    return 0;
+}
+
 int
 cmdReplay(const Args &a)
 {
@@ -1754,6 +1887,9 @@ main(int argc, char **argv)
             "             [--events N] [--out FILE]\n"
             "  nowlab trace <app> [--out F.json] [--bin F] [--procs N]\n"
             "             [--scale S] [knobs]\n"
+            "  nowlab wavefront <app> [--node N] [--at US]\n"
+            "             [--delays a,b,c] [--threshold F]\n"
+            "             [--out F.json] [--procs N] [--scale S] [knobs]\n"
             "  nowlab replay --trace FILE.csv | --obs FILE [--procs N]\n"
             "             [knobs]\n"
             "  nowlab serve [--port P] [--jobs J] [--queue N]\n"
@@ -1783,6 +1919,8 @@ main(int argc, char **argv)
             "fault: --drop P --dup P --corrupt P --reorder P\n"
             "       --reorder-delay US --fault-seed X --reliable 0|1\n"
             "       --rto US\n"
+            "delay: --delay-node N --delay-at US --delay-us US (one-off\n"
+            "       scripted processor stall; deterministic)\n"
             "topo:  --topo [--topo-hosts N] [--topo-mbps B]\n"
             "       --topo-oversub R --topo-hop US  (two-level\n"
             "       fat-tree; scales to --procs 1024 and beyond)\n"
@@ -1812,6 +1950,8 @@ main(int argc, char **argv)
         return cmdPerf(a);
     if (cmd == "trace")
         return cmdTrace(a);
+    if (cmd == "wavefront")
+        return cmdWavefront(a);
     if (cmd == "replay")
         return cmdReplay(a);
     if (cmd == "serve")
